@@ -1,0 +1,122 @@
+// Engine micro-benchmarks (google-benchmark): cycle simulation, PPSFP
+// fault simulation, PODEM, unrolling, CPF event simulation.
+#include <benchmark/benchmark.h>
+
+#include "atpg/podem.h"
+#include "atpg/unroll.h"
+#include "core/clock_scheme.h"
+#include "core/verify.h"
+#include "dft/scan.h"
+#include "fsim/fsim.h"
+#include "gen/socgen.h"
+#include "sim/cycle_sim.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace occ;
+
+Netlist& bench_soc() {
+  static Netlist nl = [] {
+    gen::SocParams prm;
+    prm.seed = 99;
+    prm.flops = 200;
+    prm.gates = 2000;
+    Netlist n = gen::generate_soc(prm);
+    insert_scan(n, {.num_chains = 4});
+    return n;
+  }();
+  return nl;
+}
+
+void BM_CycleSimEval(benchmark::State& state) {
+  Netlist& nl = bench_soc();
+  CycleSim sim(nl);
+  Rng rng(1);
+  for (GateId pi : nl.inputs()) {
+    sim.set_input(pi, Val64::from_bits(rng.next_u64()));
+  }
+  for (GateId ff : nl.dffs()) {
+    sim.set_state(ff, Val64::from_bits(rng.next_u64()));
+  }
+  for (auto _ : state) {
+    sim.eval();
+    benchmark::DoNotOptimize(sim.values().data());
+  }
+  state.SetItemsProcessed(state.iterations() * nl.size() * 64);
+}
+BENCHMARK(BM_CycleSimEval);
+
+void BM_FaultSimBatch(benchmark::State& state) {
+  Netlist& nl = bench_soc();
+  const ClockingScheme s = scheme_cpf_basic(nl.num_domains());
+  const GateId se = nl.find("scan_en");
+  Rng rng(2);
+  PatternSet ps("b");
+  for (int i = 0; i < 64; ++i) {
+    TestPattern p;
+    p.ncp_index = 0;
+    p.pi_frames.assign(2, std::vector<V3>(nl.inputs().size(), V3::kX));
+    p.load.assign(scan_cells(nl).size(), V3::kX);
+    p.random_fill(s.procedures[0], rng);
+    ps.add(std::move(p));
+  }
+  PatternBatch b = pack_batch(ps, 0, 64, nl, s.procedures[0]);
+  for (auto _ : state) {
+    state.PauseTiming();
+    FaultList fl = FaultList::build(nl, FaultModel::kTransition);
+    NcpFaultSim fsim(nl, s, se);
+    state.ResumeTiming();
+    const FsimStats st = fsim.run_batch(b, fl);
+    benchmark::DoNotOptimize(st.newly_detected);
+    state.counters["faults"] = static_cast<double>(st.faults_simulated);
+    state.counters["detected"] = static_cast<double>(st.newly_detected);
+  }
+}
+BENCHMARK(BM_FaultSimBatch)->Unit(benchmark::kMillisecond);
+
+void BM_UnrollModel(benchmark::State& state) {
+  Netlist& nl = bench_soc();
+  const ClockingScheme s =
+      scheme_cpf_enhanced(nl.num_domains(), 4);
+  const GateId se = nl.find("scan_en");
+  for (auto _ : state) {
+    UnrolledModel um(nl, s, 0, se);
+    benchmark::DoNotOptimize(um.comb().size());
+  }
+  state.SetLabel("frames=" +
+                 std::to_string(s.procedures[0].cycles.size()));
+}
+BENCHMARK(BM_UnrollModel)->Unit(benchmark::kMillisecond);
+
+void BM_PodemPerFault(benchmark::State& state) {
+  Netlist& nl = bench_soc();
+  const ClockingScheme s = scheme_cpf_basic(nl.num_domains());
+  const GateId se = nl.find("scan_en");
+  UnrolledModel um(nl, s, 0, se);
+  Podem podem(um);
+  FaultList fl = FaultList::build(nl, FaultModel::kTransition);
+  size_t i = 0;
+  size_t detected = 0;
+  for (auto _ : state) {
+    const auto targets = um.translate(fl.fault(i));
+    for (const auto& t : targets) {
+      detected += podem.run(t) == Podem::Outcome::kDetected;
+    }
+    i = (i + 7) % fl.size();
+  }
+  state.counters["detected"] = static_cast<double>(detected);
+}
+BENCHMARK(BM_PodemPerFault)->Unit(benchmark::kMicrosecond);
+
+void BM_CpfProtocolEventSim(benchmark::State& state) {
+  for (auto _ : state) {
+    const CpfProtocolResult r = run_cpf_protocol({});
+    benchmark::DoNotOptimize(r.ok);
+  }
+}
+BENCHMARK(BM_CpfProtocolEventSim)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

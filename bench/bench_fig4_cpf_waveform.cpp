@@ -1,0 +1,52 @@
+// Reproduces paper Fig. 4: the CPF waveform diagram.
+//
+// Runs the complete arming protocol on the gate-level basic CPF in the
+// event-driven timing simulator and renders the signals of Fig. 4:
+// scan_clk, scan_en, pll_clk (internal), the synchronizer trigger, the
+// CGC enable window, and clk_out showing exactly two released pulses.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/verify.h"
+
+int main() {
+  using namespace occ;
+  std::cout << "=== Fig. 4: clock pulse filter waveform ===\n\n";
+
+  CpfProtocolParams prm;
+  prm.pll_period = 8;
+  prm.shift_period = 64;
+  prm.shift_pulses = 3;
+  const CpfProtocolResult r = run_cpf_protocol(prm);
+
+  std::cout << r.wave.render_ascii(4) << "\n";
+  std::cout << "protocol check: " << (r.ok ? "OK" : "FAILED") << "\n";
+  if (!r.ok) std::cout << "  detail: " << r.detail << "\n";
+  std::cout << "shift passthrough pulses : " << r.shift_pulses << " of "
+            << r.shift_pulses_driven << " driven\n";
+  std::cout << "capture pulses observed  : " << r.pulse_times.size()
+            << " (paper: exactly two)\n";
+  std::cout << "pulse times              : ";
+  for (SimTime t : r.pulse_times) std::cout << t << " ";
+  std::cout << "\nbehavioral prediction    : ";
+  for (SimTime t : r.expected_times) std::cout << t << " ";
+  std::cout << "\nlaunch->capture gap      : "
+            << (r.pulse_times.size() == 2
+                    ? r.pulse_times[1] - r.pulse_times[0]
+                    : 0)
+            << " (one PLL period = at-speed)\n";
+  std::cout << "min clk_out high width   : " << r.min_high_width
+            << " (PLL half period " << r.pll_half_period
+            << "; equal => glitch-free)\n";
+  std::cout << "functional free-running  : "
+            << (r.functional_free_running ? "yes" : "NO") << "\n";
+
+  // VCD dump for external viewers.
+  std::ofstream vcd("fig4_cpf.vcd");
+  if (vcd.good()) {
+    r.wave.write_vcd(vcd, "cpf");
+    std::cout << "\nVCD written to fig4_cpf.vcd\n";
+  }
+  return r.ok ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Reproduces paper Table 1: ATPG experiments (a)..(e).
+//
+// Builds the synthetic two-domain SOC (stand-in for the paper's
+// proprietary 130nm micro-controller -- see DESIGN.md), inserts scan,
+// runs the five experiments, prints the table next to the paper's
+// reference values, and evaluates the qualitative shape checks from
+// section 5.2 of the paper.
+//
+// Usage: bench_table1 [--quick|--full]
+//   default : mid-size SOC (~3 minutes) -- same orderings as full scale
+//   --quick : small SOC (~40 seconds)
+//   --full  : paper-scale shape run (~15-20 minutes); the EXPERIMENTS.md
+//             Table-1 numbers were produced at this scale
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "flow/experiment.h"
+#include "flow/report.h"
+#include "fsim/tfsim.h"
+#include "netlist/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace occ;
+  bool quick = false, full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+  }
+
+  flow::Table1Config cfg;
+  cfg.soc.seed = 20050307;  // DATE 2005, Munich
+  if (quick) {
+    cfg.soc.flops = 120;
+    cfg.soc.gates = 1200;
+    cfg.soc.pis = 16;
+    cfg.soc.pos = 16;
+    cfg.scan_chains = 4;
+  } else if (full) {
+    cfg.soc.flops = 400;
+    cfg.soc.gates = 4500;
+    cfg.soc.pis = 32;
+    cfg.soc.pos = 32;
+    cfg.scan_chains = 8;
+  } else {
+    cfg.soc.flops = 200;
+    cfg.soc.gates = 2200;
+    cfg.soc.pis = 24;
+    cfg.soc.pos = 24;
+    cfg.scan_chains = 6;
+  }
+  cfg.max_pulses = 4;
+  cfg.atpg.random_rounds = 12;
+
+  std::cout << "=== Table 1: coverage / pattern count, experiments "
+               "(a)..(e) ===\n\n";
+  std::cout << "building SOC (seed " << cfg.soc.seed << ", "
+            << cfg.soc.flops << " flops, ~" << cfg.soc.gates
+            << " logic gates, 2 synchronous domains)...\n";
+
+  const flow::Table1Result r = flow::run_table1(cfg);
+  std::cout << "device: " << NetlistStats::compute(r.netlist).to_string()
+            << "\n\n";
+  std::cout << flow::render_table1(r) << "\n";
+  std::cout << flow::render_checks(r) << "\n";
+
+  for (const auto& row : r.rows) {
+    std::cout << row.result.summary() << "\n";
+    if (row.result.classes.total_classified > 0) {
+      std::cout << "   " << row.result.classes.to_string() << "\n";
+    }
+  }
+
+  std::ofstream md("table1_results.md");
+  if (md.good()) {
+    md << flow::render_markdown(r);
+    std::cout << "\nmarkdown written to table1_results.md\n";
+  }
+  return r.all_shapes_hold() ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// Inter-domain coverage study: which faults NEED cross-domain
+// launch/capture?
+//
+// The paper: "at-speed testing of logic between clock domains has been
+// avoided in the past. The experiments show that these tests ... improve
+// the coverage". This example quantifies that on a two-domain SOC:
+// the per-domain-only scheme vs the same scheme plus inter-domain
+// procedures, with the recovered faults listed by location.
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+
+#include "atpg/engine.h"
+#include "dft/scan.h"
+#include "fsim/tfsim.h"
+#include "gen/socgen.h"
+
+int main() {
+  using namespace occ;
+  std::cout << std::fixed << std::setprecision(2);
+
+  gen::SocParams prm;
+  prm.seed = 13;
+  prm.flops = 120;
+  prm.gates = 1200;
+  prm.cross_domain_fraction = 0.12;  // rich inter-domain logic
+  Netlist nl = gen::generate_soc(prm);
+  const ScanChains chains = insert_scan(nl, {.num_chains = 4});
+  const size_t nd = nl.num_domains();
+
+  AtpgOptions opts;
+  opts.random_rounds = 8;
+
+  // Scheme A: per-domain bursts only.
+  ClockingScheme per_domain = scheme_cpf_enhanced(nd, 3);
+  per_domain.procedures.erase(
+      std::remove_if(per_domain.procedures.begin(),
+                     per_domain.procedures.end(),
+                     [](const NamedCaptureProcedure& p) {
+                       return p.name.find("ecpf_x") != std::string::npos;
+                     }),
+      per_domain.procedures.end());
+  per_domain.name = "per_domain_only";
+
+  // Scheme B: with inter-domain launch/capture.
+  const ClockingScheme with_x = scheme_cpf_enhanced(nd, 3);
+
+  const AtpgRunResult ra = run_atpg(nl, per_domain, chains.scan_en, opts);
+  const AtpgRunResult rb = run_atpg(nl, with_x, chains.scan_en, opts);
+
+  std::cout << "per-domain only : FC=" << ra.fault_coverage() * 100
+            << "% patterns=" << ra.pattern_count() << "\n";
+  std::cout << "+ inter-domain  : FC=" << rb.fault_coverage() * 100
+            << "% patterns=" << rb.pattern_count() << "\n\n";
+
+  // Which faults did inter-domain procedures recover?
+  size_t recovered = 0, cross_sited = 0;
+  for (size_t i = 0; i < ra.faults.size(); ++i) {
+    const bool a_det = ra.faults.status(i) == FaultStatus::kDetected;
+    const bool b_det = rb.faults.status(i) == FaultStatus::kDetected;
+    if (!a_det && b_det) {
+      ++recovered;
+      const Fault& f = ra.faults.fault(i);
+      const GateId net = fault_net(nl, f);
+      const DomainMask src = source_domains(nl, net);
+      const DomainMask snk = sink_domains(nl, f.gate);
+      if (src != 0 && snk != 0 && (src & snk) == 0) ++cross_sited;
+      if (recovered <= 8) {
+        std::cout << "  recovered: " << fault_to_string(nl, f)
+                  << "  (sources domains " << src << ", sinks domains "
+                  << snk << ")\n";
+      }
+    }
+  }
+  std::cout << "\nfaults recovered by inter-domain procedures: "
+            << recovered << " (of which " << cross_sited
+            << " sit on strict cross-domain paths)\n";
+  std::cout << "coverage gain: "
+            << (rb.fault_coverage() - ra.fault_coverage()) * 100
+            << "% -- the paper's 'improve the coverage at least to some "
+               "extent'\n";
+  return rb.fault_coverage() + 1e-9 >= ra.fault_coverage() ? 0 : 1;
+}

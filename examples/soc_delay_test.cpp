@@ -1,0 +1,95 @@
+// Full two-domain SOC delay-test flow, end to end:
+// generate SOC -> insert scan -> run transition ATPG under the basic-CPF
+// and enhanced-CPF clocking schemes -> compare coverage and ATE cost,
+// and verify one generated pattern through the *real* scan protocol
+// (shift / capture / unload on the cycle-accurate simulator).
+#include <iomanip>
+#include <iostream>
+
+#include "atpg/engine.h"
+#include "dft/ate_export.h"
+#include "dft/protocol.h"
+#include "dft/scan.h"
+#include "gen/socgen.h"
+#include "netlist/stats.h"
+
+int main() {
+  using namespace occ;
+  std::cout << std::fixed << std::setprecision(2);
+
+  gen::SocParams prm;
+  prm.seed = 7;
+  prm.flops = 120;
+  prm.gates = 1200;
+  Netlist nl = gen::generate_soc(prm);
+  const ScanChains chains = insert_scan(nl, {.num_chains = 4});
+  std::cout << "SOC: " << NetlistStats::compute(nl).to_string() << "\n\n";
+
+  AtpgOptions opts;
+  opts.random_rounds = 8;
+  const size_t nd = nl.num_domains();
+
+  const AtpgRunResult basic =
+      run_atpg(nl, scheme_cpf_basic(nd), chains.scan_en, opts);
+  const AtpgRunResult enhanced =
+      run_atpg(nl, scheme_cpf_enhanced(nd, 4), chains.scan_en, opts);
+
+  std::cout << "basic CPF    : " << basic.summary() << "\n";
+  std::cout << "enhanced CPF : " << enhanced.summary() << "\n";
+  std::cout << "coverage recovered by the enhanced CPF: "
+            << (enhanced.fault_coverage() - basic.fault_coverage()) * 100
+            << "% (multi-pulse init + inter-domain tests)\n\n";
+
+  // ATE cost model.
+  ScanProtocol proto(nl, chains);
+  const ClockingScheme sb = scheme_cpf_basic(nd);
+  const ClockingScheme se2 = scheme_cpf_enhanced(nd, 4);
+  std::cout << "ATE cycles, basic   : "
+            << total_tester_cycles(proto, basic.patterns, sb.procedures,
+                                   true)
+            << "\n";
+  std::cout << "ATE cycles, enhanced: "
+            << total_tester_cycles(proto, enhanced.patterns,
+                                   se2.procedures, true)
+            << "\n\n";
+
+  // ATE program export (paper section 4: internal pulses converted back
+  // to the scan_clk/scan_en sequence that produces them).
+  const AteProgram prog = export_ate_program(nl, chains, scheme_cpf_basic(nd),
+                                             basic.patterns, true);
+  std::cout << "ATE program (basic CPF): " << prog.num_cycles()
+            << " tester cycles across " << prog.pin_names.size()
+            << " pins -- only scan_clk/scan_en control the capture\n\n";
+
+  // Ground-truth check: apply the first enhanced pattern through real
+  // shifting and compare with the abstract expected response.
+  if (!enhanced.patterns.empty()) {
+    const TestPattern& p = enhanced.patterns[0];
+    const NamedCaptureProcedure& ncp = se2.procedures[p.ncp_index];
+    NcpFaultSim fsim(nl, se2, chains.scan_en);
+    PatternSet ps("v");
+    ps.add(p);
+    PatternBatch b = pack_batch(ps, 0, 1, nl, ncp);
+    fsim.simulate_good(b);
+    const std::vector<V3> expect = fsim.expected_unload(0);
+    const ProtocolResult pr = proto.apply(p, ncp, true);
+    // The abstraction is conservative: non-scan state is X at load, while
+    // real shifting leaves non-scan cells with concrete (churned) values.
+    // Wherever the abstract model predicts a value, the hardware-level
+    // protocol must agree; abstract X cells are unpredicted by design.
+    size_t mismatches = 0, predicted = 0;
+    for (size_t i = 0; i < expect.size(); ++i) {
+      if (expect[i] == V3::kX) continue;
+      ++predicted;
+      mismatches += pr.unload[i] != expect[i];
+    }
+    std::cout << "protocol cross-check: pattern 0 unload matches the "
+                 "abstract model in "
+              << predicted - mismatches << "/" << predicted
+              << " predicted scan cells ("
+              << expect.size() - predicted
+              << " conservatively unpredicted)\n";
+    return mismatches == 0 ? 0 : 1;
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// ATPG engine: full test-generation flow for one clocking scheme.
+//
+//   1. fault universe + structural collapsing;
+//   2. random-pattern stage per capture procedure (patterns kept only if
+//      they are the first detector of some fault);
+//   3. deterministic PODEM stage with fault dropping (64-wide PPSFP);
+//   4. optional reverse-order compaction pass;
+//   5. optional structural classification of leftover faults.
+//
+// Every Table-1 experiment of the paper is one run_atpg() call with a
+// different ClockingScheme.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "atpg/podem.h"
+#include "core/clock_scheme.h"
+#include "fsim/fsim.h"
+#include "fsim/tfsim.h"
+
+namespace occ {
+
+struct AtpgOptions {
+  uint64_t seed = 0x0cc7e57;
+  uint32_t backtrack_limit = 300;
+  /// Aborted faults get one retry with the limit multiplied by this
+  /// factor (0/1 disables). Keeps the abort rate near the paper's 0.3%
+  /// without paying the deep limit on every fault.
+  uint32_t abort_retry_factor = 8;
+  /// Optional random pre-stage (OFF by default: commercial flows get the
+  /// same effect from random fill of deterministic cubes): max 64-pattern
+  /// rounds per capture procedure; a round yielding fewer than
+  /// `random_min_yield` new detections ends the stage for that procedure.
+  size_t random_rounds = 0;
+  size_t random_min_yield = 2;
+  /// Static cube merging (dynamic-compaction stand-in): a new PODEM cube
+  /// is merged into the most recent compatible open cube of the same
+  /// capture procedure. `merge_window` also sets the flush cadence
+  /// (fill + fault-simulate once this many open cubes accumulate).
+  bool merge_cubes = true;
+  size_t merge_window = 64;
+  bool reverse_compaction = true;
+  bool classify = false;
+  bool verbose = false;
+  /// Keep the unfilled deterministic cubes (care bits only) in
+  /// AtpgRunResult::cubes -- needed by compression flows, which encode
+  /// care bits rather than filled patterns.
+  bool keep_cubes = false;
+};
+
+struct AtpgRunResult {
+  std::string scheme_name;
+  PatternSet patterns{""};
+  PatternSet cubes{""};  // unfilled cubes (only if opts.keep_cubes)
+  FaultList faults;
+  Podem::Stats podem;
+  FsimStats fsim;
+  FaultClassReport classes;
+  size_t random_patterns = 0;
+  size_t deterministic_patterns = 0;
+  size_t patterns_after_compaction = 0;
+  double seconds = 0.0;
+
+  double test_coverage() const { return faults.test_coverage(); }
+  double fault_coverage() const { return faults.fault_coverage(); }
+  size_t pattern_count() const { return patterns.size(); }
+
+  /// Table-row style summary line.
+  std::string summary() const;
+};
+
+/// Runs the complete ATPG flow. `scan_en_pi` is the scan-enable input of
+/// `nl` (kNoGate if the design has none).
+AtpgRunResult run_atpg(const Netlist& nl, const ClockingScheme& scheme,
+                       GateId scan_en_pi, const AtpgOptions& opts = {});
+
+}  // namespace occ

@@ -1,0 +1,607 @@
+#include "atpg/podem.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+
+#include "util/check.h"
+
+namespace occ {
+
+Podem::Podem(const UnrolledModel& model, Options opts)
+    : model_(&model), comb_(&model.comb()), opts_(opts) {
+  const size_t n = comb_->size();
+  good_.assign(n, V3::kX);
+  faulty_.assign(n, V3::kX);
+  var_of_.assign(n, -1);
+  controllable_.assign(n, false);
+  is_obs_.assign(n, false);
+  stem_force_.assign(n, -1);
+  branch_pin_.assign(n, -1);
+  queued_.assign(n, 0);
+  cand_mark_.assign(n, 0);
+  xpath_mark_.assign(n, 0);
+  buckets_.resize(static_cast<size_t>(comb_->max_level()) + 2);
+
+  const auto& vars = model.var_gates();
+  cube_.assign(vars.size(), V3::kX);
+  for (size_t i = 0; i < vars.size(); ++i) {
+    var_of_[vars[i]] = static_cast<int32_t>(i);
+    controllable_[vars[i]] = true;
+  }
+  for (GateId o : model.observations()) is_obs_[o] = true;
+
+  // Baseline evaluation with every variable X; controllability DP and
+  // SCOAP-style 0/1 controllability costs in the same pass.
+  constexpr uint32_t kInf = 1u << 28;
+  cc0_.assign(n, kInf);
+  cc1_.assign(n, kInf);
+  auto add = [](uint32_t a, uint32_t b) {
+    const uint64_t s = static_cast<uint64_t>(a) + b;
+    return s > (1u << 28) ? (1u << 28) : static_cast<uint32_t>(s);
+  };
+  for (GateId g : comb_->topo_order()) {
+    const Gate& gate = comb_->gate(g);
+    if (gate.type == GateType::kInput) {
+      cc0_[g] = cc1_[g] = 1;  // value stays X unless assigned
+    } else if (gate.type == GateType::kTie0) {
+      good_[g] = V3::k0;
+      cc0_[g] = 0;
+    } else if (gate.type == GateType::kTie1) {
+      good_[g] = V3::k1;
+      cc1_[g] = 0;
+    } else if (gate.type == GateType::kXSource) {
+      good_[g] = V3::kX;  // uncontrollable: costs stay infinite
+    } else {
+      good_[g] = eval_good(g);
+      for (GateId f : gate.fanin) {
+        controllable_[g] = controllable_[g] || controllable_[f];
+      }
+      const auto& fi = gate.fanin;
+      uint32_t all0 = 1, all1 = 1, min0 = kInf, min1 = kInf, sum_min = 1;
+      for (GateId f : fi) {
+        all0 = add(all0, cc0_[f]);
+        all1 = add(all1, cc1_[f]);
+        min0 = std::min(min0, cc0_[f]);
+        min1 = std::min(min1, cc1_[f]);
+        sum_min = add(sum_min, std::min(cc0_[f], cc1_[f]));
+      }
+      switch (gate.type) {
+        case GateType::kBuf:
+        case GateType::kOutput:
+          cc0_[g] = add(cc0_[fi[0]], 1);
+          cc1_[g] = add(cc1_[fi[0]], 1);
+          break;
+        case GateType::kNot:
+          cc0_[g] = add(cc1_[fi[0]], 1);
+          cc1_[g] = add(cc0_[fi[0]], 1);
+          break;
+        case GateType::kAnd:
+          cc1_[g] = all1;
+          cc0_[g] = add(min0, 1);
+          break;
+        case GateType::kNand:
+          cc0_[g] = all1;
+          cc1_[g] = add(min0, 1);
+          break;
+        case GateType::kOr:
+          cc0_[g] = all0;
+          cc1_[g] = add(min1, 1);
+          break;
+        case GateType::kNor:
+          cc1_[g] = all0;
+          cc0_[g] = add(min1, 1);
+          break;
+        case GateType::kXor:
+        case GateType::kXnor:
+          // Coarse: either value costs roughly the sum of easiest sides.
+          cc0_[g] = sum_min;
+          cc1_[g] = sum_min;
+          break;
+        case GateType::kMux2:
+          cc0_[g] = add(std::min(add(cc0_[fi[0]], cc0_[fi[1]]),
+                                 add(cc1_[fi[0]], cc0_[fi[2]])), 1);
+          cc1_[g] = add(std::min(add(cc0_[fi[0]], cc1_[fi[1]]),
+                                 add(cc1_[fi[0]], cc1_[fi[2]])), 1);
+          break;
+        default:
+          cc0_[g] = cc1_[g] = sum_min;
+      }
+    }
+  }
+  faulty_ = good_;
+  baseline_ = good_;
+}
+
+V3 Podem::eval_good(GateId g) const {
+  const Gate& gate = comb_->gate(g);
+  V3 ins[8];
+  std::vector<V3> big;
+  const size_t n = gate.fanin.size();
+  V3* iv = ins;
+  if (n > 8) {
+    big.resize(n);
+    iv = big.data();
+  }
+  for (size_t i = 0; i < n; ++i) iv[i] = good_[gate.fanin[i]];
+  return eval_gate(gate.type, {iv, n});
+}
+
+V3 Podem::eval_faulty(GateId g) const {
+  if (stem_force_[g] >= 0) return stem_force_[g] ? V3::k1 : V3::k0;
+  const Gate& gate = comb_->gate(g);
+  V3 ins[8];
+  std::vector<V3> big;
+  const size_t n = gate.fanin.size();
+  V3* iv = ins;
+  if (n > 8) {
+    big.resize(n);
+    iv = big.data();
+  }
+  for (size_t i = 0; i < n; ++i) iv[i] = faulty_[gate.fanin[i]];
+  if (branch_pin_[g] >= 0 && fault_ != nullptr) {
+    iv[branch_pin_[g]] = fault_->forced_value ? V3::k1 : V3::k0;
+  }
+  return eval_gate(gate.type, {iv, n});
+}
+
+void Podem::set_value(GateId g, V3 gv, V3 fv) {
+  if (good_[g] == gv && faulty_[g] == fv) return;
+  trail_.push_back({g, good_[g], faulty_[g]});
+  good_[g] = gv;
+  faulty_[g] = fv;
+  if (gv != V3::kX && fv != V3::kX && gv != fv) {
+    // Became a D-net: remember it and its fanouts as frontier candidates.
+    if (cand_mark_[g] != run_id_) {
+      cand_mark_[g] = run_id_;
+      dnet_cand_.push_back(g);
+      for (GateId o : comb_->gate(g).fanout) frontier_cand_.push_back(o);
+    }
+  }
+}
+
+void Podem::enqueue_fanouts(GateId g) {
+  for (GateId o : comb_->gate(g).fanout) {
+    if (queued_[o] != epoch_) {
+      queued_[o] = epoch_;
+      buckets_[static_cast<size_t>(comb_->gate(o).level)].push_back(o);
+    }
+  }
+}
+
+void Podem::imply() {
+  ++stats_.implications;
+  for (auto& bucket : buckets_) {
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      const GateId g = bucket[i];
+      const GateType t = comb_->gate(g).type;
+      if (t == GateType::kInput || is_source(t)) continue;
+      const V3 ng = eval_good(g);
+      const V3 nf = eval_faulty(g);
+      if (ng != good_[g] || nf != faulty_[g]) {
+        set_value(g, ng, nf);
+        enqueue_fanouts(g);
+      }
+    }
+    bucket.clear();
+  }
+  ++epoch_;
+}
+
+bool Podem::constraints_ok_or_pending(bool* all_satisfied) const {
+  bool all = true;
+  for (const auto& [gate, val] : fault_->constraints) {
+    const V3 v = good_[gate];
+    const V3 want = val ? V3::k1 : V3::k0;
+    if (v == V3::kX) {
+      all = false;
+    } else if (v != want) {
+      if (all_satisfied) *all_satisfied = false;
+      return false;  // violated: permanent within this subtree
+    }
+  }
+  if (all_satisfied) *all_satisfied = all;
+  return true;
+}
+
+bool Podem::fault_activatable() const {
+  // A site can still (or already does) show an effect?
+  for (const auto& [site, pin] : fault_->sites) {
+    if (pin == kOutputPin) {
+      const V3 gv = good_[site];
+      const V3 want = fault_->forced_value ? V3::k0 : V3::k1;
+      if (gv == V3::kX || gv == want) return true;
+    } else {
+      const GateId drv = comb_->gate(site).fanin[pin];
+      const V3 gv = good_[drv];
+      const V3 want = fault_->forced_value ? V3::k0 : V3::k1;
+      if (gv == V3::kX || gv == want) return true;
+      // Effect may already be latched downstream even if the driver now
+      // disagrees -- covered by the D-net scan in pick_objective.
+    }
+  }
+  // Also activated if any D-net currently exists.
+  for (GateId g : dnet_cand_) {
+    if (is_d(g)) return true;
+  }
+  return false;
+}
+
+bool Podem::detected() const {
+  bool all_sat = false;
+  if (!constraints_ok_or_pending(&all_sat) || !all_sat) return false;
+  for (GateId o : model_->observations()) {
+    if (is_d(o)) return true;
+  }
+  return false;
+}
+
+bool Podem::xpath_exists() const {
+  // BFS from current D-nets and potentially-activatable sites through
+  // X-valued nets to any observation.
+  ++xpath_epoch_;
+  std::deque<GateId> q;
+  auto push = [&](GateId g) {
+    if (xpath_mark_[g] != xpath_epoch_) {
+      xpath_mark_[g] = xpath_epoch_;
+      q.push_back(g);
+    }
+  };
+  for (GateId g : dnet_cand_) {
+    if (is_d(g)) push(g);
+  }
+  for (const auto& [site, pin] : fault_->sites) {
+    const V3 gv = pin == kOutputPin
+                      ? good_[site]
+                      : good_[comb_->gate(site).fanin[pin]];
+    const V3 want = fault_->forced_value ? V3::k0 : V3::k1;
+    if (gv == V3::kX || gv == want) push(site);
+  }
+  while (!q.empty()) {
+    const GateId g = q.front();
+    q.pop_front();
+    if (is_obs_[g]) return true;
+    for (GateId o : comb_->gate(g).fanout) {
+      // Traverse through nets that could still change or already carry D.
+      if (good_[o] == V3::kX || faulty_[o] == V3::kX || is_d(o)) push(o);
+    }
+  }
+  return false;
+}
+
+bool Podem::pick_objective(GateId* net, bool* val) {
+  // 1. Unjustified side constraints first (cheap, few).
+  for (const auto& [gate, want] : fault_->constraints) {
+    if (good_[gate] == V3::kX) {
+      if (!controllable_[gate]) return false;
+      *net = gate;
+      *val = want;
+      return true;
+    }
+  }
+  // 2. Branch-activated gates whose output is still unresolved: drive
+  // their other inputs to non-controlling values so the corrupted pin
+  // determines the output (the branch effect is invisible to the D-net
+  // scan until the gate output differs).
+  for (const auto& [site, pin] : fault_->sites) {
+    if (pin == kOutputPin) continue;
+    const Gate& gate = comb_->gate(site);
+    const GateId drv = gate.fanin[pin];
+    const V3 want_drv = fault_->forced_value ? V3::k0 : V3::k1;
+    if (good_[drv] != want_drv) continue;  // not activated yet
+    if (good_[site] != V3::kX && faulty_[site] != V3::kX) continue;
+    const V3 cv = controlling_value(gate.type);
+    for (size_t p = 0; p < gate.fanin.size(); ++p) {
+      if (p == pin) continue;
+      const GateId f = gate.fanin[p];
+      if ((good_[f] == V3::kX || faulty_[f] == V3::kX) &&
+          controllable_[f] && good_[f] == V3::kX) {
+        *net = f;
+        *val = cv != V3::kX ? cv == V3::k0 : false;
+        return true;
+      }
+    }
+  }
+  // 3. Propagation: walk live frontier gates from the deepest (closest
+  // to observations); take the first that offers a controllable X input,
+  // preferring the cheapest one for the non-controlling value.
+  std::vector<GateId> frontier;
+  for (GateId g : frontier_cand_) {
+    const Gate& gate = comb_->gate(g);
+    if (good_[g] != V3::kX && faulty_[g] != V3::kX) continue;  // resolved
+    bool has_d_in = false;
+    for (GateId f : gate.fanin) {
+      if (is_d(f)) {
+        has_d_in = true;
+        break;
+      }
+    }
+    if (has_d_in) frontier.push_back(g);
+  }
+  std::sort(frontier.begin(), frontier.end(), [this](GateId a, GateId b) {
+    return comb_->gate(a).level > comb_->gate(b).level;
+  });
+  for (GateId cand : frontier) {
+    const Gate& gate = comb_->gate(cand);
+    const V3 cv = controlling_value(gate.type);
+    const bool want = cv != V3::kX ? cv == V3::k0 : false;
+    GateId pick = kNoGate;
+    uint32_t pick_cost = ~0u;
+    for (GateId f : gate.fanin) {
+      if (good_[f] != V3::kX || !controllable_[f]) continue;
+      const uint32_t cost = want ? cc1_[f] : cc0_[f];
+      if (cost < pick_cost) {
+        pick_cost = cost;
+        pick = f;
+      }
+    }
+    if (pick != kNoGate) {
+      *net = pick;
+      *val = want;
+      return true;
+    }
+  }
+  // 4. Activation of a not-yet-activated site (even when another frame's
+  // replica already produced a -- possibly blocked -- D: detection may
+  // need a different frame).
+  for (const auto& [site, pin] : fault_->sites) {
+    const GateId tgt =
+        pin == kOutputPin ? site : comb_->gate(site).fanin[pin];
+    if (good_[tgt] == V3::kX && controllable_[tgt]) {
+      *net = tgt;
+      *val = !fault_->forced_value;
+      return true;
+    }
+  }
+  return false;  // nothing left to try in this subtree
+}
+
+bool Podem::backtrace(GateId net, bool val, uint32_t* var, bool* var_val) {
+  GateId g = net;
+  bool v = val;
+  for (int guard = 0; guard < 100000; ++guard) {
+    if (var_of_[g] >= 0 && good_[g] == V3::kX) {
+      *var = static_cast<uint32_t>(var_of_[g]);
+      *var_val = v;
+      return true;
+    }
+    const Gate& gate = comb_->gate(g);
+    if (is_source(gate.type)) return false;  // tie/X-source dead end
+    // Map desired output value to a desired input value.
+    bool v_in = v;
+    if (is_inverting(gate.type)) v_in = !v;
+    // Choose an X input whose cone contains a variable, guided by
+    // SCOAP costs: when ALL inputs must take the value (AND=1, OR=0,
+    // ...), resolve the hardest first; when ONE suffices, the easiest.
+    const V3 cv0 = controlling_value(gate.type);
+    bool need_all = false;
+    if (cv0 != V3::kX) {
+      const bool v_nc = cv0 == V3::k0;  // non-controlling value as bool
+      need_all = (v_in == v_nc);
+    }
+    GateId next = kNoGate;
+    uint32_t best_cost = need_all ? 0 : ~0u;
+    for (GateId f : gate.fanin) {
+      if (good_[f] != V3::kX || !controllable_[f]) continue;
+      const uint32_t cost = v_in ? cc1_[f] : cc0_[f];
+      if (next == kNoGate || (need_all ? cost > best_cost
+                                       : cost < best_cost)) {
+        next = f;
+        best_cost = cost;
+      }
+    }
+    if (next == kNoGate) return false;
+    switch (gate.type) {
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        g = next;
+        v = v_in;
+        break;
+      }
+      case GateType::kNot:
+      case GateType::kBuf:
+      case GateType::kOutput:
+        g = gate.fanin[0];
+        v = v_in;
+        if (good_[g] != V3::kX) return false;
+        break;
+      case GateType::kXor:
+      case GateType::kXnor: {
+        // Parity-aware: desired input value = desired output xor the
+        // parity of the other (known) inputs; unknown siblings default
+        // to 0, so the chosen input carries the full parity.
+        bool parity = v_in;
+        for (GateId f : gate.fanin) {
+          if (f == next) continue;
+          if (good_[f] == V3::k1) parity = !parity;
+        }
+        g = next;
+        v = parity;
+        break;
+      }
+      default:
+        // MUX/other: value correlation is weak; walk with the same
+        // polarity (heuristic only -- correctness comes from implication).
+        g = next;
+        v = v_in;
+        break;
+    }
+  }
+  return false;
+}
+
+void Podem::assign_var(uint32_t var, bool val) {
+  const GateId g = model_->var_gates()[var];
+  const V3 v = val ? V3::k1 : V3::k0;
+  // A load/PI variable can itself be a fault stem (e.g. flop output or
+  // PI stuck-at): the faulty machine keeps the forced value.
+  const V3 fv = stem_force_[g] >= 0
+                    ? (stem_force_[g] ? V3::k1 : V3::k0)
+                    : v;
+  set_value(g, v, fv);
+  cube_[var] = v;
+  enqueue_fanouts(g);
+  imply();
+}
+
+void Podem::undo_to(size_t mark) {
+  while (trail_.size() > mark) {
+    const TrailEntry& e = trail_.back();
+    good_[e.gate] = e.old_good;
+    faulty_[e.gate] = e.old_faulty;
+    trail_.pop_back();
+  }
+}
+
+Podem::Outcome Podem::run(const UnrolledFault& fault) {
+  ++stats_.runs;
+  ++run_id_;
+  fault_ = &fault;
+  dnet_cand_.clear();
+  frontier_cand_.clear();
+  stack_.clear();
+  std::fill(cube_.begin(), cube_.end(), V3::kX);
+  const size_t base_mark = trail_.size();
+  OCC_CHECK(base_mark == 0, "trail not empty at run start");
+
+  // Install the fault.
+  for (const auto& [site, pin] : fault.sites) {
+    if (pin == kOutputPin) {
+      stem_force_[site] = fault.forced_value ? 1 : 0;
+    } else {
+      branch_pin_[site] = pin;
+    }
+  }
+  // Seed implication from the sites.
+  ++epoch_;
+  for (const auto& [site, pin] : fault.sites) {
+    if (pin == kOutputPin) {
+      const V3 nf = eval_faulty(site);
+      if (nf != faulty_[site]) {
+        set_value(site, good_[site], nf);
+        enqueue_fanouts(site);
+      }
+    } else {
+      queued_[site] = epoch_;
+      buckets_[static_cast<size_t>(comb_->gate(site).level)].push_back(site);
+    }
+  }
+  imply();
+
+  auto cleanup = [&]() {
+    undo_to(0);
+    for (const auto& [site, pin] : fault.sites) {
+      if (pin == kOutputPin) {
+        stem_force_[site] = -1;
+      } else {
+        branch_pin_[site] = -1;
+      }
+    }
+    fault_ = nullptr;
+  };
+
+  static const bool kTrace = std::getenv("OCC_PODEM_TRACE") != nullptr;
+  int trace_left = kTrace ? 500 : 0;
+  uint32_t backtracks = 0;
+  Outcome out = Outcome::kUntestable;
+  for (;;) {
+    bool conflict = false;
+    const char* why = "";
+    if (!constraints_ok_or_pending(nullptr)) {
+      conflict = true;
+      why = "constraint";
+    } else if (detected()) {
+      out = Outcome::kDetected;
+      break;
+    } else if (!fault_activatable()) {
+      conflict = true;
+      why = "unactivatable";
+    } else if (!xpath_exists()) {
+      conflict = true;
+      why = "xpath";
+    }
+    if (trace_left > 0 && conflict) {
+      --trace_left;
+      std::fprintf(stderr, "[podem] conflict(%s) depth=%zu\n", why,
+                   stack_.size());
+    }
+
+    if (!conflict) {
+      GateId net;
+      bool val;
+      if (!pick_objective(&net, &val)) {
+        conflict = true;
+        if (trace_left > 0) {
+          --trace_left;
+          std::fprintf(stderr, "[podem] no-objective depth=%zu\n",
+                       stack_.size());
+        }
+      } else {
+        if (trace_left > 0) {
+          --trace_left;
+          std::fprintf(stderr,
+                       "[podem] obj net=%u('%s') val=%d depth=%zu\n", net,
+                       comb_->gate(net).name.c_str(), int(val),
+                       stack_.size());
+        }
+        uint32_t var;
+        bool var_val;
+        if (!backtrace(net, val, &var, &var_val)) {
+          conflict = true;
+          if (trace_left > 0) {
+            --trace_left;
+            std::fprintf(stderr, "[podem] backtrace-fail depth=%zu\n",
+                         stack_.size());
+          }
+        } else {
+          if (trace_left > 0) {
+            --trace_left;
+            std::fprintf(stderr, "[podem] decide var=%u('%s')=%d\n", var,
+                         comb_->gate(model_->var_gates()[var]).name.c_str(),
+                         int(var_val));
+          }
+          ++stats_.decisions;
+          stack_.push_back({var, false, trail_.size()});
+          assign_var(var, var_val);
+          continue;
+        }
+      }
+    }
+
+    // Conflict: flip the most recent decision not yet tried both ways.
+    ++stats_.backtracks;
+    if (++backtracks > opts_.backtrack_limit) {
+      out = Outcome::kAborted;
+      break;
+    }
+    bool resumed = false;
+    while (!stack_.empty()) {
+      Decision& d = stack_.back();
+      const V3 old = cube_[d.var];
+      undo_to(d.trail_mark);
+      cube_[d.var] = V3::kX;
+      if (!d.tried_both) {
+        d.tried_both = true;
+        const bool flipped = old == V3::k0;  // try the other value
+        assign_var(d.var, flipped);
+        resumed = true;
+        break;
+      }
+      stack_.pop_back();
+    }
+    if (!resumed && stack_.empty()) {
+      out = Outcome::kUntestable;
+      break;
+    }
+  }
+
+  // Preserve the cube on success before cleanup (cube_ survives; trail
+  // undo restores values but not cube_).
+  cleanup();
+  return out;
+}
+
+}  // namespace occ

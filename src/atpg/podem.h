@@ -1,0 +1,129 @@
+// PODEM test generation on an unrolled combinational model.
+//
+// Classic PODEM (Goel) with:
+//   * good/faulty 3-valued value pairs (equivalent to the 5-valued
+//     D-calculus: D = good 1 / faulty 0, D' = good 0 / faulty 1);
+//   * decisions only on model variables (PI replicas and scan loads);
+//   * event-driven implication with a trail for O(touched) backtracking;
+//   * multi-site fault injection (one stuck-at replica per time frame);
+//   * side justification constraints (the transition-launch condition
+//     "site carries its initial value in frame k-1");
+//   * X-path pruning and backtrace guided by variable reachability.
+//
+// Outcomes: detected (assignment() holds the test cube), untestable
+// (search space exhausted -- untestable *under this capture procedure*),
+// or aborted (backtrack limit).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/unroll.h"
+#include "netlist/library.h"
+
+namespace occ {
+
+struct PodemOptions {
+  uint32_t backtrack_limit = 300;
+};
+
+class Podem {
+ public:
+  using Options = PodemOptions;
+  enum class Outcome : uint8_t { kDetected, kUntestable, kAborted };
+
+  struct Stats {
+    uint64_t runs = 0;
+    uint64_t decisions = 0;
+    uint64_t backtracks = 0;
+    uint64_t implications = 0;
+  };
+
+  explicit Podem(const UnrolledModel& model, Options opts = Options());
+
+  /// Attempts to detect one compiled fault. The engine may call run()
+  /// repeatedly; internal state resets automatically.
+  Outcome run(const UnrolledFault& fault);
+
+  /// Test cube after a kDetected outcome: value per model variable
+  /// (aligned with model.var_gates()); X = unassigned (free for fill).
+  const std::vector<V3>& assignment() const { return cube_; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct TrailEntry {
+    GateId gate;
+    V3 old_good;
+    V3 old_faulty;
+  };
+  struct Decision {
+    uint32_t var;       // index into model var list
+    bool tried_both;
+    size_t trail_mark;
+  };
+
+  V3 eval_good(GateId g) const;
+  V3 eval_faulty(GateId g) const;
+  bool is_d(GateId g) const {
+    return good_[g] != V3::kX && faulty_[g] != V3::kX &&
+           good_[g] != faulty_[g];
+  }
+
+  void set_value(GateId g, V3 gv, V3 fv);
+  void imply();
+  void enqueue_fanouts(GateId g);
+  bool constraints_ok_or_pending(bool* all_satisfied) const;
+  bool fault_activatable() const;
+  bool detected() const;
+  bool xpath_exists() const;
+
+  // Objective/backtrace. Returns false when no objective is available
+  // (conflict in the current subtree).
+  bool pick_objective(GateId* net, bool* val);
+  bool backtrace(GateId net, bool val, uint32_t* var, bool* var_val);
+
+  void assign_var(uint32_t var, bool val);
+  void undo_to(size_t mark);
+
+  const UnrolledModel* model_;
+  const Netlist* comb_;
+  Options opts_;
+  Stats stats_;
+
+  std::vector<V3> good_;
+  std::vector<V3> faulty_;
+  std::vector<V3> baseline_;      // good values with all vars X
+  std::vector<V3> cube_;          // per var
+  std::vector<int32_t> var_of_;   // gate -> var index or -1
+  std::vector<bool> controllable_;  // gate depends on >= 1 variable
+  std::vector<bool> is_obs_;
+  // SCOAP-style controllability costs (effort to set a net to 0/1);
+  // guides backtrace input selection.
+  std::vector<uint32_t> cc0_;
+  std::vector<uint32_t> cc1_;
+
+  // Fault under test.
+  const UnrolledFault* fault_ = nullptr;
+  std::vector<int8_t> stem_force_;   // -1 none, else forced value (0/1)
+  std::vector<int16_t> branch_pin_;  // -1 none, else forced pin index
+
+  // Implication worklist (level buckets) + trail.
+  std::vector<std::vector<GateId>> buckets_;
+  std::vector<uint32_t> queued_;
+  uint32_t epoch_ = 0;
+  std::vector<TrailEntry> trail_;
+  std::vector<Decision> stack_;
+
+  // Monotone candidate lists for frontier / D-net scanning (per run).
+  std::vector<GateId> dnet_cand_;
+  std::vector<GateId> frontier_cand_;
+  std::vector<uint32_t> cand_mark_;  // epoch per run to dedup
+  uint32_t run_id_ = 0;
+
+  // Scratch for X-path BFS.
+  mutable std::vector<uint32_t> xpath_mark_;
+  mutable uint32_t xpath_epoch_ = 0;
+};
+
+}  // namespace occ

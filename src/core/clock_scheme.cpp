@@ -1,0 +1,194 @@
+#include "core/clock_scheme.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace occ {
+namespace {
+
+DomainMask all_domains_mask(size_t num_domains) {
+  OCC_CHECK(num_domains >= 1 && num_domains < 32, "1..31 domains supported");
+  return (DomainMask{1} << num_domains) - 1;
+}
+
+}  // namespace
+
+void ClockingScheme::validate() const {
+  OCC_CHECK(!procedures.empty(), "scheme '", name, "' has no procedures");
+  for (const auto& p : procedures) p.validate();
+  if (model == FaultModel::kTransition) {
+    for (const auto& p : procedures) {
+      OCC_CHECK(p.has_at_speed_pair(), "transition scheme '", name,
+                "' contains NCP '", p.name, "' without an at-speed pair");
+    }
+  }
+}
+
+std::string ClockingScheme::to_string() const {
+  std::ostringstream os;
+  os << "scheme " << name << " ("
+     << (model == FaultModel::kStuckAt ? "stuck-at" : "transition")
+     << ", scan_en " << (scan_en_frozen ? "frozen" : "free") << "):\n";
+  for (const auto& p : procedures) os << "  " << p.to_string() << "\n";
+  return os.str();
+}
+
+ClockingScheme scheme_stuck_at_external(size_t num_domains) {
+  const DomainMask all = all_domains_mask(num_domains);
+  ClockingScheme s;
+  s.name = "a_stuck_at_external";
+  s.model = FaultModel::kStuckAt;
+  s.scan_en_frozen = false;
+
+  NamedCaptureProcedure basic;
+  basic.name = "sa_basic";
+  basic.cycles = {{.pulses = all,
+                   .pi_change = true,
+                   .po_strobe = true,
+                   .at_speed = false}};
+  s.procedures.push_back(basic);
+
+  // Clock-sequential: one extra pulse to set non-scan cells before the
+  // observing capture ("the use of more than one clock cycle during ATPG
+  // is already known for stuck-at ATPG", section 4).
+  NamedCaptureProcedure seq;
+  seq.name = "sa_clockseq2";
+  seq.cycles = {
+      {.pulses = all, .pi_change = true, .po_strobe = false,
+       .at_speed = false},
+      {.pulses = all, .pi_change = true, .po_strobe = true,
+       .at_speed = false}};
+  s.procedures.push_back(seq);
+
+  s.validate();
+  return s;
+}
+
+ClockingScheme scheme_external_full(size_t num_domains, size_t max_pulses) {
+  OCC_CHECK(max_pulses >= 2, "transition test needs >= 2 pulses");
+  const DomainMask all = all_domains_mask(num_domains);
+  ClockingScheme s;
+  s.name = "b_external_full";
+  s.model = FaultModel::kTransition;
+  s.scan_en_frozen = true;
+
+  for (size_t n = 2; n <= max_pulses; ++n) {
+    NamedCaptureProcedure p;
+    p.name = "ext_burst" + std::to_string(n);
+    for (size_t k = 0; k < n; ++k) {
+      p.cycles.push_back({.pulses = all,
+                          .pi_change = true,
+                          .po_strobe = true,
+                          .at_speed = k > 0});
+    }
+    s.procedures.push_back(std::move(p));
+  }
+  s.validate();
+  return s;
+}
+
+ClockingScheme scheme_cpf_basic(size_t num_domains) {
+  ClockingScheme s;
+  s.name = "c_cpf_basic";
+  s.model = FaultModel::kTransition;
+  s.scan_en_frozen = true;
+
+  for (size_t d = 0; d < num_domains; ++d) {
+    const DomainMask m = DomainMask{1} << d;
+    NamedCaptureProcedure p;
+    p.name = "cpf_d" + std::to_string(d);
+    p.cycles = {
+        {.pulses = m, .pi_change = true, .po_strobe = false,
+         .at_speed = false},
+        {.pulses = m, .pi_change = false, .po_strobe = false,
+         .at_speed = true}};
+    s.procedures.push_back(std::move(p));
+  }
+  s.validate();
+  return s;
+}
+
+ClockingScheme scheme_cpf_enhanced(size_t num_domains, size_t max_pulses) {
+  OCC_CHECK(max_pulses >= 2 && max_pulses <= 4,
+            "enhanced CPF supports 2..4 pulses");
+  ClockingScheme s;
+  s.name = "d_cpf_enhanced";
+  s.model = FaultModel::kTransition;
+  s.scan_en_frozen = true;
+
+  // Per-domain bursts of 2..max_pulses at-speed pulses; the leading
+  // pulses initialize non-scan cells (clock-sequential).
+  for (size_t d = 0; d < num_domains; ++d) {
+    const DomainMask m = DomainMask{1} << d;
+    for (size_t n = 2; n <= max_pulses; ++n) {
+      NamedCaptureProcedure p;
+      p.name = "ecpf_d" + std::to_string(d) + "_burst" + std::to_string(n);
+      for (size_t k = 0; k < n; ++k) {
+        p.cycles.push_back({.pulses = m,
+                            .pi_change = k == 0,
+                            .po_strobe = false,
+                            .at_speed = k > 0});
+      }
+      s.procedures.push_back(std::move(p));
+    }
+  }
+
+  // Inter-domain launch/capture: "these tests apply a launch pulse in one
+  // clock domain and a capture pulse in the other clock domain".
+  for (size_t a = 0; a < num_domains; ++a) {
+    for (size_t b = 0; b < num_domains; ++b) {
+      if (a == b) continue;
+      const DomainMask ma = DomainMask{1} << a;
+      const DomainMask mb = DomainMask{1} << b;
+      NamedCaptureProcedure p;
+      p.name = "ecpf_x" + std::to_string(a) + "to" + std::to_string(b);
+      p.cycles = {
+          {.pulses = ma, .pi_change = true, .po_strobe = false,
+           .at_speed = false},
+          {.pulses = mb, .pi_change = false, .po_strobe = false,
+           .at_speed = true}};
+      s.procedures.push_back(std::move(p));
+
+      // Variant with one initialization pulse in the launch domain.
+      NamedCaptureProcedure q;
+      q.name = "ecpf_xi" + std::to_string(a) + "to" + std::to_string(b);
+      q.cycles = {
+          {.pulses = ma, .pi_change = true, .po_strobe = false,
+           .at_speed = false},
+          {.pulses = ma, .pi_change = false, .po_strobe = false,
+           .at_speed = true},
+          {.pulses = mb, .pi_change = false, .po_strobe = false,
+           .at_speed = true}};
+      s.procedures.push_back(std::move(q));
+    }
+  }
+  s.validate();
+  return s;
+}
+
+ClockingScheme scheme_external_constrained(size_t num_domains,
+                                           size_t max_pulses) {
+  OCC_CHECK(max_pulses >= 2, "transition test needs >= 2 pulses");
+  const DomainMask all = all_domains_mask(num_domains);
+  ClockingScheme s;
+  s.name = "e_external_constrained";
+  s.model = FaultModel::kTransition;
+  s.scan_en_frozen = true;
+
+  for (size_t n = 2; n <= max_pulses; ++n) {
+    NamedCaptureProcedure p;
+    p.name = "extc_burst" + std::to_string(n);
+    for (size_t k = 0; k < n; ++k) {
+      p.cycles.push_back({.pulses = all,
+                          .pi_change = k == 0,
+                          .po_strobe = false,
+                          .at_speed = k > 0});
+    }
+    s.procedures.push_back(std::move(p));
+  }
+  s.validate();
+  return s;
+}
+
+}  // namespace occ

@@ -1,0 +1,64 @@
+// Clocking schemes: the ATPG-facing capability description of the clock
+// generation hardware, one per Table-1 experiment.
+//
+// A ClockingScheme is a set of named capture procedures plus the global
+// constraints the clocking method imposes. Every experiment in the paper
+// is "the same ATPG, a different clocking capability":
+//   (a) stuck-at, single external clock
+//   (b) transition, single external clock (ideal reference)
+//   (c) transition, basic per-domain CPF (exactly 2 pulses)
+//   (d) transition, enhanced CPF (2..4 pulses + inter-domain)
+//   (e) transition, external clock with all CPF-induced constraints
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ncp.h"
+#include "fault/fault.h"
+
+namespace occ {
+
+struct ClockingScheme {
+  std::string name;
+  FaultModel model = FaultModel::kStuckAt;
+  std::vector<NamedCaptureProcedure> procedures;
+  /// scan_en is held inactive (0) during all capture frames; the scan-path
+  /// selection logic is then not exercisable. True for every broadside
+  /// delay-test scheme; false only for the stuck-at scheme where slow
+  /// external clocking lets the ATE exercise scan-enable freely.
+  bool scan_en_frozen = true;
+
+  void validate() const;
+  std::string to_string() const;
+};
+
+/// (a) Stuck-at test, both domains on a common external scan clock.
+/// 1- and 2-pulse procedures (clock-sequential init of non-scan cells),
+/// PIs changeable and POs strobed every frame.
+ClockingScheme scheme_stuck_at_external(size_t num_domains);
+
+/// (b) Transition test, single external at-speed-capable clock: the
+/// maximum-coverage reference. All domains pulse together; 2..max_pulses
+/// procedures; PIs and POs fully available; every pulse pair at-speed.
+ClockingScheme scheme_external_full(size_t num_domains,
+                                    size_t max_pulses = 4);
+
+/// (c) Transition test with the basic CPF of Fig. 3: per-domain
+/// procedures of exactly two at-speed pulses; PIs frozen after load;
+/// POs masked; no inter-domain procedures.
+ClockingScheme scheme_cpf_basic(size_t num_domains);
+
+/// (d) Transition test with the enhanced CPF: per-domain 2..max_pulses
+/// bursts plus inter-domain launch/capture procedures (ordered domain
+/// pairs, with and without one initialization pulse).
+ClockingScheme scheme_cpf_enhanced(size_t num_domains,
+                                   size_t max_pulses = 4);
+
+/// (e) Transition test, common external clock but with every constraint
+/// an on-chip clocking method would impose (PIs frozen, POs masked):
+/// the coverage bound for "the most flexible CPF possible".
+ClockingScheme scheme_external_constrained(size_t num_domains,
+                                           size_t max_pulses = 4);
+
+}  // namespace occ

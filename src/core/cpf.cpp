@@ -1,0 +1,104 @@
+#include "core/cpf.h"
+
+#include "util/check.h"
+
+namespace occ {
+namespace {
+
+void flag_occ(Netlist& nl, const std::vector<GateId>& gates) {
+  for (GateId g : gates) nl.mutable_gate(g).flags |= kFlagOccGate;
+}
+
+}  // namespace
+
+GateId build_cgc(Netlist& nl, GateId enable, GateId clk,
+                 const std::string& prefix, std::vector<GateId>* created) {
+  // Active-low latch holds the enable stable through the clock high phase,
+  // so the AND output can neither glitch nor truncate a pulse.
+  const GateId lat = nl.add_latch(enable, clk, /*active_high=*/false,
+                                  prefix + "_cgc_lat");
+  const GateId gated =
+      nl.add_gate2(GateType::kAnd, lat, clk, prefix + "_cgc_and");
+  if (created) {
+    created->push_back(lat);
+    created->push_back(gated);
+  }
+  return gated;
+}
+
+CpfPorts build_cpf(Netlist& nl, GateId scan_clk, GateId scan_en,
+                   GateId pll_clk, GateId test_mode,
+                   const std::string& prefix) {
+  CpfPorts p;
+  p.scan_clk = scan_clk;
+  p.scan_en = scan_en;
+  p.pll_clk = pll_clk;
+  p.test_mode = test_mode;
+
+  // Arming: one scan_clk pulse after scan_en goes low loads a 1.
+  const GateId sen_n = nl.add_gate1(GateType::kNot, scan_en,
+                                    prefix + "_sen_n");
+  p.trigger_ff = nl.add_dff_c(sen_n, scan_clk, prefix + "_trig");
+  p.all_gates = {sen_n, p.trigger_ff};
+
+  // Five-stage PLL-clocked shift register (synchronizer + window counter).
+  GateId prev = p.trigger_ff;
+  for (int i = 0; i < 5; ++i) {
+    const GateId sr =
+        nl.add_dff_c(prev, pll_clk, prefix + "_sr" + std::to_string(i));
+    p.shift_regs.push_back(sr);
+    p.all_gates.push_back(sr);
+    prev = sr;
+  }
+
+  // Window decode: enable while the 1 has reached sr2 but not yet sr4 --
+  // asserted after three PLL cycles, for exactly two cycles (Fig. 4).
+  const GateId sr4_n =
+      nl.add_gate1(GateType::kNot, p.shift_regs[4], prefix + "_sr4_n");
+  p.enable_window = nl.add_gate2(GateType::kAnd, p.shift_regs[2], sr4_n,
+                                 prefix + "_en_win");
+  p.all_gates.push_back(sr4_n);
+  p.all_gates.push_back(p.enable_window);
+
+  // "Additional logic ensures that the CGC is always enabled in
+  // functional mode" (paper section 3).
+  const GateId func_n =
+      nl.add_gate1(GateType::kNot, test_mode, prefix + "_func");
+  const GateId cgc_en = nl.add_gate2(GateType::kOr, p.enable_window, func_n,
+                                     prefix + "_cgc_en");
+  p.all_gates.push_back(func_n);
+  p.all_gates.push_back(cgc_en);
+
+  p.gated_clk = build_cgc(nl, cgc_en, pll_clk, prefix, &p.all_gates);
+  p.cgc_latch = p.all_gates[p.all_gates.size() - 2];
+
+  // Output mux: shift mode passes scan_clk, capture mode the gated PLL.
+  // This replaces the clock multiplexer of a standard stuck-at scan clock
+  // path (paper section 2).
+  p.clk_out = nl.add_mux2(scan_en, p.gated_clk, scan_clk,
+                          prefix + "_clk_out");
+  p.all_gates.push_back(p.clk_out);
+
+  flag_occ(nl, p.all_gates);
+  return p;
+}
+
+std::vector<SimTime> expected_pulse_times(SimTime arm_time, SimTime pll_phase,
+                                          SimTime pll_period,
+                                          unsigned pulse_count) {
+  // First PLL rising edge strictly after the trigger is armed.
+  SimTime first = pll_phase;
+  if (first <= arm_time) {
+    const SimTime n = (arm_time - first) / pll_period + 1;
+    first += n * pll_period;
+  }
+  // Edges 1..kArmEdges fill the synchronizer; pulses pass starting at the
+  // next edge.
+  std::vector<SimTime> out;
+  for (unsigned k = 0; k < pulse_count; ++k) {
+    out.push_back(first + (CpfTiming::kArmEdges + k) * pll_period);
+  }
+  return out;
+}
+
+}  // namespace occ

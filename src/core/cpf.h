@@ -1,0 +1,75 @@
+// Clock Pulse Filter (CPF) -- the paper's core logic design (Fig. 3).
+//
+// The CPF is an add-on block between a PLL output and one clock domain.
+// Port behavior (paper Fig. 4):
+//   * scan_en = 1 : clk_out follows scan_clk (shift mode).
+//   * scan_en -> 0, then ONE scan_clk pulse: the pulse latches a 1 into
+//     the trigger flop; the 1 synchronizes through a 5-stage shift
+//     register clocked by pll_clk. Three PLL cycles later the clock
+//     gating cell (CGC) opens for exactly two cycles, so exactly two PLL
+//     pulses (launch + capture) reach clk_out. Glitch-free by CGC
+//     construction (active-low latch + AND).
+//   * In functional mode (test_mode = 0) the CGC is forced open, so the
+//     functional clock path is the tested path ("the implementation is
+//     also testing the entire functional clock generation circuitry").
+//
+// Gate inventory (build_cpf): 1 trigger DFF + 1 inverter, 5 shift DFFs,
+// inverter + AND window decode, OR functional-mode override, CGC (latch +
+// AND), output mux -- the "ten standard digital logic gates per clock
+// domain" of the paper, counting the CGC and trigger stage as single
+// cells.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ncp.h"
+#include "netlist/netlist.h"
+#include "sim/waveform.h"
+
+namespace occ {
+
+/// Handles to a CPF instance inside a netlist.
+struct CpfPorts {
+  // Shared control inputs (passed in; typically chip-level pins).
+  GateId scan_clk = kNoGate;
+  GateId scan_en = kNoGate;
+  GateId pll_clk = kNoGate;
+  GateId test_mode = kNoGate;
+  // Internal landmarks.
+  GateId trigger_ff = kNoGate;          // scan_clk-clocked arming flop
+  std::vector<GateId> shift_regs;       // PLL-clocked synchronizer stages
+  GateId enable_window = kNoGate;       // decoded CGC enable
+  GateId cgc_latch = kNoGate;           // CGC active-low latch
+  GateId gated_clk = kNoGate;           // CGC output (AND)
+  GateId clk_out = kNoGate;             // final output mux
+  std::vector<GateId> all_gates;        // every gate added (flag kFlagOccGate)
+};
+
+/// Behavioral timing constants of the basic CPF.
+struct CpfTiming {
+  /// PLL rising edges between trigger capture and the first released
+  /// pulse: edges 1..3 fill the synchronizer, pulses pass on edges 4, 5.
+  static constexpr unsigned kArmEdges = 3;
+  static constexpr unsigned kPulseCount = 2;
+};
+
+/// Builds a glitch-free clock gating cell: active-low latch + AND.
+/// Returns the gated-clock net; appends created gates to `created`.
+GateId build_cgc(Netlist& nl, GateId enable, GateId clk,
+                 const std::string& prefix, std::vector<GateId>* created);
+
+/// Instantiates a basic (two-pulse) CPF. The four control nets must
+/// already exist in `nl` (they are shared across per-domain instances).
+CpfPorts build_cpf(Netlist& nl, GateId scan_clk, GateId scan_en,
+                   GateId pll_clk, GateId test_mode,
+                   const std::string& prefix);
+
+/// Expected clk_out pulse start times for an armed basic CPF:
+/// trigger captured at `arm_time`, PLL rising edges at
+/// `pll_edge(k)`. Returns the times of the released pulses' rising edges.
+std::vector<SimTime> expected_pulse_times(SimTime arm_time, SimTime pll_phase,
+                                          SimTime pll_period,
+                                          unsigned pulse_count);
+
+}  // namespace occ

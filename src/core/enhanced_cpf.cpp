@@ -1,0 +1,165 @@
+#include "core/enhanced_cpf.h"
+
+#include "util/check.h"
+
+namespace occ {
+namespace {
+
+/// Shift-register geometry: the window-open tap after `start` extra
+/// cycles is sr[kFirstTap + start]; the window-close tap after `count`
+/// pulses is sr[kFirstTap + start + count].
+constexpr unsigned kFirstTap = 2;      // 3 PLL arming edges (as basic CPF)
+constexpr unsigned kMaxStart = 7;
+constexpr unsigned kMaxCount = 4;
+constexpr unsigned kSrLen = kFirstTap + kMaxStart + kMaxCount + 1;  // 14
+
+}  // namespace
+
+std::array<bool, 5> EnhancedCpfProgram::pin_values() const {
+  OCC_CHECK(pulse_count >= 1 && pulse_count <= kMaxCount,
+            "pulse_count 1..4");
+  OCC_CHECK(start_sel <= kMaxStart, "start_sel 0..7");
+  const unsigned code = pulse_count - 1;
+  return {(code & 1) != 0, (code & 2) != 0, (start_sel & 1) != 0,
+          (start_sel & 2) != 0, (start_sel & 4) != 0};
+}
+
+EnhancedCpfPorts build_enhanced_cpf(Netlist& nl, GateId scan_clk,
+                                    GateId scan_en, GateId pll_clk,
+                                    GateId test_mode, GateId cnt0,
+                                    GateId cnt1, GateId start0,
+                                    GateId start1, GateId start2,
+                                    const std::string& prefix) {
+  EnhancedCpfPorts p;
+  p.scan_clk = scan_clk;
+  p.scan_en = scan_en;
+  p.pll_clk = pll_clk;
+  p.test_mode = test_mode;
+  p.cnt0 = cnt0;
+  p.cnt1 = cnt1;
+  p.start0 = start0;
+  p.start1 = start1;
+  p.start2 = start2;
+
+  const GateId sen_n =
+      nl.add_gate1(GateType::kNot, scan_en, prefix + "_sen_n");
+  p.trigger_ff = nl.add_dff_c(sen_n, scan_clk, prefix + "_trig");
+  p.all_gates = {sen_n, p.trigger_ff};
+
+  GateId prev = p.trigger_ff;
+  for (unsigned i = 0; i < kSrLen; ++i) {
+    const GateId sr =
+        nl.add_dff_c(prev, pll_clk, prefix + "_sr" + std::to_string(i));
+    p.shift_regs.push_back(sr);
+    p.all_gates.push_back(sr);
+    prev = sr;
+  }
+  const auto& sr = p.shift_regs;
+
+  size_t mux_no = 0;
+  auto mux = [&](GateId sel, GateId d0, GateId d1) {
+    const GateId m =
+        nl.add_mux2(sel, d0, d1, prefix + "_mx" + std::to_string(mux_no++));
+    p.all_gates.push_back(m);
+    return m;
+  };
+  // Binary mux tree selecting taps[code] with select bits (LSB first).
+  auto mux_tree = [&](std::vector<GateId> taps,
+                      std::span<const GateId> sel) {
+    for (GateId s : sel) {
+      std::vector<GateId> next;
+      for (size_t i = 0; i + 1 < taps.size(); i += 2) {
+        next.push_back(mux(s, taps[i], taps[i + 1]));
+      }
+      if (taps.size() % 2 == 1) next.push_back(taps.back());
+      taps = std::move(next);
+    }
+    OCC_CHECK(taps.size() == 1, "mux tree reduction failed");
+    return taps[0];
+  };
+
+  // Window start tap: sr[kFirstTap + start].
+  std::vector<GateId> start_taps;
+  for (unsigned s = 0; s <= kMaxStart; ++s) {
+    start_taps.push_back(sr[kFirstTap + s]);
+  }
+  const GateId sel_start[] = {start0, start1, start2};
+  const GateId start_tap = mux_tree(start_taps, sel_start);
+
+  // Window end tap: sr[kFirstTap + start + count] with count = code + 1.
+  // First select over count (2 bits) per start value, then over start.
+  std::vector<GateId> end_by_start;
+  for (unsigned s = 0; s <= kMaxStart; ++s) {
+    std::vector<GateId> taps;
+    for (unsigned c = 1; c <= kMaxCount; ++c) {
+      taps.push_back(sr[kFirstTap + s + c]);
+    }
+    const GateId sel_cnt[] = {cnt0, cnt1};
+    end_by_start.push_back(mux_tree(taps, sel_cnt));
+  }
+  const GateId end_tap = mux_tree(end_by_start, sel_start);
+
+  const GateId end_n =
+      nl.add_gate1(GateType::kNot, end_tap, prefix + "_end_n");
+  p.enable_window = nl.add_gate2(GateType::kAnd, start_tap, end_n,
+                                 prefix + "_en_win");
+  p.all_gates.push_back(end_n);
+  p.all_gates.push_back(p.enable_window);
+
+  const GateId func_n =
+      nl.add_gate1(GateType::kNot, test_mode, prefix + "_func");
+  const GateId cgc_en = nl.add_gate2(GateType::kOr, p.enable_window, func_n,
+                                     prefix + "_cgc_en");
+  p.all_gates.push_back(func_n);
+  p.all_gates.push_back(cgc_en);
+
+  p.gated_clk = build_cgc(nl, cgc_en, pll_clk, prefix, &p.all_gates);
+  p.clk_out =
+      nl.add_mux2(scan_en, p.gated_clk, scan_clk, prefix + "_clk_out");
+  p.all_gates.push_back(p.clk_out);
+
+  for (GateId g : p.all_gates) nl.mutable_gate(g).flags |= kFlagOccGate;
+  return p;
+}
+
+std::vector<SimTime> expected_pulse_times_enhanced(
+    SimTime arm_time, SimTime pll_phase, SimTime pll_period,
+    const EnhancedCpfProgram& prog) {
+  SimTime first = pll_phase;
+  if (first <= arm_time) {
+    const SimTime n = (arm_time - first) / pll_period + 1;
+    first += n * pll_period;
+  }
+  std::vector<SimTime> out;
+  for (unsigned k = 0; k < prog.pulse_count; ++k) {
+    out.push_back(first +
+                  (CpfTiming::kArmEdges + prog.start_sel + k) * pll_period);
+  }
+  return out;
+}
+
+InterDomainProgram interdomain_program(const PllModel& pll, size_t from,
+                                       size_t to, SimTime arm_time) {
+  OCC_CHECK(from != to, "interdomain_program needs two distinct domains");
+  InterDomainProgram best;
+  SimTime best_gap = static_cast<SimTime>(-1);
+  for (unsigned sf = 0; sf <= kMaxStart; ++sf) {
+    for (unsigned st = 0; st <= kMaxStart; ++st) {
+      EnhancedCpfProgram pf{.pulse_count = 1, .start_sel = sf};
+      EnhancedCpfProgram pt{.pulse_count = 1, .start_sel = st};
+      const SimTime tl = expected_pulse_times_enhanced(
+          arm_time, pll.output(from).phase, pll.output(from).period, pf)[0];
+      const SimTime tc = expected_pulse_times_enhanced(
+          arm_time, pll.output(to).phase, pll.output(to).period, pt)[0];
+      if (tc > tl && tc - tl < best_gap) {
+        best_gap = tc - tl;
+        best = {pf, pt, tl, tc};
+      }
+    }
+  }
+  OCC_CHECK(best_gap != static_cast<SimTime>(-1),
+            "no inter-domain program found (domain clocks too misaligned)");
+  return best;
+}
+
+}  // namespace occ

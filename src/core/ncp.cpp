@@ -1,0 +1,73 @@
+#include "core/ncp.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace occ {
+
+DomainMask NamedCaptureProcedure::domains_used() const {
+  DomainMask m = 0;
+  for (const CaptureCycle& c : cycles) m |= c.pulses;
+  return m;
+}
+
+bool NamedCaptureProcedure::has_at_speed_pair() const {
+  for (size_t k = 1; k < cycles.size(); ++k) {
+    if (cycles[k].at_speed) return true;
+  }
+  return false;
+}
+
+void NamedCaptureProcedure::validate() const {
+  OCC_CHECK(!cycles.empty(), "NCP '", name, "' has no cycles");
+  OCC_CHECK(cycles[0].pi_change, "NCP '", name,
+            "': frame 0 must allow PI application");
+  OCC_CHECK(!cycles[0].at_speed, "NCP '", name,
+            "': cycle 0 cannot be at-speed (no previous pulse)");
+  for (size_t k = 0; k < cycles.size(); ++k) {
+    OCC_CHECK(cycles[k].pulses != 0, "NCP '", name, "': cycle ", k,
+              " pulses no domain");
+  }
+}
+
+std::string NamedCaptureProcedure::to_string() const {
+  std::ostringstream os;
+  os << name << ": [";
+  for (size_t k = 0; k < cycles.size(); ++k) {
+    if (k) os << " ";
+    bool first = true;
+    for (int d = 0; d < 32; ++d) {
+      if (cycles[k].pulses & (DomainMask{1} << d)) {
+        if (!first) os << "+";
+        os << "D" << d;
+        first = false;
+      }
+    }
+    if (cycles[k].at_speed) os << "@";
+  }
+  os << "]";
+  bool any_pi = false, any_po = false;
+  for (size_t k = 1; k < cycles.size(); ++k) any_pi |= cycles[k].pi_change;
+  for (const auto& c : cycles) any_po |= c.po_strobe;
+  os << (any_pi ? " pi-free" : " pi-frozen");
+  os << (any_po ? " po-strobe" : " po-masked");
+  return os.str();
+}
+
+size_t ncp_tester_cycles(const NamedCaptureProcedure& ncp,
+                         bool on_chip_clocking) {
+  size_t cost = 0;
+  for (const CaptureCycle& c : ncp.cycles) {
+    if (c.pi_change) ++cost;
+    if (c.po_strobe) ++cost;
+    if (!on_chip_clocking) ++cost;  // ATE issues the pulse itself
+  }
+  if (on_chip_clocking) {
+    // scan_en settle + arming scan_clk pulse + wait-for-burst + settle.
+    cost += 4;
+  }
+  return cost;
+}
+
+}  // namespace occ

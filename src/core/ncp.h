@@ -1,0 +1,71 @@
+// Named capture procedures (NCPs).
+//
+// The paper (section 4): simulating every scan_clk/scan_en cycle through
+// the CPF during ATPG is prohibitively slow, so the clock-generation
+// logic is abstracted into "named capture procedures" -- behavioral
+// descriptions of the internal clock pulses the CPF will produce, plus
+// the constraints the ATE imposes (inputs frozen, outputs masked).
+// Patterns are generated against the NCP and later converted back to the
+// primary-input (scan_en/scan_clk) sequence that produces those pulses.
+//
+// Frame/pulse convention used throughout occtest:
+//   frame 0   = combinational settle after scan load, PIs applied
+//   pulse k   = clock pulse capturing frame-k D values into the flops of
+//               the domains in cycles[k].pulses (k = 0 .. N-1)
+//   frame k+1 = settle after pulse k
+// After the last pulse the scan chains are unloaded, so every scan flop's
+// final state is observable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cycle_sim.h"
+
+namespace occ {
+
+/// One clock cycle of a capture procedure.
+struct CaptureCycle {
+  /// Domains whose flops capture at this cycle's pulse.
+  DomainMask pulses = 0;
+  /// May the ATE apply a new PI vector in this frame (before the pulse)?
+  /// Frame 0 always has PI application; later frames only if the clocking
+  /// leaves slack for slow ATE edges (impossible with on-chip clocks).
+  bool pi_change = false;
+  /// Are primary outputs strobed in this frame? On-chip clocking cannot
+  /// reference ATE strobe timing to internal pulses, so CPF schemes mask.
+  bool po_strobe = false;
+  /// Is the interval from the previous pulse to this pulse at functional
+  /// speed? Determines which pulse pairs can launch/capture transitions.
+  bool at_speed = false;
+};
+
+/// A named capture procedure: the clocking recipe for one scan load.
+struct NamedCaptureProcedure {
+  std::string name;
+  std::vector<CaptureCycle> cycles;
+
+  size_t num_pulses() const { return cycles.size(); }
+
+  /// Union of all pulsed domains.
+  DomainMask domains_used() const;
+
+  /// True if some cycle k>=1 has at_speed (procedure can test transitions).
+  bool has_at_speed_pair() const;
+
+  /// Validation: frame 0 must allow PI application; at_speed on cycle 0 is
+  /// meaningless (no previous pulse). Throws CheckError on violation.
+  void validate() const;
+
+  /// One-line description, e.g. "d0_burst3: [D0 D0 D0] @speed pi-frozen".
+  std::string to_string() const;
+};
+
+/// Simple ATE-protocol cost model: external tester cycles consumed by one
+/// application of this NCP (shift excluded): one cycle per PI change, one
+/// per strobe, plus the fixed arm/settle overhead of on-chip generation.
+size_t ncp_tester_cycles(const NamedCaptureProcedure& ncp,
+                         bool on_chip_clocking);
+
+}  // namespace occ

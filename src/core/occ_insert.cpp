@@ -1,0 +1,121 @@
+#include "core/occ_insert.h"
+
+#include "util/check.h"
+
+namespace occ {
+
+OccChip build_occ_chip(const Netlist& core, bool enhanced) {
+  OCC_CHECK(core.finalized(), "build_occ_chip requires a finalized core");
+  for (GateId s : core.seqs()) {
+    OCC_CHECK(core.gate(s).type == GateType::kDff,
+              "core must contain only kDff sequential cells");
+  }
+
+  OccChip chip;
+  Netlist& nl = chip.netlist;
+  nl.set_name(core.name() + "_occ_top");
+  const size_t num_domains = core.num_domains();
+  chip.enhanced = enhanced;
+
+  // Chip-level test pins.
+  chip.scan_clk = nl.add_input("scan_clk");
+  chip.scan_en = nl.add_input("scan_en");
+  chip.test_mode = nl.add_input("test_mode");
+  for (size_t d = 0; d < num_domains; ++d) {
+    chip.pll_clks.push_back(nl.add_input("pll_clk" + std::to_string(d)));
+  }
+
+  // One clock controller per domain.
+  std::vector<GateId> dom_clk(num_domains);
+  for (size_t d = 0; d < num_domains; ++d) {
+    const std::string prefix = "cpf" + std::to_string(d);
+    if (enhanced) {
+      const GateId c0 = nl.add_input(prefix + "_cnt0");
+      const GateId c1 = nl.add_input(prefix + "_cnt1");
+      const GateId s0 = nl.add_input(prefix + "_start0");
+      const GateId s1 = nl.add_input(prefix + "_start1");
+      const GateId s2 = nl.add_input(prefix + "_start2");
+      chip.ecpfs.push_back(build_enhanced_cpf(nl, chip.scan_clk,
+                                              chip.scan_en,
+                                              chip.pll_clks[d],
+                                              chip.test_mode, c0, c1, s0,
+                                              s1, s2, prefix));
+      dom_clk[d] = chip.ecpfs.back().clk_out;
+    } else {
+      chip.cpfs.push_back(build_cpf(nl, chip.scan_clk, chip.scan_en,
+                                    chip.pll_clks[d], chip.test_mode,
+                                    prefix));
+      dom_clk[d] = chip.cpfs.back().clk_out;
+    }
+  }
+
+  // Clone the core. Pass 1 creates gates with placeholder fanins (ties),
+  // pass 2 rewires; this supports arbitrary feedback through flops.
+  const GateId ph = nl.add_tie(false, "__occ_ph");
+  chip.gate_map.assign(core.size(), kNoGate);
+
+  for (GateId id = 0; id < core.size(); ++id) {
+    const Gate& g = core.gate(id);
+    GateId nid = kNoGate;
+    switch (g.type) {
+      case GateType::kInput: {
+        // Core pins that already exist at chip level (scan_en inserted by
+        // ScanInserter, most importantly) must alias the chip pin, not
+        // duplicate it -- the scan muxes' select has to follow the
+        // chip-level scan-enable.
+        const GateId existing = g.name.empty() ? kNoGate : nl.find(g.name);
+        if (existing != kNoGate &&
+            nl.gate(existing).type == GateType::kInput) {
+          nid = existing;
+        } else {
+          nid = nl.add_input(g.name.empty() ? "pi" + std::to_string(id)
+                                            : g.name);
+        }
+        break;
+      }
+      case GateType::kOutput:
+        nid = nl.add_output(ph, g.name);  // rewired in pass 2
+        break;
+      case GateType::kTie0:
+      case GateType::kTie1:
+        nid = nl.add_tie(g.type == GateType::kTie1, g.name);
+        break;
+      case GateType::kXSource:
+        nid = nl.add_x_source(g.name);
+        break;
+      case GateType::kDff: {
+        nid = nl.add_dff_c(ph, dom_clk[g.domain], g.name);
+        Gate& ng = nl.mutable_gate(nid);
+        ng.domain = g.domain;
+        ng.flags = g.flags;
+        break;
+      }
+      case GateType::kDffC:
+      case GateType::kDlatL:
+      case GateType::kDlatH:
+        OCC_CHECK(false, "unreachable: timed cell in core");
+        break;
+      default: {
+        std::vector<GateId> tmp(g.fanin.size(), ph);
+        nid = nl.add_gate(g.type, tmp, g.name);
+        nl.mutable_gate(nid).flags = g.flags;
+      }
+    }
+    chip.gate_map[id] = nid;
+  }
+
+  // Pass 2: rewire data fanins through the map.
+  for (GateId id = 0; id < core.size(); ++id) {
+    const Gate& g = core.gate(id);
+    const GateId nid = chip.gate_map[id];
+    if (is_source(g.type)) continue;
+    for (size_t pin = 0; pin < g.fanin.size(); ++pin) {
+      nl.replace_fanin(nid, pin, chip.gate_map[g.fanin[pin]]);
+    }
+  }
+
+  nl.finalize();
+  return chip;
+}
+
+}  // namespace occ

@@ -1,0 +1,50 @@
+// OCC insertion: wraps a logic core with per-domain clock pulse filters,
+// producing the chip-top netlist of the paper's Fig. 1 (PLL -> CPF ->
+// domain clock trees).
+//
+// The input is a cycle-semantics netlist (kDff flops annotated with
+// domains, typically after scan insertion). The output is a timed netlist
+// in which every flop is an explicit-clock kDffC driven by its domain's
+// CPF clk_out, suitable for full-chip event-driven simulation: shifting
+// through real scan muxes with the slow clock, arming the CPFs, and
+// observing the launch/capture pulses -- the complete ATE protocol.
+#pragma once
+
+#include <vector>
+
+#include "core/cpf.h"
+#include "core/enhanced_cpf.h"
+#include "netlist/netlist.h"
+
+namespace occ {
+
+/// Chip-top produced by OCC insertion.
+struct OccChip {
+  Netlist netlist;
+
+  // Chip-level control pins.
+  GateId scan_clk = kNoGate;
+  GateId scan_en = kNoGate;
+  GateId test_mode = kNoGate;
+  std::vector<GateId> pll_clks;  // per-domain PLL output (driven externally)
+
+  // Per-domain clock controllers (exactly one of the two is populated).
+  std::vector<CpfPorts> cpfs;
+  std::vector<EnhancedCpfPorts> ecpfs;
+  bool enhanced = false;
+
+  // Mapping from core-netlist gate ids to chip-top gate ids.
+  std::vector<GateId> gate_map;
+
+  /// clk_out net of a domain.
+  GateId domain_clock(size_t d) const {
+    return enhanced ? ecpfs[d].clk_out : cpfs[d].clk_out;
+  }
+};
+
+/// Builds the chip top. `core` must be finalized; its kDff flops are
+/// converted to kDffC clocked by their domain's CPF output. All original
+/// PIs/POs are preserved (same names).
+OccChip build_occ_chip(const Netlist& core, bool enhanced);
+
+}  // namespace occ

@@ -1,0 +1,50 @@
+#include "core/pll.h"
+
+#include "util/check.h"
+
+namespace occ {
+
+PllModel::PllModel(SimTime ref_period, std::vector<PllOutput> outputs)
+    : ref_period_(ref_period), outputs_(std::move(outputs)) {
+  OCC_CHECK(!outputs_.empty(), "PLL needs at least one output");
+  for (const PllOutput& o : outputs_) {
+    OCC_CHECK(o.period >= 2, "PLL output period must be >= 2");
+    OCC_CHECK(ref_period_ % o.period == 0,
+              "PLL output period must divide the reference period "
+              "(synchronous domains)");
+    OCC_CHECK(o.phase < o.period, "PLL phase must be < period");
+  }
+}
+
+SimTime PllModel::rising_edge(size_t d, size_t k, SimTime from) const {
+  OCC_DCHECK(d < outputs_.size());
+  const PllOutput& o = outputs_[d];
+  SimTime first = o.phase;
+  if (first < from) {
+    const SimTime n = (from - first + o.period - 1) / o.period;
+    first += n * o.period;
+  }
+  return first + k * o.period;
+}
+
+void PllModel::drive(EventSim& sim, const std::vector<GateId>& clock_inputs,
+                     SimTime duration) const {
+  OCC_CHECK(clock_inputs.size() == outputs_.size(),
+            "one clock input per PLL output required");
+  for (size_t d = 0; d < outputs_.size(); ++d) {
+    const PllOutput& o = outputs_[d];
+    const size_t cycles = static_cast<size_t>(duration / o.period) + 1;
+    sim.drive(clock_inputs[d], 0, V3::k0);
+    for (size_t c = 0; c < cycles; ++c) {
+      sim.drive(clock_inputs[d], o.phase + c * o.period, V3::k1);
+      sim.drive(clock_inputs[d], o.phase + c * o.period + o.period / 2,
+                V3::k0);
+    }
+  }
+}
+
+PllModel make_paper_pll() {
+  return PllModel(16, {{.period = 16, .phase = 0}, {.period = 8, .phase = 0}});
+}
+
+}  // namespace occ

@@ -1,0 +1,55 @@
+// Behavioral PLL model.
+//
+// The functional PLL is an analog block; for test-clock purposes only its
+// output edges matter (the paper: "the technique requires that a PLL
+// clock signal is permanently available during the entire delay test").
+// PllModel multiplies a slow reference into per-domain high-speed clocks
+// and drives them onto event-simulator inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_sim.h"
+
+namespace occ {
+
+/// Static configuration of one PLL output (one clock domain).
+struct PllOutput {
+  SimTime period = 8;   // high-speed period in sim units (50% duty)
+  SimTime phase = 0;    // offset of the first rising edge
+};
+
+/// Multi-output PLL: a reference period and N derived outputs. Domain
+/// frequencies in the paper's device are synchronous (75/150 MHz), i.e.
+/// integer-related periods with aligned edges -- enforced here.
+class PllModel {
+ public:
+  /// `outputs[d]` is the clock of domain d. All periods must divide the
+  /// reference period and have phase < period.
+  PllModel(SimTime ref_period, std::vector<PllOutput> outputs);
+
+  SimTime ref_period() const { return ref_period_; }
+  size_t num_outputs() const { return outputs_.size(); }
+  const PllOutput& output(size_t d) const { return outputs_[d]; }
+
+  /// Time of the k-th rising edge of output d (k counted from 0) at or
+  /// after `from`.
+  SimTime rising_edge(size_t d, size_t k, SimTime from = 0) const;
+
+  /// Drives free-running clock waveforms onto event-sim inputs, one input
+  /// gate per output, from t=0 for `duration` time units.
+  void drive(EventSim& sim, const std::vector<GateId>& clock_inputs,
+             SimTime duration) const;
+
+ private:
+  SimTime ref_period_;
+  std::vector<PllOutput> outputs_;
+};
+
+/// The two-domain PLL used across examples/benches: domain 0 = "75 MHz"
+/// (period 16 units), domain 1 = "150 MHz" (period 8 units), matching the
+/// paper's device ratio.
+PllModel make_paper_pll();
+
+}  // namespace occ

@@ -1,0 +1,218 @@
+#include "core/verify.h"
+
+#include <sstream>
+
+#include "sim/event_sim.h"
+#include "util/check.h"
+
+namespace occ {
+namespace {
+
+/// Propagation delay from a PLL rising edge to clk_out: CGC AND (1 unit)
+/// plus the output mux (1 unit).
+constexpr SimTime kClkOutDelay = 2;
+
+std::vector<SimTime> rising_times(const SignalTrace& tr, SimTime t0,
+                                  SimTime t1) {
+  std::vector<SimTime> out;
+  V3 prev = V3::kX;
+  for (const auto& [t, v] : tr.changes) {
+    if (t > t1) break;
+    if (t >= t0 && prev == V3::k0 && v == V3::k1) out.push_back(t);
+    prev = v;
+  }
+  return out;
+}
+
+}  // namespace
+
+CpfProtocolResult run_cpf_protocol(const CpfProtocolParams& prm) {
+  CpfProtocolResult res;
+  res.pll_half_period = prm.pll_period / 2;
+
+  // Standalone netlist with one CPF instance.
+  Netlist nl("cpf_dut");
+  const GateId scan_clk = nl.add_input("scan_clk");
+  const GateId scan_en = nl.add_input("scan_en");
+  const GateId pll_clk = nl.add_input("pll_clk");
+  const GateId test_mode = nl.add_input("test_mode");
+  GateId clk_out;
+  GateId en_win;
+  GateId trig;
+  GateId cnt0 = kNoGate, cnt1 = kNoGate;
+  GateId start0 = kNoGate, start1 = kNoGate, start2 = kNoGate;
+  if (prm.enhanced) {
+    cnt0 = nl.add_input("cnt0");
+    cnt1 = nl.add_input("cnt1");
+    start0 = nl.add_input("start0");
+    start1 = nl.add_input("start1");
+    start2 = nl.add_input("start2");
+    EnhancedCpfPorts p = build_enhanced_cpf(nl, scan_clk, scan_en, pll_clk,
+                                            test_mode, cnt0, cnt1, start0,
+                                            start1, start2, "cpf");
+    clk_out = p.clk_out;
+    en_win = p.enable_window;
+    trig = p.trigger_ff;
+  } else {
+    OCC_CHECK(prm.pulse_count == CpfTiming::kPulseCount,
+              "basic CPF always produces exactly two pulses");
+    CpfPorts p = build_cpf(nl, scan_clk, scan_en, pll_clk, test_mode, "cpf");
+    clk_out = p.clk_out;
+    en_win = p.enable_window;
+    trig = p.trigger_ff;
+  }
+  nl.add_output(clk_out, "clk_out_po");
+  nl.finalize();
+
+  EventSim sim(nl);
+  sim.watch(scan_clk, "scan_clk");
+  sim.watch(scan_en, "scan_en");
+  sim.watch(pll_clk, "pll_clk");
+  sim.watch(trig, "trigger");
+  sim.watch(en_win, "enable");
+  sim.watch(clk_out, "clk_out");
+
+  // Program pins (held static).
+  sim.drive(test_mode, 0, V3::k1);
+  if (prm.enhanced) {
+    EnhancedCpfProgram prog{.pulse_count = prm.pulse_count,
+                            .start_sel = prm.start_sel};
+    const auto pins = prog.pin_values();
+    sim.drive(cnt0, 0, pins[0] ? V3::k1 : V3::k0);
+    sim.drive(cnt1, 0, pins[1] ? V3::k1 : V3::k0);
+    sim.drive(start0, 0, pins[2] ? V3::k1 : V3::k0);
+    sim.drive(start1, 0, pins[3] ? V3::k1 : V3::k0);
+    sim.drive(start2, 0, pins[4] ? V3::k1 : V3::k0);
+  }
+
+  // Timeline.
+  const SimTime S = prm.shift_period;
+  const SimTime shift_start = S;
+  const SimTime shift_end = shift_start + prm.shift_pulses * S;
+  const SimTime se_low = shift_end + S / 2;       // scan_en 1 -> 0 (relaxed)
+  const SimTime arm_rise = se_low + S;            // one arming scan_clk pulse
+  const SimTime window_end = arm_rise + 16 * prm.pll_period;
+  const SimTime se_high = window_end + S / 2;     // resume shift
+  const SimTime t_end = se_high + 2 * S;
+
+  // PLL free-runs the entire test ("a PLL clock signal is permanently
+  // available during the entire delay test").
+  sim.drive(pll_clk, 0, V3::k0);
+  for (SimTime t = prm.pll_period / 4; t < t_end; t += prm.pll_period) {
+    sim.drive(pll_clk, t, V3::k1);
+    sim.drive(pll_clk, t + prm.pll_period / 2, V3::k0);
+  }
+
+  sim.drive(scan_en, 0, V3::k1);
+  sim.drive(scan_clk, 0, V3::k0);
+  for (size_t k = 0; k < prm.shift_pulses; ++k) {
+    sim.drive(scan_clk, shift_start + k * S, V3::k1);
+    sim.drive(scan_clk, shift_start + k * S + S / 2, V3::k0);
+  }
+  sim.drive(scan_en, se_low, V3::k0);
+  sim.drive(scan_clk, arm_rise, V3::k1);
+  sim.drive(scan_clk, arm_rise + S / 2, V3::k0);
+  sim.drive(scan_en, se_high, V3::k1);
+  // Two unload shift pulses (also flush the trigger for re-arming).
+  sim.drive(scan_clk, se_high + S / 2, V3::k1);
+  sim.drive(scan_clk, se_high + S, V3::k0);
+  sim.drive(scan_clk, se_high + 3 * S / 2, V3::k1);
+  sim.drive(scan_clk, se_high + 2 * S, V3::k0);
+
+  sim.run_until(t_end);
+
+  const SignalTrace* out = sim.waveform().find("clk_out");
+  OCC_CHECK(out != nullptr, "clk_out not traced");
+
+  // Observations.
+  res.wave = sim.waveform();
+  res.shift_pulses_driven = prm.shift_pulses;
+  res.shift_pulses = out->pulses(shift_start - S / 4, shift_end);
+  res.pulse_times = rising_times(*out, arm_rise + 1, se_high);
+  const SimTime pll_phase = prm.pll_period / 4;
+  res.expected_times =
+      prm.enhanced
+          ? expected_pulse_times_enhanced(
+                arm_rise, pll_phase, prm.pll_period,
+                {.pulse_count = prm.pulse_count, .start_sel = prm.start_sel})
+          : expected_pulse_times(arm_rise, pll_phase, prm.pll_period,
+                                 prm.pulse_count);
+  for (SimTime& t : res.expected_times) t += kClkOutDelay;
+  res.min_high_width = out->min_high_width();
+
+  // Functional-mode check: fresh run with test_mode=0, scan_en=0.
+  {
+    EventSim fsim(nl);
+    fsim.watch(clk_out, "clk_out");
+    fsim.drive(test_mode, 0, V3::k0);
+    fsim.drive(scan_en, 0, V3::k0);
+    fsim.drive(scan_clk, 0, V3::k0);
+    if (prm.enhanced) {
+      fsim.drive(cnt0, 0, V3::k0);
+      fsim.drive(cnt1, 0, V3::k0);
+      fsim.drive(start0, 0, V3::k0);
+      fsim.drive(start1, 0, V3::k0);
+      fsim.drive(start2, 0, V3::k0);
+    }
+    const SimTime dur = 20 * prm.pll_period;
+    fsim.drive(pll_clk, 0, V3::k0);
+    for (SimTime t = prm.pll_period / 4; t < dur; t += prm.pll_period) {
+      fsim.drive(pll_clk, t, V3::k1);
+      fsim.drive(pll_clk, t + prm.pll_period / 2, V3::k0);
+    }
+    fsim.run_until(dur);
+    const SignalTrace* ftr = fsim.waveform().find("clk_out");
+    // Allow the settle-in cycles: expect at least 16 of ~19 pulses.
+    res.functional_free_running =
+        ftr->pulses(2 * prm.pll_period, dur) >= 16;
+  }
+
+  // Verdict.
+  std::ostringstream why;
+  bool ok = true;
+  if (res.shift_pulses != res.shift_pulses_driven) {
+    ok = false;
+    why << "shift passthrough: saw " << res.shift_pulses << " of "
+        << res.shift_pulses_driven << " pulses; ";
+  }
+  if (res.pulse_times != res.expected_times) {
+    ok = false;
+    why << "capture pulses: saw {";
+    for (SimTime t : res.pulse_times) why << t << " ";
+    why << "} expected {";
+    for (SimTime t : res.expected_times) why << t << " ";
+    why << "}; ";
+  }
+  if (res.min_high_width < res.pll_half_period) {
+    ok = false;
+    why << "glitch: min high width " << res.min_high_width << " < "
+        << res.pll_half_period << "; ";
+  }
+  if (!res.functional_free_running) {
+    ok = false;
+    why << "functional clock not free-running; ";
+  }
+  res.ok = ok;
+  res.detail = why.str();
+  return res;
+}
+
+NamedCaptureProcedure ncp_from_pulse_times(
+    const std::vector<SimTime>& pulse_times, DomainId domain,
+    SimTime at_speed_limit, const std::string& name) {
+  NamedCaptureProcedure ncp;
+  ncp.name = name;
+  for (size_t k = 0; k < pulse_times.size(); ++k) {
+    CaptureCycle c;
+    c.pulses = DomainMask{1} << domain;
+    c.pi_change = (k == 0);  // on-chip clocking: PIs frozen after load
+    c.po_strobe = false;     // and POs masked
+    c.at_speed =
+        k > 0 && (pulse_times[k] - pulse_times[k - 1]) <= at_speed_limit;
+    ncp.cycles.push_back(c);
+  }
+  ncp.validate();
+  return ncp;
+}
+
+}  // namespace occ

@@ -1,0 +1,60 @@
+// Hardware/behavior equivalence checking for clock pulse filters.
+//
+// Runs the complete ATE protocol (shift -> scan_en off -> arming
+// scan_clk pulse -> capture window -> resume shift) on a standalone
+// gate-level CPF in the event-driven timing simulator, then checks the
+// observed clk_out against the behavioral model:
+//   * exactly the programmed number of pulses in the capture window,
+//   * pulses at the predicted PLL edges (after three arming cycles),
+//   * glitch-freedom (no high phase narrower than the PLL high phase),
+//   * scan_clk passthrough during shift,
+//   * free-running clock in functional mode.
+// This is the evidence behind the paper's Fig. 4 and the basis for
+// extracting named capture procedures from the hardware.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cpf.h"
+#include "core/enhanced_cpf.h"
+#include "sim/waveform.h"
+
+namespace occ {
+
+/// Outcome of one protocol run.
+struct CpfProtocolResult {
+  Waveform wave;                        // recorded signals for rendering
+  std::vector<SimTime> pulse_times;     // observed clk_out rises (capture)
+  std::vector<SimTime> expected_times;  // behavioral prediction
+  size_t shift_pulses = 0;              // clk_out pulses during shift
+  size_t shift_pulses_driven = 0;       // scan_clk pulses driven in shift
+  SimTime min_high_width = 0;           // narrowest clk_out high phase
+  SimTime pll_half_period = 0;
+  bool functional_free_running = false; // clk_out free-runs w/ test_mode=0
+  bool ok = false;
+  std::string detail;                   // failure description if !ok
+};
+
+/// Protocol parameters.
+struct CpfProtocolParams {
+  SimTime pll_period = 8;     // high-speed clock period (sim units)
+  SimTime shift_period = 64;  // slow scan clock period
+  size_t shift_pulses = 4;    // shift cycles before capture
+  unsigned pulse_count = 2;   // expected pulses (program for enhanced)
+  unsigned start_sel = 0;     // enhanced window start select
+  bool enhanced = false;      // basic Fig.3 CPF vs enhanced CPF
+};
+
+/// Builds a standalone CPF, runs the protocol, and checks all properties.
+CpfProtocolResult run_cpf_protocol(const CpfProtocolParams& params);
+
+/// Derives a named capture procedure from observed hardware pulse times:
+/// consecutive pulses separated by at most `at_speed_limit` are marked
+/// at-speed. This is the "NCP extraction" step: the behavioral clocking
+/// model handed to ATPG provably corresponds to the gate-level hardware.
+NamedCaptureProcedure ncp_from_pulse_times(
+    const std::vector<SimTime>& pulse_times, DomainId domain,
+    SimTime at_speed_limit, const std::string& name);
+
+}  // namespace occ

@@ -1,0 +1,149 @@
+#include "dft/ate_export.h"
+
+#include <ostream>
+
+#include "util/check.h"
+
+namespace occ {
+namespace {
+
+/// Pin layout: [scan_clk, scan_en, si0..siN-1, functional PIs...].
+struct PinMap {
+  size_t scan_clk = 0;
+  size_t scan_en = 1;
+  size_t first_si = 2;
+  std::vector<size_t> pi_slot;  // per netlist PI index; SIZE_MAX = control
+};
+
+}  // namespace
+
+void AteProgram::write(std::ostream& os) const {
+  os << "# ATE program: " << patterns << " patterns, " << cycles.size()
+     << " tester cycles, "
+     << (on_chip_clocking ? "on-chip clocking (CPF)" : "external clocking")
+     << "\n# pins:";
+  for (const std::string& p : pin_names) os << " " << p;
+  os << "\n";
+  for (size_t c = 0; c < cycles.size(); ++c) {
+    for (V3 v : cycles[c].pin_values) os << v3_char(v);
+    os << (cycles[c].strobe ? "  S" : "  .") << "  # " << cycles[c].comment
+       << "\n";
+  }
+}
+
+AteProgram export_ate_program(const Netlist& nl, const ScanChains& chains,
+                              const ClockingScheme& scheme,
+                              const PatternSet& ps, bool on_chip_clocking) {
+  const bool on_chip = on_chip_clocking;
+  AteProgram prog;
+  prog.on_chip_clocking = on_chip;
+  prog.patterns = ps.size();
+  prog.pin_names = {"scan_clk", "scan_en"};
+  for (size_t c = 0; c < chains.chains.size(); ++c) {
+    prog.pin_names.push_back("si" + std::to_string(c));
+  }
+
+  PinMap pm;
+  pm.pi_slot.assign(nl.inputs().size(), SIZE_MAX);
+  for (size_t i = 0; i < nl.inputs().size(); ++i) {
+    const GateId pi = nl.inputs()[i];
+    if (pi == chains.scan_en) continue;
+    bool is_si = false;
+    for (const ScanChain& ch : chains.chains) is_si = is_si || ch.scan_in == pi;
+    if (is_si) continue;
+    pm.pi_slot[i] = prog.pin_names.size();
+    prog.pin_names.push_back(nl.gate(pi).name.empty()
+                                 ? "pi" + std::to_string(i)
+                                 : nl.gate(pi).name);
+  }
+  const size_t npins = prog.pin_names.size();
+  const std::vector<GateId> cells = scan_cells(nl);
+
+  auto cycle = [&](std::string comment) -> AteCycle& {
+    prog.cycles.push_back({std::move(comment),
+                           std::vector<V3>(npins, V3::kX), false});
+    return prog.cycles.back();
+  };
+
+  const size_t shift_len = chains.max_length();
+  for (size_t p = 0; p < ps.size(); ++p) {
+    const TestPattern& pat = ps[p];
+    OCC_CHECK(pat.ncp_index < scheme.procedures.size(), "pattern NCP range");
+    const NamedCaptureProcedure& ncp = scheme.procedures[pat.ncp_index];
+
+    // Per-chain load data (position 0 = nearest scan-in).
+    std::vector<std::vector<V3>> chain_data(chains.chains.size());
+    for (size_t c = 0; c < chains.chains.size(); ++c) {
+      chain_data[c].assign(chains.chains[c].cells.size(), V3::kX);
+    }
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const auto slot = chains.slot_of(cells[i]);
+      chain_data[slot.chain][slot.position] = pat.load[i];
+    }
+
+    // Shift-in: scan_en = 1, one scan_clk pulse per cycle.
+    for (size_t s = 0; s < shift_len; ++s) {
+      AteCycle& cy = cycle("p" + std::to_string(p) + " shift " +
+                           std::to_string(s));
+      cy.pin_values[pm.scan_clk] = V3::k1;  // pulse this cycle
+      cy.pin_values[pm.scan_en] = V3::k1;
+      for (size_t c = 0; c < chains.chains.size(); ++c) {
+        const size_t len = chains.chains[c].cells.size();
+        V3 bit = V3::k0;
+        if (s >= shift_len - len) {
+          bit = chain_data[c][len - 1 - (s - (shift_len - len))];
+        }
+        cy.pin_values[pm.first_si + c] = bit;
+      }
+    }
+
+    // Capture block.
+    auto apply_pis = [&](AteCycle& cy, size_t frame) {
+      for (size_t i = 0; i < nl.inputs().size(); ++i) {
+        if (pm.pi_slot[i] == SIZE_MAX) continue;
+        cy.pin_values[pm.pi_slot[i]] = pat.pi_frames[frame][i];
+      }
+    };
+    if (on_chip) {
+      // scan_en off with relaxed timing; PIs of frame 0 applied here.
+      AteCycle& settle = cycle("p" + std::to_string(p) + " settle");
+      settle.pin_values[pm.scan_clk] = V3::k0;
+      settle.pin_values[pm.scan_en] = V3::k0;
+      apply_pis(settle, 0);
+      // One arming pulse; the CPFs release the burst internally.
+      AteCycle& arm = cycle("p" + std::to_string(p) + " arm");
+      arm.pin_values[pm.scan_clk] = V3::k1;
+      arm.pin_values[pm.scan_en] = V3::k0;
+      apply_pis(arm, 0);
+      // Wait for the burst (no tester edges are at speed).
+      AteCycle& wait = cycle("p" + std::to_string(p) + " wait");
+      wait.pin_values[pm.scan_clk] = V3::k0;
+      wait.pin_values[pm.scan_en] = V3::k0;
+      apply_pis(wait, 0);
+    } else {
+      for (size_t f = 0; f < ncp.cycles.size(); ++f) {
+        AteCycle& cap = cycle("p" + std::to_string(p) + " pulse " +
+                              std::to_string(f));
+        cap.pin_values[pm.scan_clk] = V3::k1;  // tester supplies the pulse
+        cap.pin_values[pm.scan_en] = V3::k0;
+        apply_pis(cap, f == 0 || ncp.cycles[f].pi_change ? f : f - 1);
+        cap.strobe = ncp.cycles[f].po_strobe;
+      }
+    }
+
+    // Shift-out (reads the response; next pattern's shift-in follows).
+    for (size_t s = 0; s < shift_len; ++s) {
+      AteCycle& cy = cycle("p" + std::to_string(p) + " unload " +
+                           std::to_string(s));
+      cy.pin_values[pm.scan_clk] = V3::k1;
+      cy.pin_values[pm.scan_en] = V3::k1;
+      for (size_t c = 0; c < chains.chains.size(); ++c) {
+        cy.pin_values[pm.first_si + c] = V3::k0;
+      }
+      cy.strobe = true;  // scan-out pins compared every unload cycle
+    }
+  }
+  return prog;
+}
+
+}  // namespace occ

@@ -1,0 +1,60 @@
+// ATE program export: converts NCP-based patterns into the tester
+// pin-cycle program that produces them.
+//
+// Paper section 4: "named capture procedures can model internal clock
+// generation logic as a couple of internal clock pulses during ATPG.
+// When the patterns are saved for ATE, the internal clock pulses are
+// converted to the corresponding primary input signals that will produce
+// them." This module performs that conversion:
+//   * shift cycles stream the load data on the scan-in pins with
+//     scan_en = 1 (clk_out follows scan_clk in every domain);
+//   * with on-chip clocking, the capture block is: scan_en -> 0 (relaxed
+//     settle), ONE arming scan_clk pulse, wait cycles while the CPFs
+//     fire, scan_en -> 1 -- no tester edge is at speed;
+//   * with external clocking, every NCP pulse is a tester scan_clk cycle
+//     (requiring an at-speed-capable tester, experiment (b));
+//   * primary inputs change only in frames whose CaptureCycle allows it,
+//     and strobes are emitted only where the NCP observes outputs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/clock_scheme.h"
+#include "dft/scan.h"
+#include "fsim/pattern.h"
+
+namespace occ {
+
+/// One tester cycle: values forced on every program pin plus whether the
+/// outputs are strobed during this cycle.
+struct AteCycle {
+  std::string comment;        // e.g. "shift 3", "arm", "wait", "capture"
+  std::vector<V3> pin_values; // aligned with AteProgram::pin_names
+  bool strobe = false;
+};
+
+/// A complete tester program for one pattern set.
+struct AteProgram {
+  std::vector<std::string> pin_names;  // scan_clk, scan_en, si*, then PIs
+  std::vector<AteCycle> cycles;
+  size_t patterns = 0;
+  bool on_chip_clocking = true;
+
+  size_t num_cycles() const { return cycles.size(); }
+
+  /// Text dump, one cycle per line ('0'/'1'/'X' per pin + comment).
+  void write(std::ostream& os) const;
+};
+
+/// Compiles `ps` (patterns over `scheme`) into a tester program. Shift-in
+/// of pattern k+1 is NOT overlapped with shift-out of pattern k (kept
+/// simple and explicit; the cost model in dft/protocol.h accounts for
+/// the overlapped variant). `on_chip_clocking` selects the arm-and-wait
+/// capture block (CPF) versus per-pulse tester cycles (external clock).
+AteProgram export_ate_program(const Netlist& nl, const ScanChains& chains,
+                              const ClockingScheme& scheme,
+                              const PatternSet& ps, bool on_chip_clocking);
+
+}  // namespace occ

@@ -1,0 +1,205 @@
+#include "dft/edt.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace occ {
+
+EdtCompressor::EdtCompressor(const EdtConfig& cfg,
+                             std::vector<size_t> chain_lengths)
+    : cfg_(cfg), chain_lengths_(std::move(chain_lengths)) {
+  OCC_CHECK(cfg_.channels >= 1 && cfg_.ring_length >= 8,
+            "EDT config too small");
+  OCC_CHECK(!chain_lengths_.empty(), "no chains");
+  for (size_t l : chain_lengths_) max_len_ = std::max(max_len_, l);
+  OCC_CHECK(max_len_ >= 1, "empty chains");
+
+  Rng rng(cfg_.taps_seed);
+  // Ring feedback: a few random taps (always includes the wrap tap 0).
+  feedback_taps_ = {0};
+  for (int i = 0; i < 3; ++i) {
+    feedback_taps_.push_back(
+        static_cast<uint32_t>(1 + rng.below(cfg_.ring_length - 1)));
+  }
+  std::sort(feedback_taps_.begin(), feedback_taps_.end());
+  feedback_taps_.erase(
+      std::unique(feedback_taps_.begin(), feedback_taps_.end()),
+      feedback_taps_.end());
+
+  // Phase shifter: 3-5 distinct ring taps per chain.
+  phase_taps_.resize(chain_lengths_.size());
+  for (auto& taps : phase_taps_) {
+    const size_t k = 3 + rng.below(3);
+    while (taps.size() < k) {
+      const uint32_t t =
+          static_cast<uint32_t>(rng.below(cfg_.ring_length));
+      if (std::find(taps.begin(), taps.end(), t) == taps.end()) {
+        taps.push_back(t);
+      }
+    }
+  }
+
+  // Symbolic simulation: ring state rows over (channels * max_len_) vars;
+  // variable (cycle * channels + ch) = the bit injected on channel ch at
+  // shift cycle `cycle`.
+  const size_t nvars = num_vars();
+  std::vector<BitVec> state(cfg_.ring_length, BitVec(nvars));
+  expr_.resize(chain_lengths_.size());
+  for (size_t c = 0; c < chain_lengths_.size(); ++c) {
+    expr_[c].assign(chain_lengths_[c], BitVec(nvars));
+  }
+
+  // Warm-up cycles first (inject variables, no chain loading), then the
+  // loading cycles: the chain-input bit produced at loading cycle k lands
+  // at position (len - 1 - k) after the remaining shifts.
+  for (size_t cycle = 0; cycle < shift_cycles(); ++cycle) {
+    step_symbolic(state, cycle);
+    if (cycle < cfg_.warmup_cycles) continue;
+    const size_t load_cycle = cycle - cfg_.warmup_cycles;
+    for (size_t c = 0; c < chain_lengths_.size(); ++c) {
+      const size_t len = chain_lengths_[c];
+      if (load_cycle >= max_len_ - len) {
+        const size_t k = load_cycle - (max_len_ - len);
+        const size_t pos = len - 1 - k;
+        expr_[c][pos] = chain_input_expr(state, c);
+      }
+    }
+  }
+}
+
+void EdtCompressor::step_symbolic(std::vector<BitVec>& state,
+                                  size_t cycle) const {
+  const size_t R = cfg_.ring_length;
+  // Rotate: new[i] = old[i-1]; feedback taps XOR old[R-1].
+  BitVec last = state[R - 1];
+  for (size_t i = R; i-- > 1;) state[i] = state[i - 1];
+  state[0] = BitVec(state[1].size());
+  for (uint32_t t : feedback_taps_) state[t] ^= last;
+  // Inject this cycle's channel bits at spread positions.
+  for (size_t ch = 0; ch < cfg_.channels; ++ch) {
+    const size_t pos = (ch * R) / cfg_.channels;
+    state[pos].flip(cycle * cfg_.channels + ch);
+  }
+}
+
+BitVec EdtCompressor::chain_input_expr(const std::vector<BitVec>& state,
+                                       size_t chain) const {
+  BitVec e(num_vars());
+  for (uint32_t t : phase_taps_[chain]) e ^= state[t];
+  return e;
+}
+
+std::optional<CompressedStimulus> EdtCompressor::encode(
+    const std::vector<CareBit>& cube) const {
+  Gf2Solver solver(num_vars());
+  for (const CareBit& cb : cube) {
+    OCC_CHECK(cb.chain < chain_lengths_.size(), "care bit chain range");
+    OCC_CHECK(cb.position < chain_lengths_[cb.chain],
+              "care bit position range");
+    if (!solver.add_equation(expr_[cb.chain][cb.position], cb.value)) {
+      return std::nullopt;
+    }
+  }
+  CompressedStimulus cs;
+  cs.cycles = shift_cycles();
+  cs.channels = cfg_.channels;
+  cs.bits = solver.solve();
+  return cs;
+}
+
+std::vector<std::vector<bool>> EdtCompressor::decompress(
+    const CompressedStimulus& cs) const {
+  OCC_CHECK(cs.channels == cfg_.channels && cs.cycles == shift_cycles(),
+            "stimulus shape mismatch");
+  const size_t R = cfg_.ring_length;
+  std::vector<bool> ring(R, false);
+  std::vector<std::vector<bool>> out(chain_lengths_.size());
+  for (size_t c = 0; c < out.size(); ++c) {
+    out[c].assign(chain_lengths_[c], false);
+  }
+  for (size_t cycle = 0; cycle < shift_cycles(); ++cycle) {
+    const bool last = ring[R - 1];
+    for (size_t i = R; i-- > 1;) ring[i] = ring[i - 1];
+    ring[0] = false;
+    for (uint32_t t : feedback_taps_) ring[t] = ring[t] ^ last;
+    for (size_t ch = 0; ch < cfg_.channels; ++ch) {
+      const size_t pos = (ch * R) / cfg_.channels;
+      ring[pos] = ring[pos] ^ cs.get(cycle, ch);
+    }
+    if (cycle < cfg_.warmup_cycles) continue;
+    const size_t load_cycle = cycle - cfg_.warmup_cycles;
+    for (size_t c = 0; c < out.size(); ++c) {
+      const size_t len = chain_lengths_[c];
+      if (load_cycle >= max_len_ - len) {
+        const size_t k = load_cycle - (max_len_ - len);
+        bool b = false;
+        for (uint32_t t : phase_taps_[c]) b = b ^ ring[t];
+        out[c][len - 1 - k] = b;
+      }
+    }
+  }
+  return out;
+}
+
+double EdtCompressor::compression_ratio() const {
+  size_t cells = 0;
+  for (size_t l : chain_lengths_) cells += l;
+  // Uncompressed: `channels` pins load `channels` chains directly, so the
+  // same data volume needs ceil(cells / channels) cycles; compressed
+  // loading needs max_len_ cycles on the same pins.
+  const double uncompressed =
+      static_cast<double>((cells + cfg_.channels - 1) / cfg_.channels);
+  return uncompressed / static_cast<double>(shift_cycles());
+}
+
+XorCompactor::XorCompactor(size_t num_chains, size_t num_outputs,
+                           uint64_t seed) {
+  OCC_CHECK(num_outputs >= 1 && num_chains >= num_outputs,
+            "compactor needs chains >= outputs >= 1");
+  groups_.resize(num_outputs);
+  chain_outputs_.resize(num_chains);
+  Rng rng(seed);
+  for (uint32_t c = 0; c < num_chains; ++c) {
+    // Round-robin base group plus one extra random group for overlap
+    // (improves single-error visibility under X).
+    const uint32_t g0 = c % num_outputs;
+    groups_[g0].push_back(c);
+    chain_outputs_[c].push_back(g0);
+    if (num_outputs > 1 && rng.chance(0.5)) {
+      uint32_t g1 = static_cast<uint32_t>(rng.below(num_outputs));
+      if (g1 == g0) g1 = (g1 + 1) % num_outputs;
+      groups_[g1].push_back(c);
+      chain_outputs_[c].push_back(g1);
+    }
+  }
+}
+
+std::vector<V3> XorCompactor::compact(
+    const std::vector<V3>& chain_bits) const {
+  std::vector<V3> out(groups_.size(), V3::k0);
+  for (size_t o = 0; o < groups_.size(); ++o) {
+    V3 acc = V3::k0;
+    for (uint32_t c : groups_[o]) acc = v3_xor(acc, chain_bits[c]);
+    out[o] = acc;
+  }
+  return out;
+}
+
+bool XorCompactor::error_visible(const std::vector<V3>& chain_bits,
+                                 uint32_t chain) const {
+  OCC_CHECK(chain < chain_outputs_.size(), "chain out of range");
+  for (uint32_t o : chain_outputs_[chain]) {
+    bool masked = false;
+    for (uint32_t c : groups_[o]) {
+      if (c != chain && chain_bits[c] == V3::kX) {
+        masked = true;
+        break;
+      }
+    }
+    if (!masked) return true;
+  }
+  return false;
+}
+
+}  // namespace occ

@@ -1,0 +1,127 @@
+// EDT-style test compression: ring-generator decompressor with phase
+// shifter, GF(2) encoding of test cubes, and an X-tolerant XOR response
+// compactor.
+//
+// The paper's device loads 357 internal chains from 36 external channels
+// through an embedded-deterministic-test (EDT) decompressor; the pattern
+// counts of Table 1 are only practical on the ATE because of this
+// compression ("only using this technique the observed pattern count can
+// be loaded into the ATE vector memory without truncation").
+//
+// Model (continuous-flow, as in Rajski et al.):
+//   * ring generator: R-bit LFSR-like ring; every shift cycle it steps
+//     and XOR-absorbs one fresh bit per external channel;
+//   * phase shifter: each internal chain input is the XOR of a fixed
+//     random tap subset of ring bits;
+//   * encoding: every chain-cell care bit is a GF(2) linear function of
+//     the injected channel bits; a test cube is encodable iff the
+//     resulting linear system is consistent (solved incrementally);
+//   * compactor: each output channel is the XOR of a group of chains;
+//     X states propagate 3-valued.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netlist/library.h"
+#include "util/gf2.h"
+#include "util/rng.h"
+
+namespace occ {
+
+struct EdtConfig {
+  size_t channels = 4;       // external scan-in channels
+  size_t ring_length = 64;   // ring generator bits
+  /// Decompressor cycles run before chain loading begins: they spread the
+  /// first injected variables across the ring so that early chain cells
+  /// do not depend on too few variables (encodability of the first shift
+  /// cycles).
+  size_t warmup_cycles = 8;
+  uint64_t taps_seed = 0xED7;  // phase-shifter / feedback tap selection
+};
+
+/// One care bit of a test cube: chain c, cell position p (scan-in side =
+/// position 0), required value.
+struct CareBit {
+  uint32_t chain;
+  uint32_t position;
+  bool value;
+};
+
+/// A compressed stimulus: per shift cycle, one bit per channel.
+struct CompressedStimulus {
+  size_t cycles = 0;
+  size_t channels = 0;
+  BitVec bits;  // cycle-major: bit(cycle * channels + ch)
+
+  bool get(size_t cycle, size_t ch) const {
+    return bits.get(cycle * channels + ch);
+  }
+};
+
+class EdtCompressor {
+ public:
+  /// `chain_lengths[c]` = number of cells in internal chain c.
+  EdtCompressor(const EdtConfig& cfg,
+                std::vector<size_t> chain_lengths);
+
+  size_t num_chains() const { return chain_lengths_.size(); }
+  size_t shift_cycles() const { return max_len_ + cfg_.warmup_cycles; }
+  size_t num_vars() const { return cfg_.channels * shift_cycles(); }
+
+  /// Encodes a cube; nullopt if the care bits exceed the compressor's
+  /// free variables (linear system inconsistent).
+  std::optional<CompressedStimulus> encode(
+      const std::vector<CareBit>& cube) const;
+
+  /// Expands a compressed stimulus into chain contents (ground truth for
+  /// encode verification); out[c][p] = loaded value of chain c cell p.
+  std::vector<std::vector<bool>> decompress(
+      const CompressedStimulus& cs) const;
+
+  /// Compression ratio versus uncompressed loading of all chains in
+  /// parallel from `channels` pins: (cells / channels-per-cycle model).
+  double compression_ratio() const;
+
+ private:
+  /// Symbolic ring state: rows over injected-bit variable space.
+  void step_symbolic(std::vector<BitVec>& state, size_t cycle) const;
+  BitVec chain_input_expr(const std::vector<BitVec>& state,
+                          size_t chain) const;
+
+  EdtConfig cfg_;
+  std::vector<size_t> chain_lengths_;
+  size_t max_len_ = 0;
+  std::vector<uint32_t> feedback_taps_;             // ring feedback
+  std::vector<std::vector<uint32_t>> phase_taps_;   // per chain
+  // Precompiled linear map: expr_[c][p] = expression of chain c cell p
+  // over the injected-bit variables.
+  std::vector<std::vector<BitVec>> expr_;
+};
+
+/// X-tolerant XOR compactor: `groups[o]` lists the chains XOR-ed onto
+/// output channel o.
+class XorCompactor {
+ public:
+  XorCompactor(size_t num_chains, size_t num_outputs, uint64_t seed);
+
+  const std::vector<std::vector<uint32_t>>& groups() const {
+    return groups_;
+  }
+
+  /// Compacts one unload slice (one bit per chain) into output values;
+  /// any X in a group makes the group's output X.
+  std::vector<V3> compact(const std::vector<V3>& chain_bits) const;
+
+  /// True if a single-chain error in `chain` is guaranteed visible given
+  /// the X pattern of this slice (X-masking analysis).
+  bool error_visible(const std::vector<V3>& chain_bits,
+                     uint32_t chain) const;
+
+ private:
+  std::vector<std::vector<uint32_t>> groups_;
+  std::vector<std::vector<uint32_t>> chain_outputs_;  // chain -> outputs
+};
+
+}  // namespace occ

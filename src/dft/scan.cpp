@@ -1,0 +1,125 @@
+#include "dft/scan.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace occ {
+
+size_t ScanChains::max_length() const {
+  size_t m = 0;
+  for (const auto& c : chains) m = std::max(m, c.cells.size());
+  return m;
+}
+
+size_t ScanChains::total_cells() const {
+  size_t n = 0;
+  for (const auto& c : chains) n += c.cells.size();
+  return n;
+}
+
+ScanChains::Slot ScanChains::slot_of(GateId ff) const {
+  if (slot_cache_.empty()) {
+    for (uint32_t c = 0; c < chains.size(); ++c) {
+      for (uint32_t p = 0; p < chains[c].cells.size(); ++p) {
+        slot_cache_.emplace_back(chains[c].cells[p], Slot{c, p});
+      }
+    }
+    std::sort(slot_cache_.begin(), slot_cache_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  auto it = std::lower_bound(
+      slot_cache_.begin(), slot_cache_.end(), ff,
+      [](const auto& a, GateId b) { return a.first < b; });
+  OCC_CHECK(it != slot_cache_.end() && it->first == ff,
+            "gate is not a scan cell");
+  return it->second;
+}
+
+ScanChains insert_scan(Netlist& nl, const ScanConfig& cfg) {
+  OCC_CHECK(cfg.num_chains >= 1, "need at least one chain");
+  ScanChains sc;
+
+  // Scan-enable pin (reused if the design already has one).
+  sc.scan_en = nl.find(cfg.scan_en_name);
+  if (sc.scan_en == kNoGate) {
+    sc.scan_en = nl.add_input(cfg.scan_en_name);
+  }
+
+  // Group eligible flops by domain.
+  std::map<DomainId, std::vector<GateId>> by_domain;
+  size_t eligible = 0;
+  for (GateId ff : nl.dffs()) {
+    const Gate& g = nl.gate(ff);
+    if (g.flags & kFlagNoScan) continue;
+    by_domain[g.domain].push_back(ff);
+    ++eligible;
+  }
+  OCC_CHECK(eligible > 0, "no scannable flops");
+
+  // Distribute chains over domains proportionally (>= 1 per domain).
+  const size_t num_domains = by_domain.size();
+  OCC_CHECK(cfg.num_chains >= num_domains,
+            "need at least one chain per clock domain");
+  std::map<DomainId, size_t> chains_of;
+  size_t assigned = 0;
+  for (const auto& [d, ffs] : by_domain) {
+    const size_t want = std::max<size_t>(
+        1, cfg.num_chains * ffs.size() / eligible);
+    chains_of[d] = want;
+    assigned += want;
+  }
+  // Adjust to exactly num_chains (trim/grow the largest domain).
+  auto largest = std::max_element(
+      by_domain.begin(), by_domain.end(),
+      [](const auto& a, const auto& b) {
+        return a.second.size() < b.second.size();
+      });
+  while (assigned > cfg.num_chains && chains_of[largest->first] > 1) {
+    --chains_of[largest->first];
+    --assigned;
+  }
+  while (assigned < cfg.num_chains) {
+    ++chains_of[largest->first];
+    ++assigned;
+  }
+
+  size_t chain_no = 0;
+  for (auto& [d, ffs] : by_domain) {
+    const size_t n_chains = chains_of[d];
+    const size_t per = (ffs.size() + n_chains - 1) / n_chains;
+    for (size_t c = 0; c < n_chains && c * per < ffs.size(); ++c) {
+      ScanChain chain;
+      chain.domain = d;
+      chain.scan_in =
+          nl.add_input("si" + std::to_string(chain_no));
+      GateId prev_q = chain.scan_in;
+      const size_t lo = c * per;
+      const size_t hi = std::min(ffs.size(), lo + per);
+      for (size_t i = lo; i < hi; ++i) {
+        const GateId ff = ffs[i];
+        Gate& fg = nl.mutable_gate(ff);
+        const GateId d_func = fg.fanin[0];
+        OCC_CHECK(d_func != kNoGate, "flop with unconnected D");
+        const GateId mux = nl.add_mux2(
+            sc.scan_en, d_func, prev_q,
+            "smx_" + (fg.name.empty() ? std::to_string(ff) : fg.name));
+        nl.mutable_gate(mux).flags |= kFlagScanMux;
+        nl.connect_dff_d(ff, mux);
+        nl.mutable_gate(ff).flags |= kFlagScan;
+        chain.cells.push_back(ff);
+        prev_q = ff;
+      }
+      chain.scan_out =
+          nl.add_output(prev_q, "so" + std::to_string(chain_no));
+      ++chain_no;
+      sc.chains.push_back(std::move(chain));
+    }
+  }
+
+  nl.finalize();
+  return sc;
+}
+
+}  // namespace occ

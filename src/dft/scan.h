@@ -1,0 +1,55 @@
+// Scan insertion: converts flops to mux-D scan cells and stitches
+// balanced, per-domain scan chains.
+//
+// Each eligible kDff gets a scan mux in front of its D pin:
+//   D_ff = MUX(scan_en, D_functional, scan_in_path)
+// Chains never mix clock domains (shift clocking is per-domain in the
+// CPF architecture: clk_out follows scan_clk for every domain during
+// shift, but hold-time-safe stitching across domains is avoided, as in
+// the paper's 357 per-domain chains).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace occ {
+
+struct ScanConfig {
+  size_t num_chains = 4;  // total chains, distributed over domains
+  /// Reuse an existing input named `scan_en_name` if present.
+  std::string scan_en_name = "scan_en";
+};
+
+struct ScanChain {
+  DomainId domain = 0;
+  GateId scan_in = kNoGate;   // chain input PI
+  GateId scan_out = kNoGate;  // chain output PO
+  std::vector<GateId> cells;  // scan-in side first
+};
+
+struct ScanChains {
+  GateId scan_en = kNoGate;
+  std::vector<ScanChain> chains;
+
+  size_t max_length() const;
+  size_t total_cells() const;
+
+  /// Shift-order lookup: for scan cell `ff`, the (chain, position) pair;
+  /// position 0 is the scan-in side (last bit shifted in ends up there).
+  struct Slot {
+    uint32_t chain = 0;
+    uint32_t position = 0;
+  };
+  Slot slot_of(GateId ff) const;
+
+ private:
+  mutable std::vector<std::pair<GateId, Slot>> slot_cache_;
+};
+
+/// Inserts scan into `nl` (modifies it; re-finalizes). Flops flagged
+/// kFlagNoScan are skipped. Returns the chain description.
+ScanChains insert_scan(Netlist& nl, const ScanConfig& cfg = {});
+
+}  // namespace occ

@@ -1,0 +1,127 @@
+#include "fault/collapse.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace occ {
+namespace {
+
+/// Union-find over dense fault node ids.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  }
+  uint32_t find(uint32_t a) {
+    while (parent_[a] != a) {
+      parent_[a] = parent_[parent_[a]];
+      a = parent_[a];
+    }
+    return a;
+  }
+  void unite(uint32_t a, uint32_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+// Dense node id for (gate, pin, stuck-value). pin in [0, fanin] with the
+// last slot for the output stem.
+struct NodeIndex {
+  explicit NodeIndex(const Netlist& nl) : nl_(&nl), base_(nl.size() + 1, 0) {
+    uint32_t acc = 0;
+    for (GateId id = 0; id < nl.size(); ++id) {
+      base_[id] = acc;
+      acc += static_cast<uint32_t>(nl.gate(id).fanin.size() + 1) * 2;
+    }
+    base_[nl.size()] = acc;
+    total_ = acc;
+  }
+  uint32_t id(GateId g, uint8_t pin, bool val) const {
+    const size_t npins = nl_->gate(g).fanin.size();
+    const uint32_t slot =
+        pin == kOutputPin ? static_cast<uint32_t>(npins) : pin;
+    return base_[g] + slot * 2 + (val ? 1 : 0);
+  }
+  uint32_t total() const { return total_; }
+
+ private:
+  const Netlist* nl_;
+  std::vector<uint32_t> base_;
+  uint32_t total_ = 0;
+};
+
+}  // namespace
+
+CollapsedFaults collapse_faults(const Netlist& nl,
+                                const std::vector<Fault>& faults) {
+  NodeIndex idx(nl);
+  UnionFind uf(idx.total());
+
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    switch (g.type) {
+      case GateType::kBuf:
+      case GateType::kOutput:
+        uf.unite(idx.id(id, 0, false), idx.id(id, kOutputPin, false));
+        uf.unite(idx.id(id, 0, true), idx.id(id, kOutputPin, true));
+        break;
+      case GateType::kNot:
+        uf.unite(idx.id(id, 0, false), idx.id(id, kOutputPin, true));
+        uf.unite(idx.id(id, 0, true), idx.id(id, kOutputPin, false));
+        break;
+      case GateType::kAnd:
+        for (uint8_t p = 0; p < g.fanin.size(); ++p) {
+          uf.unite(idx.id(id, p, false), idx.id(id, kOutputPin, false));
+        }
+        break;
+      case GateType::kNand:
+        for (uint8_t p = 0; p < g.fanin.size(); ++p) {
+          uf.unite(idx.id(id, p, false), idx.id(id, kOutputPin, true));
+        }
+        break;
+      case GateType::kOr:
+        for (uint8_t p = 0; p < g.fanin.size(); ++p) {
+          uf.unite(idx.id(id, p, true), idx.id(id, kOutputPin, true));
+        }
+        break;
+      case GateType::kNor:
+        for (uint8_t p = 0; p < g.fanin.size(); ++p) {
+          uf.unite(idx.id(id, p, true), idx.id(id, kOutputPin, false));
+        }
+        break;
+      default:
+        break;
+    }
+    // Single-fanout stems: stem fault equivalent to the lone branch fault.
+    if (g.fanout.size() == 1 && g.type != GateType::kOutput) {
+      const GateId sink = g.fanout[0];
+      const Gate& sg = nl.gate(sink);
+      for (uint8_t p = 0; p < sg.fanin.size(); ++p) {
+        if (sg.fanin[p] == id) {
+          uf.unite(idx.id(id, kOutputPin, false), idx.id(sink, p, false));
+          uf.unite(idx.id(id, kOutputPin, true), idx.id(sink, p, true));
+        }
+      }
+    }
+  }
+
+  CollapsedFaults out;
+  out.uncollapsed_count = faults.size();
+  out.rep_of.resize(faults.size());
+  std::unordered_map<uint32_t, uint32_t> class_to_rep;
+  class_to_rep.reserve(faults.size());
+  for (size_t i = 0; i < faults.size(); ++i) {
+    const Fault& f = faults[i];
+    const uint32_t cls =
+        uf.find(idx.id(f.gate, f.pin, fault_value(f.type)));
+    auto [it, inserted] = class_to_rep.emplace(
+        cls, static_cast<uint32_t>(out.representatives.size()));
+    if (inserted) out.representatives.push_back(f);
+    out.rep_of[i] = it->second;
+  }
+  return out;
+}
+
+}  // namespace occ

@@ -1,0 +1,43 @@
+// Structural fault collapsing via equivalence classes.
+//
+// Classic gate-local equivalence rules:
+//   BUF/PO pin : in sa-v       == out sa-v
+//   NOT        : in sa-v       == out sa-(!v)
+//   AND        : any in sa-0   == out sa-0
+//   NAND       : any in sa-0   == out sa-1
+//   OR         : any in sa-1   == out sa-1
+//   NOR        : any in sa-1   == out sa-0
+//   single-fanout stem: stem sa-v == the one branch sa-v
+//
+// Transition faults collapse with the same classes (applied to their
+// stuck-at counterparts), so -- as the paper notes -- the collapsed
+// stuck-at and transition fault counts are identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.h"
+
+namespace occ {
+
+/// Result of collapsing: the representative faults plus a mapping from
+/// every uncollapsed fault index to its representative's index.
+struct CollapsedFaults {
+  std::vector<Fault> representatives;
+  std::vector<uint32_t> rep_of;  // indexed like the input fault vector
+  size_t uncollapsed_count = 0;
+
+  double collapse_ratio() const {
+    return uncollapsed_count == 0
+               ? 1.0
+               : static_cast<double>(representatives.size()) /
+                     static_cast<double>(uncollapsed_count);
+  }
+};
+
+/// Collapses `faults` (as produced by enumerate_faults) over `nl`.
+CollapsedFaults collapse_faults(const Netlist& nl,
+                                const std::vector<Fault>& faults);
+
+}  // namespace occ

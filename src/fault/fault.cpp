@@ -1,0 +1,84 @@
+#include "fault/fault.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace occ {
+
+GateId fault_net(const Netlist& nl, const Fault& f) {
+  if (f.pin == kOutputPin) return f.gate;
+  const Gate& g = nl.gate(f.gate);
+  OCC_DCHECK(f.pin < g.fanin.size());
+  return g.fanin[f.pin];
+}
+
+std::string fault_to_string(const Netlist& nl, const Fault& f) {
+  const Gate& g = nl.gate(f.gate);
+  std::ostringstream os;
+  os << (g.name.empty() ? "g" + std::to_string(f.gate) : g.name) << "/"
+     << gate_type_name(g.type);
+  if (f.pin == kOutputPin) {
+    os << " out";
+  } else {
+    os << " in" << static_cast<int>(f.pin);
+  }
+  switch (f.type) {
+    case FaultType::kSa0: os << " SA0"; break;
+    case FaultType::kSa1: os << " SA1"; break;
+    case FaultType::kStr: os << " STR"; break;
+    case FaultType::kStf: os << " STF"; break;
+  }
+  return os.str();
+}
+
+std::vector<Fault> enumerate_faults(const Netlist& nl, FaultModel model) {
+  std::vector<Fault> faults;
+  const FaultType t0 =
+      model == FaultModel::kStuckAt ? FaultType::kSa0 : FaultType::kStr;
+  const FaultType t1 =
+      model == FaultModel::kStuckAt ? FaultType::kSa1 : FaultType::kStf;
+
+  auto add_site = [&](GateId g, uint8_t pin) {
+    faults.push_back({g, pin, t0});
+    faults.push_back({g, pin, t1});
+  };
+
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type == GateType::kXSource) continue;
+    if (g.flags & kFlagOccGate) continue;  // clock-control logic: excluded
+    switch (g.type) {
+      case GateType::kInput:
+      case GateType::kTie0:
+      case GateType::kTie1:
+        add_site(id, kOutputPin);
+        break;
+      case GateType::kOutput:
+        add_site(id, 0);
+        break;
+      case GateType::kDff:
+        // D pin branch + Q stem.
+        add_site(id, 0);
+        add_site(id, kOutputPin);
+        break;
+      case GateType::kDffC:
+      case GateType::kDlatL:
+      case GateType::kDlatH:
+        // Explicit-clock cells only appear in timed/OCC netlists; their
+        // data pin and output are legitimate fault sites.
+        add_site(id, 0);
+        add_site(id, kOutputPin);
+        break;
+      default: {
+        for (uint8_t pin = 0; pin < g.fanin.size(); ++pin) {
+          add_site(id, pin);
+        }
+        add_site(id, kOutputPin);
+      }
+    }
+  }
+  return faults;
+}
+
+}  // namespace occ

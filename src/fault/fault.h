@@ -1,0 +1,73 @@
+// Fault models: single stuck-at and transition (slow-to-rise/fall) faults
+// on gate terminals.
+//
+// A fault site is a (gate, pin) pair: pin == kOutputPin is the gate's
+// output stem; other pins are input branches (the fault affects only that
+// consumer). Per the paper (section 5), both models target two faults at
+// each gate terminal, so stuck-at and transition fault universes have
+// identical site sets and identical collapsed counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace occ {
+
+/// Pin index denoting the gate's output stem.
+inline constexpr uint8_t kOutputPin = 0xFF;
+
+enum class FaultType : uint8_t {
+  kSa0,  // stuck-at-0
+  kSa1,  // stuck-at-1
+  kStr,  // slow-to-rise (transition 0->1 fails; behaves as sa0 at launch)
+  kStf,  // slow-to-fall (transition 1->0 fails; behaves as sa1 at launch)
+};
+
+constexpr bool is_transition(FaultType t) {
+  return t == FaultType::kStr || t == FaultType::kStf;
+}
+
+/// The stuck value the fault effectively forces at its site (the launch
+/// frame value for transition faults).
+constexpr bool fault_value(FaultType t) {
+  return t == FaultType::kSa1 || t == FaultType::kStf;
+}
+
+/// Stuck-at counterpart of a transition fault (identity for stuck-at).
+constexpr FaultType as_stuck_at(FaultType t) {
+  switch (t) {
+    case FaultType::kStr: return FaultType::kSa0;
+    case FaultType::kStf: return FaultType::kSa1;
+    default: return t;
+  }
+}
+
+struct Fault {
+  GateId gate = kNoGate;
+  uint8_t pin = kOutputPin;
+  FaultType type = FaultType::kSa0;
+
+  bool operator==(const Fault&) const = default;
+};
+
+/// Net whose value the fault corrupts: the gate itself for stem faults,
+/// the driving net for input-branch faults (corruption visible only at
+/// `gate`'s evaluation).
+GateId fault_net(const Netlist& nl, const Fault& f);
+
+/// Human-readable "u123/AND in2 SA0" style description.
+std::string fault_to_string(const Netlist& nl, const Fault& f);
+
+/// Which fault model to enumerate.
+enum class FaultModel : uint8_t { kStuckAt, kTransition };
+
+/// Enumerates the uncollapsed fault universe: two faults per terminal of
+/// every logic gate, flop D pin, PI stem and PO pin. Sources with
+/// constant values (ties) are included (they produce untestable faults,
+/// as in real designs); kXSource and OCC-internal clock gates are skipped.
+std::vector<Fault> enumerate_faults(const Netlist& nl, FaultModel model);
+
+}  // namespace occ

@@ -1,0 +1,58 @@
+// Table-1 experiment harness: builds the synthetic SOC, inserts scan,
+// and runs the five ATPG experiments (a)..(e) of the paper under their
+// respective clocking schemes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atpg/engine.h"
+#include "dft/scan.h"
+#include "gen/socgen.h"
+
+namespace occ {
+namespace flow {
+
+struct Table1Config {
+  gen::SocParams soc;
+  size_t scan_chains = 8;
+  size_t max_pulses = 4;
+  AtpgOptions atpg;
+  bool classify_leftovers = true;
+};
+
+struct ExperimentRow {
+  std::string id;    // "(a)" .. "(e)"
+  std::string desc;  // short description for the table
+  bool on_chip_clocking = false;
+  AtpgRunResult result;
+  size_t tester_cycles = 0;
+};
+
+struct ShapeCheck {
+  std::string name;
+  bool pass = false;
+  std::string detail;
+};
+
+struct Table1Result {
+  Netlist netlist;  // scan-inserted SOC the experiments ran on
+  ScanChains chains;
+  std::vector<ExperimentRow> rows;
+  std::vector<ShapeCheck> checks;
+
+  const ExperimentRow& row(char id) const;  // 'a'..'e'
+  bool all_shapes_hold() const;
+};
+
+/// Runs all five experiments. This is the heavy entry point behind
+/// bench_table1 (minutes on the default SOC size).
+Table1Result run_table1(const Table1Config& cfg);
+
+/// Evaluates the paper's qualitative claims on a finished run:
+///   TC(a) > TC(b) > TC(e) >= TC(d) > TC(c) (with (d)-(c) small positive),
+///   P(b) >> P(a); P(c),P(d) > P(b); P(e) < P(d).
+std::vector<ShapeCheck> check_shapes(const Table1Result& r);
+
+}  // namespace flow
+}  // namespace occ

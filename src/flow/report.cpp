@@ -1,0 +1,86 @@
+#include "flow/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace occ {
+namespace flow {
+
+PaperReference paper_reference(char id) {
+  switch (id) {
+    case 'a': return {98.7, 1.0};
+    case 'b': return {95.0, 4.8};
+    case 'c': return {87.9, 10.5};
+    case 'd': return {88.5, 10.0};
+    case 'e': return {88.4, 8.4};
+  }
+  OCC_CHECK(false, "unknown experiment id");
+}
+
+std::string render_table1(const Table1Result& r) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  const double pa =
+      static_cast<double>(r.row('a').result.pattern_count());
+
+  os << "Table 1: test coverage and pattern count per experiment\n";
+  os << "(paper values reconstructed from section 5.2 prose; pattern\n";
+  os << " columns are relative to the stuck-at count)\n\n";
+  os << std::left << std::setw(5) << "exp" << std::setw(44) << "setup"
+     << std::right << std::setw(9) << "TC%" << std::setw(10) << "paperTC%"
+     << std::setw(10) << "patterns" << std::setw(8) << "rel" << std::setw(10)
+     << "paperRel" << std::setw(12) << "ATEcycles" << "\n";
+  os << std::string(108, '-') << "\n";
+  for (const auto& row : r.rows) {
+    const PaperReference ref = paper_reference(row.id[1]);
+    os << std::left << std::setw(5) << row.id << std::setw(44) << row.desc
+       << std::right << std::setw(9) << row.result.fault_coverage() * 100.0
+       << std::setw(10) << ref.tc << std::setw(10)
+       << row.result.pattern_count() << std::setw(8)
+       << static_cast<double>(row.result.pattern_count()) / pa
+       << std::setw(10) << ref.patterns << std::setw(12)
+       << row.tester_cycles << "\n";
+  }
+  return os.str();
+}
+
+std::string render_checks(const Table1Result& r) {
+  std::ostringstream os;
+  os << "Shape checks (paper section 5.2 claims):\n";
+  for (const auto& c : r.checks) {
+    os << "  [" << (c.pass ? "PASS" : "FAIL") << "] " << c.name << " -- "
+       << c.detail << "\n";
+  }
+  os << (r.all_shapes_hold() ? "All shape checks hold.\n"
+                             : "SOME SHAPE CHECKS FAILED.\n");
+  return os.str();
+}
+
+std::string render_markdown(const Table1Result& r) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  const double pa =
+      static_cast<double>(r.row('a').result.pattern_count());
+  os << "| exp | setup | TC% (ours) | TC% (paper) | patterns | rel "
+        "(ours) | rel (paper) |\n";
+  os << "|---|---|---|---|---|---|---|\n";
+  for (const auto& row : r.rows) {
+    const PaperReference ref = paper_reference(row.id[1]);
+    os << "| " << row.id << " | " << row.desc << " | "
+       << row.result.fault_coverage() * 100.0 << " | " << ref.tc << " | "
+       << row.result.pattern_count() << " | "
+       << static_cast<double>(row.result.pattern_count()) / pa << "x | "
+       << ref.patterns << "x |\n";
+  }
+  os << "\nShape checks:\n\n";
+  for (const auto& c : r.checks) {
+    os << "- " << (c.pass ? "**PASS**" : "**FAIL**") << " " << c.name
+       << " (" << c.detail << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace flow
+}  // namespace occ

@@ -1,0 +1,32 @@
+// Report rendering: Table-1 style tables with paper reference values.
+#pragma once
+
+#include <string>
+
+#include "flow/experiment.h"
+
+namespace occ {
+namespace flow {
+
+/// Reference values reconstructed from the paper's prose (the scanned
+/// table is illegible in the source; section 5.2 states every delta):
+///   TC(a)=98.7; TC(b)=TC(a)-3.7; TC(c)<TC(b)-7; TC(d)=TC(c)+0.6;
+///   TC(e)=TC(b)-6.6; P(b)~4.8x P(a); P(c),P(d)~2x P(b); P(e)~0.85 P(d).
+struct PaperReference {
+  double tc = 0;        // percent
+  double patterns = 0;  // relative to stuck-at count
+};
+PaperReference paper_reference(char experiment_id);
+
+/// Renders the measured Table 1 next to the paper's reference values
+/// (fixed-width text table).
+std::string render_table1(const Table1Result& r);
+
+/// Renders the shape-check list.
+std::string render_checks(const Table1Result& r);
+
+/// Renders a markdown section for EXPERIMENTS.md.
+std::string render_markdown(const Table1Result& r);
+
+}  // namespace flow
+}  // namespace occ

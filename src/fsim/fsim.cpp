@@ -1,0 +1,328 @@
+#include "fsim/fsim.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.h"
+
+namespace occ {
+namespace {
+
+/// Slots where a and b are both known and disagree.
+uint64_t hard_diff(Val64 a, Val64 b) {
+  return (a.v ^ b.v) & ~a.x & ~b.x;
+}
+
+/// Slots where exactly one of a, b is known (X-marginal disagreement).
+uint64_t possible_diff(Val64 a, Val64 b) { return a.x ^ b.x; }
+
+}  // namespace
+
+NcpFaultSim::NcpFaultSim(const Netlist& nl, const ClockingScheme& scheme,
+                         GateId scan_en_pi)
+    : nl_(&nl), scheme_(&scheme), scan_en_pi_(scan_en_pi), sim_(nl) {
+  faulty_.assign(nl.size(), Val64{});
+  stamp_.assign(nl.size(), 0);
+  queued_.assign(nl.size(), 0);
+  buckets_.resize(static_cast<size_t>(nl.max_level()) + 2);
+
+  dff_pos_.assign(nl.size(), -1);
+  for (size_t i = 0; i < nl.dffs().size(); ++i) {
+    dff_pos_[nl.dffs()[i]] = static_cast<int32_t>(i);
+  }
+  scan_cells_ = scan_cells(nl);
+  scan_pos_.assign(nl.dffs().size(), -1);
+  for (size_t i = 0; i < scan_cells_.size(); ++i) {
+    scan_pos_[static_cast<size_t>(dff_pos_[scan_cells_[i]])] =
+        static_cast<int32_t>(i);
+  }
+  d_feeds_.assign(nl.size(), {});
+  for (size_t i = 0; i < nl.dffs().size(); ++i) {
+    d_feeds_[nl.gate(nl.dffs()[i]).fanin[0]].push_back(
+        static_cast<uint32_t>(i));
+  }
+  cand_stamp_.assign(nl.dffs().size(), 0);
+}
+
+void NcpFaultSim::simulate_good(const PatternBatch& batch) {
+  OCC_CHECK(batch.ncp_index < scheme_->procedures.size(),
+            "batch NCP out of range");
+  cur_ncp_ = &scheme_->procedures[batch.ncp_index];
+  const size_t frames = cur_ncp_->cycles.size();
+  const auto& dffs = nl_->dffs();
+
+  good_.frames.assign(frames, {});
+  good_.state.assign(frames + 1, std::vector<Val64>(dffs.size()));
+
+  // Load: scan cells get the pattern, non-scan cells power up X.
+  sim_.reset_x();
+  for (size_t i = 0; i < scan_cells_.size(); ++i) {
+    sim_.set_state(scan_cells_[i], batch.load[i]);
+  }
+  for (size_t i = 0; i < dffs.size(); ++i) {
+    good_.state[0][i] = sim_.state(dffs[i]);
+  }
+
+  for (size_t f = 0; f < frames; ++f) {
+    const auto& pis = nl_->inputs();
+    OCC_CHECK(batch.pi_frames[f].size() == pis.size(), "PI width mismatch");
+    for (size_t i = 0; i < pis.size(); ++i) {
+      sim_.set_input(pis[i], batch.pi_frames[f][i]);
+    }
+    if (scheme_->scan_en_frozen && scan_en_pi_ != kNoGate) {
+      sim_.set_input(scan_en_pi_, Val64::all0());
+    }
+    sim_.eval();
+    good_.frames[f] = sim_.values();
+    sim_.capture(cur_ncp_->cycles[f].pulses);
+    for (size_t i = 0; i < dffs.size(); ++i) {
+      good_.state[f + 1][i] = sim_.state(dffs[i]);
+    }
+  }
+  good_.final_state = good_.state[frames];
+}
+
+std::vector<V3> NcpFaultSim::expected_unload(unsigned slot) const {
+  std::vector<V3> out;
+  out.reserve(scan_cells_.size());
+  for (GateId sc : scan_cells_) {
+    const int32_t pos = dff_pos_[sc];
+    out.push_back(good_.final_state[static_cast<size_t>(pos)].get(slot));
+  }
+  return out;
+}
+
+void NcpFaultSim::propagate_frame(const Fault& f, uint64_t inj_mask,
+                                  const std::vector<StateDiff>& in_state,
+                                  std::vector<StateDiff>* out_state,
+                                  uint64_t* hard_po, uint64_t* poss_po,
+                                  uint64_t* evals) {
+  ++epoch_;
+  const auto& good_vals = good_.frames[cur_frame_];
+  const CaptureCycle& cyc = cur_ncp_->cycles[cur_frame_];
+  cand_dffs_.clear();
+
+  auto enqueue = [&](GateId g) {
+    if (queued_[g] == epoch_) return;
+    queued_[g] = epoch_;
+    const int32_t lvl = nl_->gate(g).level;
+    buckets_[static_cast<size_t>(lvl)].push_back(g);
+  };
+
+  auto add_candidates = [&](GateId g) {
+    for (uint32_t pos : d_feeds_[g]) {
+      if (cand_stamp_[pos] != epoch_) {
+        cand_stamp_[pos] = epoch_;
+        cand_dffs_.push_back(pos);
+      }
+    }
+  };
+
+  // Seeds: corrupted flop outputs from the previous pulse.
+  for (const StateDiff& sd : in_state) {
+    const GateId ff = nl_->dffs()[sd.dff_pos];
+    faulty_[ff] = sd.faulty;
+    stamp_[ff] = epoch_;
+    if (hard_diff(sd.faulty, good_vals[ff]) |
+        possible_diff(sd.faulty, good_vals[ff])) {
+      for (GateId out : nl_->gate(ff).fanout) {
+        if (!is_sequential(nl_->gate(out).type)) enqueue(out);
+      }
+      add_candidates(ff);
+    }
+  }
+
+  // Seed: fault injection site.
+  if (inj_mask != 0) {
+    const bool fv = fault_value(f.type);
+    if (f.pin == kOutputPin) {
+      const Val64 g = faulty_value(f.gate);
+      Val64 forced;
+      forced.v = (g.v & ~inj_mask) | (fv ? inj_mask : 0);
+      forced.x = g.x & ~inj_mask;
+      faulty_[f.gate] = forced;
+      stamp_[f.gate] = epoch_;
+      if (hard_diff(forced, good_vals[f.gate]) |
+          possible_diff(forced, good_vals[f.gate])) {
+        for (GateId out : nl_->gate(f.gate).fanout) {
+          if (!is_sequential(nl_->gate(out).type)) enqueue(out);
+        }
+        add_candidates(f.gate);
+      }
+    } else if (!is_sequential(nl_->gate(f.gate).type)) {
+      // Branch fault: re-evaluate only the faulted gate.
+      enqueue(f.gate);
+    } else if (nl_->gate(f.gate).type == GateType::kDff && f.pin == 0) {
+      // Branch fault on a flop's D pin: handled at capture below.
+      cand_stamp_[static_cast<size_t>(dff_pos_[f.gate])] = epoch_;
+      cand_dffs_.push_back(static_cast<uint32_t>(dff_pos_[f.gate]));
+    }
+  }
+
+  // Level-ordered single-fault propagation.
+  Val64 ins[8];
+  std::vector<Val64> big;
+  for (auto& bucket : buckets_) {
+    for (size_t bi = 0; bi < bucket.size(); ++bi) {
+      const GateId g = bucket[bi];
+      const Gate& gate = nl_->gate(g);
+      const size_t n = gate.fanin.size();
+      Val64* iv = ins;
+      if (n > 8) {
+        big.resize(n);
+        iv = big.data();
+      }
+      for (size_t i = 0; i < n; ++i) iv[i] = faulty_value(gate.fanin[i]);
+      // Branch-fault override on this gate's faulted pin.
+      if (g == f.gate && f.pin != kOutputPin && inj_mask != 0) {
+        const bool fv = fault_value(f.type);
+        Val64& pv = iv[f.pin];
+        pv.v = (pv.v & ~inj_mask) | (fv ? inj_mask : 0);
+        pv.x = pv.x & ~inj_mask;
+      }
+      Val64 out = eval_gate_packed(gate.type, {iv, n});
+      // A stem fault on this gate keeps its output forced regardless of
+      // input corruption (re-evaluation must not wash out the injection).
+      if (g == f.gate && f.pin == kOutputPin && inj_mask != 0) {
+        const bool fv = fault_value(f.type);
+        out.v = (out.v & ~inj_mask) | (fv ? inj_mask : 0);
+        out.x = out.x & ~inj_mask;
+      }
+      ++*evals;
+      const Val64 prev = faulty_value(g);
+      if (out == prev && stamp_[g] == epoch_) continue;
+      faulty_[g] = out;
+      stamp_[g] = epoch_;
+      if (hard_diff(out, good_vals[g]) | possible_diff(out, good_vals[g])) {
+        for (GateId o : gate.fanout) {
+          if (!is_sequential(nl_->gate(o).type)) enqueue(o);
+        }
+        add_candidates(g);
+      }
+      // PO strobe observation.
+      if (gate.type == GateType::kOutput && cyc.po_strobe) {
+        *hard_po |= hard_diff(out, good_vals[g]);
+        *poss_po |= possible_diff(out, good_vals[g]);
+      }
+    }
+    bucket.clear();
+  }
+
+  // Next-frame corrupted state: pulsed flops capture faulty D values;
+  // un-pulsed flops carry their previous corruption forward.
+  out_state->clear();
+  const auto& dffs = nl_->dffs();
+  const auto& next_state = good_.state[cur_frame_ + 1];
+  for (const StateDiff& sd : in_state) {
+    const Gate& ff = nl_->gate(dffs[sd.dff_pos]);
+    if (cyc.pulses & (DomainMask{1} << ff.domain)) continue;  // recaptured
+    out_state->push_back(sd);  // un-pulsed: holds corrupted value
+  }
+  for (uint32_t i : cand_dffs_) {
+    const Gate& ff = nl_->gate(dffs[i]);
+    if (!(cyc.pulses & (DomainMask{1} << ff.domain))) continue;
+    const GateId d = ff.fanin[0];
+    Val64 fd = faulty_value(d);
+    // Branch fault directly on this flop's D pin.
+    if (dffs[i] == f.gate && f.pin == 0 && inj_mask != 0) {
+      const bool fv = fault_value(f.type);
+      fd.v = (fd.v & ~inj_mask) | (fv ? inj_mask : 0);
+      fd.x = fd.x & ~inj_mask;
+    }
+    if (hard_diff(fd, next_state[i]) | possible_diff(fd, next_state[i])) {
+      out_state->push_back({i, fd});
+    }
+  }
+}
+
+std::pair<uint64_t, uint64_t> NcpFaultSim::simulate_fault(
+    const PatternBatch& batch, const Fault& f, uint64_t live_mask,
+    uint64_t* evals) {
+  const size_t frames = cur_ncp_->cycles.size();
+  const GateId site = fault_net(*nl_, f);
+  uint64_t hard = 0, poss = 0;
+
+  std::vector<StateDiff> state_a, state_b;
+  std::vector<StateDiff>* cur = &state_a;
+  std::vector<StateDiff>* nxt = &state_b;
+
+  bool any_injection = false;
+  for (size_t k = 0; k < frames; ++k) {
+    cur_frame_ = k;
+    uint64_t inj = 0;
+    if (!is_transition(f.type)) {
+      inj = live_mask;
+    } else if (k >= 1 && cur_ncp_->cycles[k].at_speed) {
+      // Launch condition: fault-free transition init -> final across the
+      // at-speed pair (k-1, k) at the fault site.
+      const Val64 prev = good_.frames[k - 1][site];
+      const Val64 now = good_.frames[k][site];
+      const bool init = fault_value(f.type);  // STR: site slow from 0
+      const uint64_t was_init = init ? prev.is1() : prev.is0();
+      const uint64_t is_final = init ? now.is0() : now.is1();
+      // STR (slow-to-rise): init=0, final=1; fault_value(kStr)=false, so
+      // was_init = prev.is0() and is_final = now.is1().
+      inj = was_init & is_final & live_mask;
+    }
+    if (inj == 0 && cur->empty()) {
+      // Nothing to do this frame; state diffs unchanged.
+      continue;
+    }
+    any_injection |= inj != 0;
+    uint64_t hard_po = 0, poss_po = 0;
+    propagate_frame(f, inj, *cur, nxt, &hard_po, &poss_po, evals);
+    hard |= hard_po;
+    poss |= poss_po;
+    std::swap(cur, nxt);
+    if (hard & live_mask) return {hard & live_mask, poss & live_mask};
+  }
+
+  if (!any_injection && cur->empty()) return {0, 0};
+
+  // Unload: scan-cell final state is fully observable.
+  for (const StateDiff& sd : *cur) {
+    if (scan_pos_[sd.dff_pos] < 0) continue;  // non-scan: unobservable
+    const Val64 g = good_.final_state[sd.dff_pos];
+    hard |= hard_diff(sd.faulty, g);
+    poss |= possible_diff(sd.faulty, g);
+  }
+  return {hard & live_mask, poss & live_mask};
+}
+
+FsimStats NcpFaultSim::detect_faults(
+    const PatternBatch& batch, FaultList& fl,
+    std::vector<std::pair<size_t, unsigned>>* detections) {
+  OCC_CHECK(cur_ncp_ == &scheme_->procedures[batch.ncp_index],
+            "detect_faults: batch does not match last simulate_good");
+  FsimStats st;
+  const uint64_t live_mask =
+      batch.count >= 64 ? ~0ull : ((1ull << batch.count) - 1);
+
+  for (size_t i = 0; i < fl.size(); ++i) {
+    const FaultStatus fs = fl.status(i);
+    // Aborted faults stay in the simulation: ATPG gave up on targeting
+    // them, but any later pattern may still detect them incidentally.
+    if (fs != FaultStatus::kUndetected &&
+        fs != FaultStatus::kPossiblyDetected &&
+        fs != FaultStatus::kAborted) {
+      continue;
+    }
+    ++st.faults_simulated;
+    auto [hard, poss] =
+        simulate_fault(batch, fl.fault(i), live_mask, &st.gate_evals);
+    if (hard) {
+      fl.set_status(i, FaultStatus::kDetected);
+      ++st.newly_detected;
+      if (detections) {
+        detections->emplace_back(
+            i, static_cast<unsigned>(std::countr_zero(hard)));
+      }
+    } else if (poss && fs == FaultStatus::kUndetected) {
+      fl.set_status(i, FaultStatus::kPossiblyDetected);
+      ++st.newly_possibly;
+    }
+  }
+  return st;
+}
+
+}  // namespace occ

@@ -1,0 +1,129 @@
+// Parallel-pattern single-fault-propagation (PPSFP) fault simulator,
+// driven by named capture procedures.
+//
+// One engine serves both fault models (Waicukauski-style):
+//   * stuck-at: the fault is injected in every frame;
+//   * transition: the fault is injected in frame k (as the stuck-at of
+//     its initial value) for pattern slots where the fault-free machine
+//     launches the required transition across an *at-speed* pulse pair
+//     (k-1, k). Initialization frames are simulated fault-free -- the
+//     standard broadside approximation.
+//
+// Observation points: scan-cell final state (unloaded after the last
+// pulse) and primary outputs in frames whose CaptureCycle strobes them.
+// Detection requires a known good/faulty disagreement; a disagreement
+// involving X downgrades to "possibly detected".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/clock_scheme.h"
+#include "fault/fault_list.h"
+#include "fsim/pattern.h"
+#include "sim/cycle_sim.h"
+
+namespace occ {
+
+/// Fault-free multi-frame simulation of one batch.
+struct GoodFrames {
+  /// frames[f][gate] = settled value in frame f.
+  std::vector<std::vector<Val64>> frames;
+  /// Flop state entering frame f (indexed like nl.dffs()).
+  std::vector<std::vector<Val64>> state;
+  /// Final flop state after the last pulse.
+  std::vector<Val64> final_state;
+};
+
+/// Statistics from one fault-sim invocation.
+struct FsimStats {
+  size_t faults_simulated = 0;
+  size_t newly_detected = 0;
+  size_t newly_possibly = 0;
+  uint64_t gate_evals = 0;
+};
+
+class NcpFaultSim {
+ public:
+  /// `scan_en_pi` (optional): the scan-enable input; when the scheme
+  /// freezes scan_en, that PI is forced to 0 in every capture frame
+  /// regardless of pattern contents.
+  NcpFaultSim(const Netlist& nl, const ClockingScheme& scheme,
+              GateId scan_en_pi = kNoGate);
+
+  const Netlist& netlist() const { return *nl_; }
+  const ClockingScheme& scheme() const { return *scheme_; }
+
+  /// Fault-free simulation of a packed batch.
+  void simulate_good(const PatternBatch& batch);
+  const GoodFrames& good() const { return good_; }
+
+  /// Good-machine final scan state / strobed PO values for slot `s` of
+  /// the last simulated batch (expected responses for the ATE).
+  std::vector<V3> expected_unload(unsigned slot) const;
+
+  /// Simulates all undetected faults of `fl` against the last
+  /// simulate_good() batch; detected faults are marked (fault dropping).
+  /// If `detections` is given, appends (fault index, detecting slot) for
+  /// each newly hard-detected fault; the slot is the lowest-numbered live
+  /// pattern that detects it (used for pattern-selection/compaction).
+  FsimStats detect_faults(
+      const PatternBatch& batch, FaultList& fl,
+      std::vector<std::pair<size_t, unsigned>>* detections = nullptr);
+
+  /// simulate_good + detect_faults.
+  FsimStats run_batch(
+      const PatternBatch& batch, FaultList& fl,
+      std::vector<std::pair<size_t, unsigned>>* detections = nullptr) {
+    simulate_good(batch);
+    return detect_faults(batch, fl, detections);
+  }
+
+ private:
+  struct StateDiff {
+    uint32_t dff_pos;  // index into nl.dffs()
+    Val64 faulty;
+  };
+
+  // Returns (hard detect mask, possible mask) for one fault.
+  std::pair<uint64_t, uint64_t> simulate_fault(const PatternBatch& batch,
+                                               const Fault& f,
+                                               uint64_t live_mask,
+                                               uint64_t* evals);
+
+  Val64 faulty_value(GateId g) const {
+    return stamp_[g] == epoch_ ? faulty_[g] : good_.frames[cur_frame_][g];
+  }
+  void propagate_frame(const Fault& f, uint64_t inj_mask,
+                       const std::vector<StateDiff>& in_state,
+                       std::vector<StateDiff>* out_state,
+                       uint64_t* hard_po, uint64_t* poss_po,
+                       uint64_t* evals);
+
+  const Netlist* nl_;
+  const ClockingScheme* scheme_;
+  GateId scan_en_pi_;
+  CycleSim sim_;
+  GoodFrames good_;
+  const NamedCaptureProcedure* cur_ncp_ = nullptr;
+
+  // Per-fault scratch (epoch-stamped overlay).
+  std::vector<Val64> faulty_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+  size_t cur_frame_ = 0;
+  // Level-bucketed worklist.
+  std::vector<std::vector<GateId>> buckets_;
+  std::vector<uint32_t> queued_;  // epoch-stamped "in bucket" marker
+
+  // dff position lookup: gate id -> index in nl.dffs(), or -1.
+  std::vector<int32_t> dff_pos_;
+  std::vector<GateId> scan_cells_;
+  std::vector<int32_t> scan_pos_;  // dff position -> scan position or -1
+  // For capture-diff tracking: gate -> dff positions whose D pin it drives.
+  std::vector<std::vector<uint32_t>> d_feeds_;
+  std::vector<uint32_t> cand_dffs_;       // capture candidates this frame
+  std::vector<uint32_t> cand_stamp_;      // epoch-stamped dedup
+};
+
+}  // namespace occ

@@ -1,0 +1,128 @@
+#include "fsim/pattern.h"
+
+#include <ostream>
+
+#include "util/check.h"
+
+namespace occ {
+
+std::vector<GateId> scan_cells(const Netlist& nl) {
+  std::vector<GateId> out;
+  for (GateId ff : nl.dffs()) {
+    if (nl.gate(ff).flags & kFlagScan) out.push_back(ff);
+  }
+  return out;
+}
+
+void TestPattern::validate(const Netlist& nl,
+                           const NamedCaptureProcedure& ncp) const {
+  OCC_CHECK(pi_frames.size() == ncp.cycles.size(),
+            "pattern has ", pi_frames.size(), " PI frames, NCP needs ",
+            ncp.cycles.size());
+  const size_t npi = nl.inputs().size();
+  for (size_t f = 0; f < pi_frames.size(); ++f) {
+    OCC_CHECK(pi_frames[f].size() == npi, "PI frame width mismatch");
+    if (f > 0 && !ncp.cycles[f].pi_change) {
+      OCC_CHECK(pi_frames[f] == pi_frames[f - 1],
+                "frame ", f, " changes PIs but NCP forbids it");
+    }
+  }
+  OCC_CHECK(load.size() == scan_cells(nl).size(), "scan load width mismatch");
+}
+
+void TestPattern::random_fill(const NamedCaptureProcedure& ncp, Rng& rng) {
+  for (V3& v : load) {
+    if (v == V3::kX) v = rng.chance(0.5) ? V3::k1 : V3::k0;
+  }
+  for (size_t f = 0; f < pi_frames.size(); ++f) {
+    if (f > 0 && !ncp.cycles[f].pi_change) {
+      pi_frames[f] = pi_frames[f - 1];
+      continue;
+    }
+    for (size_t i = 0; i < pi_frames[f].size(); ++i) {
+      if (pi_frames[f][i] == V3::kX) {
+        // Frozen later frames must stay consistent: fill frame 0 and copy
+        // forward happens above; here only free frames are filled.
+        pi_frames[f][i] = rng.chance(0.5) ? V3::k1 : V3::k0;
+      }
+    }
+  }
+  // Re-propagate fills through frozen frames.
+  for (size_t f = 1; f < pi_frames.size(); ++f) {
+    if (!ncp.cycles[f].pi_change) pi_frames[f] = pi_frames[f - 1];
+  }
+}
+
+size_t TestPattern::care_bits() const {
+  size_t n = 0;
+  for (V3 v : load) n += v != V3::kX;
+  for (const auto& fr : pi_frames) {
+    for (V3 v : fr) n += v != V3::kX;
+  }
+  return n;
+}
+
+size_t TestPattern::total_bits() const {
+  size_t n = load.size();
+  for (const auto& fr : pi_frames) n += fr.size();
+  return n;
+}
+
+double PatternSet::care_bit_density() const {
+  size_t care = 0, total = 0;
+  for (const TestPattern& p : patterns_) {
+    care += p.care_bits();
+    total += p.total_bits();
+  }
+  return total == 0 ? 0.0 : static_cast<double>(care) /
+                                static_cast<double>(total);
+}
+
+void PatternSet::write_text(std::ostream& os) const {
+  os << "# pattern set (" << scheme_name_ << "), " << patterns_.size()
+     << " patterns\n";
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    const TestPattern& p = patterns_[i];
+    os << "pattern " << i << " ncp=" << p.ncp_index << "\n  load=";
+    for (V3 v : p.load) os << v3_char(v);
+    for (size_t f = 0; f < p.pi_frames.size(); ++f) {
+      os << "\n  pi[" << f << "]=";
+      for (V3 v : p.pi_frames[f]) os << v3_char(v);
+    }
+    os << "\n";
+  }
+}
+
+PatternBatch pack_batch(const PatternSet& ps, size_t first, size_t n,
+                        const Netlist& nl,
+                        const NamedCaptureProcedure& ncp) {
+  OCC_CHECK(n >= 1 && n <= 64, "batch size 1..64");
+  OCC_CHECK(first + n <= ps.size(), "batch out of range");
+  const TestPattern& p0 = ps[first];
+  const size_t frames = ncp.cycles.size();
+  const size_t npi = nl.inputs().size();
+  const size_t nsc = scan_cells(nl).size();
+
+  PatternBatch b;
+  b.ncp_index = p0.ncp_index;
+  b.count = n;
+  b.pi_frames.assign(frames, std::vector<Val64>(npi));
+  b.load.assign(nsc, Val64{});
+
+  for (size_t s = 0; s < 64; ++s) {
+    const TestPattern& p = ps[first + (s < n ? s : 0)];
+    OCC_CHECK(p.ncp_index == b.ncp_index,
+              "batch mixes capture procedures");
+    for (size_t f = 0; f < frames; ++f) {
+      for (size_t i = 0; i < npi; ++i) {
+        b.pi_frames[f][i].set(static_cast<unsigned>(s), p.pi_frames[f][i]);
+      }
+    }
+    for (size_t i = 0; i < nsc; ++i) {
+      b.load[i].set(static_cast<unsigned>(s), p.load[i]);
+    }
+  }
+  return b;
+}
+
+}  // namespace occ

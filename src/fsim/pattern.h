@@ -1,0 +1,85 @@
+// Test patterns: scan load + per-frame PI data bound to a named capture
+// procedure, plus 64-wide packed batches for parallel-pattern simulation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/ncp.h"
+#include "netlist/library.h"
+#include "netlist/netlist.h"
+#include "sim/value.h"
+#include "util/rng.h"
+
+namespace occ {
+
+/// Scan cells of a netlist: kDff gates carrying kFlagScan, in dff order.
+/// Pattern `load` vectors index into this list.
+std::vector<GateId> scan_cells(const Netlist& nl);
+
+/// One test: which capture procedure to apply, the scan load, and the PI
+/// vector(s). pi_frames[f] is the PI vector applied in frame f; for
+/// frames whose CaptureCycle forbids pi_change it must equal the previous
+/// frame (enforced by validate()).
+struct TestPattern {
+  uint32_t ncp_index = 0;
+  std::vector<std::vector<V3>> pi_frames;  // [frame][pi position]
+  std::vector<V3> load;                    // [scan cell position]
+
+  void validate(const Netlist& nl, const NamedCaptureProcedure& ncp) const;
+
+  /// Replaces every X in PI frames and load with random values; respects
+  /// frozen-PI frames (copies frame 0 fill forward).
+  void random_fill(const NamedCaptureProcedure& ncp, Rng& rng);
+
+  /// Counts specified (non-X) bits.
+  size_t care_bits() const;
+  /// Total stimulus bits.
+  size_t total_bits() const;
+};
+
+/// An ordered pattern set sharing one clocking scheme.
+class PatternSet {
+ public:
+  explicit PatternSet(std::string scheme_name = {})
+      : scheme_name_(std::move(scheme_name)) {}
+
+  void add(TestPattern p) { patterns_.push_back(std::move(p)); }
+  size_t size() const { return patterns_.size(); }
+  bool empty() const { return patterns_.empty(); }
+  const TestPattern& operator[](size_t i) const { return patterns_[i]; }
+  TestPattern& operator[](size_t i) { return patterns_[i]; }
+  const std::string& scheme_name() const { return scheme_name_; }
+
+  auto begin() const { return patterns_.begin(); }
+  auto end() const { return patterns_.end(); }
+
+  /// Average care-bit density over all patterns (EDT encodability input).
+  double care_bit_density() const;
+
+  /// Writes a STIL-flavored text dump (for inspection/diffing).
+  void write_text(std::ostream& os) const;
+
+ private:
+  std::string scheme_name_;
+  std::vector<TestPattern> patterns_;
+};
+
+/// Up to 64 patterns packed for bit-parallel simulation. All patterns in
+/// a batch share one NCP (`ncp_index`); unused slots replicate slot 0.
+struct PatternBatch {
+  uint32_t ncp_index = 0;
+  size_t count = 0;                         // live patterns (1..64)
+  std::vector<std::vector<Val64>> pi_frames;  // [frame][pi position]
+  std::vector<Val64> load;                    // [scan cell position]
+};
+
+/// Packs patterns[first..first+n) (all with the same ncp_index) into a
+/// batch; n <= 64.
+PatternBatch pack_batch(const PatternSet& ps, size_t first, size_t n,
+                        const Netlist& nl,
+                        const NamedCaptureProcedure& ncp);
+
+}  // namespace occ

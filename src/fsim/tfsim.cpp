@@ -1,0 +1,194 @@
+#include "fsim/tfsim.h"
+
+#include <deque>
+#include <sstream>
+
+#include "fault/fault.h"
+#include "util/check.h"
+
+namespace occ {
+namespace {
+
+/// Generic BFS over the combinational fan-in cone (stops at flops/PIs).
+template <typename Visit>
+void walk_fanin(const Netlist& nl, GateId start, Visit&& visit) {
+  std::vector<bool> seen(nl.size(), false);
+  std::deque<GateId> q{start};
+  seen[start] = true;
+  while (!q.empty()) {
+    const GateId g = q.front();
+    q.pop_front();
+    if (!visit(g)) continue;  // visit returns false to stop expanding
+    for (GateId f : nl.gate(g).fanin) {
+      if (!seen[f]) {
+        seen[f] = true;
+        q.push_back(f);
+      }
+    }
+  }
+}
+
+template <typename Visit>
+void walk_fanout(const Netlist& nl, GateId start, Visit&& visit) {
+  std::vector<bool> seen(nl.size(), false);
+  std::deque<GateId> q{start};
+  seen[start] = true;
+  while (!q.empty()) {
+    const GateId g = q.front();
+    q.pop_front();
+    if (!visit(g)) continue;
+    for (GateId f : nl.gate(g).fanout) {
+      if (!seen[f]) {
+        seen[f] = true;
+        q.push_back(f);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool cone_is_constant(const Netlist& nl, GateId g) {
+  bool constant = true;
+  walk_fanin(nl, g, [&](GateId n) {
+    const GateType t = nl.gate(n).type;
+    if (t == GateType::kInput || t == GateType::kDff ||
+        t == GateType::kXSource) {
+      constant = false;
+      return false;
+    }
+    return true;
+  });
+  return constant;
+}
+
+bool reaches_scan_flop(const Netlist& nl, GateId g) {
+  bool reaches = false;
+  walk_fanout(nl, g, [&](GateId n) {
+    const Gate& gate = nl.gate(n);
+    if (gate.type == GateType::kDff) {
+      if (gate.flags & kFlagScan) reaches = true;
+      return false;  // flop ends the combinational cone
+    }
+    return true;
+  });
+  return reaches;
+}
+
+DomainMask source_domains(const Netlist& nl, GateId g) {
+  DomainMask m = 0;
+  walk_fanin(nl, g, [&](GateId n) {
+    const Gate& gate = nl.gate(n);
+    if (gate.type == GateType::kDff) {
+      m |= DomainMask{1} << gate.domain;
+      return false;
+    }
+    return true;
+  });
+  return m;
+}
+
+DomainMask sink_domains(const Netlist& nl, GateId g) {
+  DomainMask m = 0;
+  walk_fanout(nl, g, [&](GateId n) {
+    const Gate& gate = nl.gate(n);
+    if (gate.type == GateType::kDff) {
+      m |= DomainMask{1} << gate.domain;
+      return false;
+    }
+    return true;
+  });
+  return m;
+}
+
+bool depends_on_nonscan_state(const Netlist& nl, GateId g) {
+  bool dep = false;
+  walk_fanin(nl, g, [&](GateId n) {
+    const Gate& gate = nl.gate(n);
+    if (gate.type == GateType::kDff) {
+      if (!(gate.flags & kFlagScan)) dep = true;
+      return false;
+    }
+    return true;
+  });
+  return dep;
+}
+
+bool in_scan_enable_cone(const Netlist& nl, GateId g, GateId scan_en_pi) {
+  if (scan_en_pi == kNoGate) return false;
+  bool found = false;
+  walk_fanout(nl, scan_en_pi, [&](GateId n) {
+    if (n == g) found = true;
+    if (nl.gate(n).type == GateType::kDff) return false;
+    return !found;
+  });
+  return found;
+}
+
+bool fed_only_by_pis(const Netlist& nl, GateId g) {
+  bool has_pi = false, has_ff = false;
+  walk_fanin(nl, g, [&](GateId n) {
+    const GateType t = nl.gate(n).type;
+    if (t == GateType::kInput) has_pi = true;
+    if (t == GateType::kDff || t == GateType::kXSource) {
+      has_ff = true;
+      return false;
+    }
+    return true;
+  });
+  return has_pi && !has_ff;
+}
+
+std::string FaultClassReport::to_string() const {
+  std::ostringstream os;
+  os << "classified " << total_classified << " undetected faults:"
+     << " scan-path=" << scan_path << " po-masked=" << po_masked
+     << " non-scan-X=" << non_scan_x << " constant=" << constant
+     << " inter-domain=" << inter_domain << " low-speed=" << low_speed
+     << " unexplained=" << unexplained;
+  return os.str();
+}
+
+FaultClassReport classify_undetected(const Netlist& nl, FaultList& fl,
+                                     GateId scan_en_pi) {
+  FaultClassReport rep;
+  for (size_t i = 0; i < fl.size(); ++i) {
+    const FaultStatus st = fl.status(i);
+    if (st == FaultStatus::kDetected) continue;
+    ++rep.total_classified;
+    const Fault& f = fl.fault(i);
+    const GateId net = fault_net(nl, f);
+
+    // Ordered from most to least specific.
+    if (cone_is_constant(nl, net)) {
+      fl.set_class(i, FaultClass::kConstant);
+      ++rep.constant;
+    } else if (in_scan_enable_cone(nl, f.gate, scan_en_pi) ||
+               (nl.gate(f.gate).flags & kFlagScanMux)) {
+      fl.set_class(i, FaultClass::kScanPath);
+      ++rep.scan_path;
+    } else if (!reaches_scan_flop(nl, f.gate == net ? net : f.gate)) {
+      fl.set_class(i, FaultClass::kPoMasked);
+      ++rep.po_masked;
+    } else if (is_transition(f.type) && fed_only_by_pis(nl, net)) {
+      fl.set_class(i, FaultClass::kLowSpeed);
+      ++rep.low_speed;
+    } else {
+      const DomainMask src = source_domains(nl, net);
+      const DomainMask snk = sink_domains(nl, f.gate);
+      if (src != 0 && snk != 0 && (src & snk) == 0) {
+        fl.set_class(i, FaultClass::kInterDomain);
+        ++rep.inter_domain;
+      } else if (depends_on_nonscan_state(nl, net)) {
+        fl.set_class(i, FaultClass::kNonScanX);
+        ++rep.non_scan_x;
+      } else {
+        fl.set_class(i, FaultClass::kNone);
+        ++rep.unexplained;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace occ

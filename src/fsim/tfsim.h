@@ -1,0 +1,72 @@
+// Structural classification of undetected/untestable transition faults.
+//
+// The paper's section 6: "Many faults included in the transition fault
+// coverage report are actually [untestable] faults and will make the
+// coverage appear lower than the actual quality of the test. An attempt
+// will be made to classify and group these faults as non-functional scan
+// path, low-speed and other faults that cannot cause the device to fail
+// at-speed operation."
+//
+// This module implements that classification structurally:
+//   kScanPath    -- fault only excitable/propagatable through scan-enable
+//                   controlled logic, which is frozen during capture;
+//   kPoMasked    -- fault cone reaches only primary outputs, which the
+//                   on-chip-clocking schemes mask;
+//   kNonScanX    -- excitation requires non-scan state that two pulses
+//                   cannot initialize;
+//   kConstant    -- site driven exclusively by tie cells;
+//   kInterDomain -- launch cone and capture cone lie in different clock
+//                   domains (untestable without inter-domain procedures);
+//   kLowSpeed    -- fed only by primary inputs (pads): the transition
+//                   would have to be launched by a (slow) ATE edge --
+//                   the paper's "low-speed I/O" class.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault_list.h"
+#include "netlist/netlist.h"
+
+namespace occ {
+
+/// Per-class tallies.
+struct FaultClassReport {
+  size_t total_classified = 0;
+  size_t scan_path = 0;
+  size_t po_masked = 0;
+  size_t non_scan_x = 0;
+  size_t constant = 0;
+  size_t inter_domain = 0;
+  size_t low_speed = 0;
+  size_t unexplained = 0;
+
+  size_t explained() const { return total_classified - unexplained; }
+  std::string to_string() const;
+};
+
+/// Classifies every non-detected fault in `fl` (statuses are not changed;
+/// classes are recorded via FaultList::set_class). `scan_en_pi` is the
+/// scan-enable input (kNoGate if none).
+FaultClassReport classify_undetected(const Netlist& nl, FaultList& fl,
+                                     GateId scan_en_pi);
+
+/// Structural helpers (exposed for tests).
+/// True if `g`'s input cone contains only tie cells.
+bool cone_is_constant(const Netlist& nl, GateId g);
+/// Forward reachability: does any path from `g` reach a scan-flop D pin
+/// (without passing through another flop)? If not, the fault is
+/// observable only at POs / non-scan flops.
+bool reaches_scan_flop(const Netlist& nl, GateId g);
+/// Set of clock domains of flops in the immediate fan-in cone of `g`.
+DomainMask source_domains(const Netlist& nl, GateId g);
+/// Set of clock domains of flops in the immediate fan-out cone of `g`.
+DomainMask sink_domains(const Netlist& nl, GateId g);
+/// True if `g`'s input cone passes through a non-scan flop.
+bool depends_on_nonscan_state(const Netlist& nl, GateId g);
+/// True if `g`'s input cone contains primary inputs but no flops: its
+/// value can only change via (slow) ATE pin edges.
+bool fed_only_by_pis(const Netlist& nl, GateId g);
+/// True if `g` lies in the fan-out cone of the scan-enable net.
+bool in_scan_enable_cone(const Netlist& nl, GateId g, GateId scan_en_pi);
+
+}  // namespace occ

@@ -1,0 +1,346 @@
+#include "gen/socgen.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace occ {
+namespace gen {
+namespace {
+
+}  // namespace
+
+Netlist generate_soc(const SocParams& p) {
+  OCC_CHECK(p.domains >= 1 && p.domains <= 8, "1..8 domains");
+  OCC_CHECK(p.domain_share.size() == p.domains,
+            "domain_share size must equal domains");
+  OCC_CHECK(p.flops >= p.domains * 4, "too few flops");
+  OCC_CHECK(p.gates >= p.flops, "gates should exceed flops");
+  OCC_CHECK(p.pis >= 2 && p.pos >= 1, "need PIs and POs");
+
+  Rng rng(p.seed);
+  Netlist nl("soc_seed" + std::to_string(p.seed));
+
+  // Primary inputs.
+  std::vector<GateId> pis(p.pis);
+  for (size_t i = 0; i < p.pis; ++i) {
+    pis[i] = nl.add_input("pi" + std::to_string(i));
+  }
+
+  // Flops per domain (D connected later). Non-scan flops model shadow /
+  // configuration registers: they are kept OUT of the general signal pool
+  // (their power-up X must not poison the whole chip -- real shadow
+  // registers sit behind bypass muxes) and get dedicated consumers below.
+  double share_total = 0;
+  for (double s : p.domain_share) share_total += s;
+  std::vector<std::vector<GateId>> ffs(p.domains);
+  std::vector<std::vector<GateId>> shadows(p.domains);
+  size_t made = 0;
+  for (size_t d = 0; d < p.domains; ++d) {
+    size_t n = d + 1 < p.domains
+                   ? static_cast<size_t>(p.flops * p.domain_share[d] /
+                                         share_total)
+                   : p.flops - made;
+    n = std::max<size_t>(n, 4);
+    for (size_t i = 0; i < n; ++i) {
+      const bool shadow = rng.chance(p.nonscan_fraction) && i > 0;
+      const GateId ff = nl.add_dff(kNoGate, static_cast<DomainId>(d),
+                                   "ff_d" + std::to_string(d) + "_" +
+                                       std::to_string(i),
+                                   shadow ? uint16_t{kFlagNoScan} : uint16_t{0});
+      if (shadow) {
+        shadows[d].push_back(ff);
+      } else {
+        ffs[d].push_back(ff);
+      }
+    }
+    made += n;
+  }
+
+  // Combinational clouds per domain, composed from small *testable
+  // functional templates* (adders, parity trees, mux trees, comparators,
+  // and-or cones). Raw random gate soup is 15-20% redundant (reconvergent
+  // correlated signals), which no real SOC is; template composition keeps
+  // the logic irredundant like synthesized RTL, so ATPG untestability
+  // stays at realistic low percentages.
+  std::vector<std::vector<GateId>> cloud(p.domains);
+  std::vector<std::vector<GateId>> unused(p.domains);
+  size_t uniq = 0;
+
+  // Approximate combinational depth per net: real pipelines keep logic
+  // between flop stages shallow (tens of levels). Sources deeper than
+  // kDepthCap are not consumed by further logic -- they terminate at a
+  // flop D pin or a PO instead (sequential depth resets at flops).
+  constexpr uint32_t kDepthCap = 28;
+  std::vector<uint32_t> depth(nl.size(), 0);
+  auto depth_of = [&](GateId g) {
+    return g < depth.size() ? depth[g] : 0u;
+  };
+
+  auto pick_source = [&](size_t d) -> GateId {
+    for (int attempt = 0; attempt < 6; ++attempt) {
+      size_t dd = d;
+      if (p.domains > 1 && rng.chance(p.cross_domain_fraction)) {
+        dd = (d + 1 + rng.below(p.domains - 1)) % p.domains;
+      }
+      const uint64_t r = rng.below(100);
+      GateId g = kNoGate;
+      // Consume a dangling net first (connectivity), then flops, PIs.
+      if (r < 50 && !unused[dd].empty()) {
+        const size_t k = rng.below(unused[dd].size());
+        g = unused[dd][k];
+        if (depth_of(g) < kDepthCap) {
+          unused[dd][k] = unused[dd].back();
+          unused[dd].pop_back();
+          return g;
+        }
+        continue;  // too deep to extend: leave for a flop D / PO
+      }
+      if (r < 62 && !cloud[dd].empty()) {
+        g = cloud[dd][rng.below(cloud[dd].size())];
+        if (depth_of(g) < kDepthCap) return g;
+        continue;
+      }
+      if (r < 90 && !ffs[dd].empty()) {
+        return ffs[dd][rng.below(ffs[dd].size())];
+      }
+      return pis[rng.below(pis.size())];
+    }
+    return ffs[d].empty() ? pis[rng.below(pis.size())]
+                          : ffs[d][rng.below(ffs[d].size())];
+  };
+  auto emit = [&](size_t d, GateId g) {
+    cloud[d].push_back(g);
+    unused[d].push_back(g);
+  };
+  // Distinct second operand: XOR(x, x) = 0 and friends would inject
+  // redundant (untestable) logic, which real synthesized netlists avoid.
+  auto pick_distinct = [&](size_t d, GateId other) {
+    for (int tries = 0; tries < 8; ++tries) {
+      const GateId g = pick_source(d);
+      if (g != other) return g;
+    }
+    return pis[rng.below(pis.size())] == other
+               ? pis[(rng.below(pis.size()) + 1) % pis.size()]
+               : pis[rng.below(pis.size())];
+  };
+  auto nm = [&](const char* base) {
+    return std::string(base) + std::to_string(uniq++);
+  };
+
+  // Templates. Each consumes pool sources and emits its outputs.
+  auto t_adder = [&](size_t d, size_t w) {
+    GateId carry = pick_source(d);
+    for (size_t i = 0; i < w; ++i) {
+      const GateId a = pick_source(d);
+      const GateId b = pick_distinct(d, a);
+      const GateId axb = nl.add_gate2(GateType::kXor, a, b, nm("ax"));
+      const GateId sum = nl.add_gate2(GateType::kXor, axb, carry, nm("sm"));
+      const GateId c1 = nl.add_gate2(GateType::kAnd, a, b, nm("c1_"));
+      const GateId c2 = nl.add_gate2(GateType::kAnd, axb, carry, nm("c2_"));
+      carry = nl.add_gate2(GateType::kOr, c1, c2, nm("cy"));
+      emit(d, sum);
+    }
+    emit(d, carry);
+  };
+  auto t_parity = [&](size_t d, size_t w) {
+    GateId acc = pick_source(d);
+    for (size_t i = 1; i < w; ++i) {
+      acc = nl.add_gate2(rng.chance(0.5) ? GateType::kXor : GateType::kXnor,
+                         acc, pick_distinct(d, acc), nm("pa"));
+    }
+    emit(d, acc);
+  };
+  auto t_muxtree = [&](size_t d, size_t depth) {
+    std::vector<GateId> data(size_t{1} << depth);
+    for (auto& g : data) g = pick_source(d);
+    for (size_t lvl = 0; lvl < depth; ++lvl) {
+      const GateId sel = pick_source(d);
+      std::vector<GateId> next;
+      for (size_t i = 0; i + 1 < data.size(); i += 2) {
+        const GateId d1 = data[i + 1] == data[i]
+                              ? pick_distinct(d, data[i])
+                              : data[i + 1];
+        next.push_back(nl.add_mux2(sel, data[i], d1, nm("mx")));
+      }
+      data = std::move(next);
+    }
+    emit(d, data[0]);
+  };
+  auto t_aoi = [&](size_t d, size_t w) {
+    // AND pairs into an OR tree with one inverted leg: and-or-invert
+    // cones typical of control logic.
+    std::vector<GateId> terms;
+    for (size_t i = 0; i < w; ++i) {
+      const GateId a = pick_source(d);
+      const GateId b = pick_distinct(d, a);
+      if (rng.chance(0.3)) {
+        const GateId bn = nl.add_gate1(GateType::kNot, b, nm("n"));
+        terms.push_back(nl.add_gate2(GateType::kAnd, a, bn, nm("t")));
+      } else {
+        terms.push_back(nl.add_gate2(GateType::kAnd, a, b, nm("t")));
+      }
+    }
+    GateId acc = terms[0];
+    for (size_t i = 1; i < terms.size(); ++i) {
+      acc = nl.add_gate2(GateType::kOr, acc, terms[i], nm("o"));
+    }
+    if (rng.chance(0.5)) acc = nl.add_gate1(GateType::kNot, acc, nm("oi"));
+    emit(d, acc);
+  };
+  auto t_compare = [&](size_t d, size_t w) {
+    // Equality comparator: XNOR bits, AND-reduce; emits per-bit XNORs
+    // too (realistic multi-output cell cluster).
+    std::vector<GateId> eq;
+    for (size_t i = 0; i < w; ++i) {
+      const GateId a = pick_source(d);
+      eq.push_back(nl.add_gate2(GateType::kXnor, a, pick_distinct(d, a),
+                                nm("eq")));
+    }
+    GateId acc = eq[0];
+    for (size_t i = 1; i < eq.size(); ++i) {
+      acc = nl.add_gate2(GateType::kAnd, acc, eq[i], nm("ea"));
+    }
+    emit(d, acc);
+    if (w >= 3) emit(d, eq[0]);
+  };
+
+  for (size_t d = 0; d < p.domains; ++d) {
+    const size_t quota = static_cast<size_t>(
+        p.gates * p.domain_share[d] / share_total);
+    const size_t start_gates = nl.size();
+    while (nl.size() - start_gates < quota) {
+      const size_t before = nl.size();
+      switch (rng.below(5)) {
+        case 0: t_adder(d, 2 + rng.below(4)); break;
+        case 1: t_parity(d, 3 + rng.below(5)); break;
+        case 2: t_muxtree(d, 1 + rng.below(3)); break;
+        case 3: t_aoi(d, 2 + rng.below(4)); break;
+        default: t_compare(d, 2 + rng.below(4)); break;
+      }
+      // Update depth estimates for the template's new gates (created in
+      // topological order; flops and PIs stay at depth 0).
+      depth.resize(nl.size(), 0);
+      for (GateId g = static_cast<GateId>(before); g < nl.size(); ++g) {
+        uint32_t dmax = 0;
+        for (GateId f : nl.gate(g).fanin) {
+          dmax = std::max(dmax, depth[f] + 1);
+        }
+        depth[g] = dmax;
+      }
+    }
+  }
+
+  // Connect flop D pins, preferentially consuming dangling gates (this
+  // is where most cones terminate in a real design).
+  auto consume = [&](size_t d) {
+    OCC_CHECK(!cloud[d].empty(), "domain without logic");
+    if (!unused[d].empty()) {
+      const size_t k = rng.below(unused[d].size());
+      const GateId src = unused[d][k];
+      unused[d][k] = unused[d].back();
+      unused[d].pop_back();
+      return src;
+    }
+    return cloud[d][rng.below(cloud[d].size())];
+  };
+  for (size_t d = 0; d < p.domains; ++d) {
+    for (GateId ff : ffs[d]) nl.connect_dff_d(ff, consume(d));
+    for (GateId sh : shadows[d]) nl.connect_dff_d(sh, consume(d));
+  }
+
+  // Shadow consumers: each shadow register feeds one scan flop's D cone
+  // through a select mux, so its X is contained until a clock-sequential
+  // initialization pulse makes it known (the paper's experiment (c)->(d)
+  // coverage mechanism). shadow_sel = 0 bypasses the shadow entirely.
+  GateId shadow_sel = kNoGate;
+  size_t sh_tag = 0;
+  for (size_t d = 0; d < p.domains; ++d) {
+    for (GateId sh : shadows[d]) {
+      if (shadow_sel == kNoGate) shadow_sel = nl.add_input("shadow_sel");
+      const GateId tgt = ffs[d][rng.below(ffs[d].size())];
+      const GateId old_d = nl.gate(tgt).fanin[0];
+      const GateId mixed =
+          nl.add_gate2(GateType::kXnor, sh, old_d,
+                       "shmix" + std::to_string(sh_tag));
+      const GateId sel =
+          nl.add_mux2(shadow_sel, old_d, mixed,
+                      "shsel" + std::to_string(sh_tag++));
+      nl.connect_dff_d(tgt, sel);
+    }
+  }
+
+  // Primary outputs: consume remaining dangling gates first, then sample
+  // deep gates.
+  for (size_t i = 0; i < p.pos; ++i) {
+    const size_t d = rng.below(p.domains);
+    GateId g;
+    if (!unused[d].empty()) {
+      g = unused[d].back();
+      unused[d].pop_back();
+    } else if (!cloud[d].empty()) {
+      g = cloud[d][cloud[d].size() - 1 - rng.below(
+                       std::min<size_t>(cloud[d].size(), 64))];
+    } else {
+      continue;
+    }
+    nl.add_output(g, "po" + std::to_string(i));
+  }
+
+  // Sweep leftover dangling gates into small OR observe-trees (the
+  // PO-masked fault class of the paper arises here).
+  nl.finalize();  // computes fanouts so we can find sinks
+  std::vector<GateId> dangling;
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type == GateType::kOutput || g.type == GateType::kInput ||
+        is_sequential(g.type) || is_source(g.type)) {
+      continue;
+    }
+    if (g.fanout.empty()) dangling.push_back(id);
+  }
+  const double keep_po_only = p.po_only_fraction;
+  Rng rng2(p.seed ^ 0xABCDEF);
+  size_t tag = 0;
+  // Shared observation-test-point enable: folded observe trees are gated
+  // by this pin so the original flop cones stay easy to justify
+  // (tp_en = 0 restores the functional D).
+  GateId tp_en = kNoGate;
+  while (!dangling.empty()) {
+    // Few gates remain dangling after the consume-first wiring; observe
+    // them through small OR trees, mostly at POs (the paper's PO-masked
+    // fault class), occasionally folded into a flop cone behind the
+    // shared test-point enable.
+    std::vector<GateId> group;
+    for (size_t i = 0; i < 3 && !dangling.empty(); ++i) {
+      group.push_back(dangling.back());
+      dangling.pop_back();
+    }
+    GateId acc = group[0];
+    for (size_t i = 1; i < group.size(); ++i) {
+      acc = nl.add_gate2(GateType::kOr, acc, group[i],
+                         "obs_x" + std::to_string(tag++));
+    }
+    if (rng2.chance(1.0 - keep_po_only) && !nl.dffs().empty()) {
+      if (tp_en == kNoGate) tp_en = nl.add_input("tp_en");
+      const auto& dffs = nl.dffs();
+      const GateId ff = dffs[rng2.below(dffs.size())];
+      const GateId old_d = nl.gate(ff).fanin[0];
+      const GateId gated = nl.add_gate2(GateType::kAnd, acc, tp_en,
+                                        "obs_g" + std::to_string(tag));
+      const GateId nx = nl.add_gate2(GateType::kOr, old_d, gated,
+                                     "obs_f" + std::to_string(tag++));
+      nl.connect_dff_d(ff, nx);
+    } else {
+      nl.add_output(acc, "obs_po" + std::to_string(tag++));
+    }
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace gen
+}  // namespace occ

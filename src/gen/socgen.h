@@ -1,0 +1,51 @@
+// Synthetic SOC generator: the stand-in for the paper's proprietary
+// 130nm micro-controller netlist.
+//
+// The generated design reproduces the *structural features* that drive
+// the Table-1 coverage/pattern-count deltas:
+//   * two (or more) synchronous clock domains with configurable logic
+//     share (the paper: 75 MHz and 150 MHz domains);
+//   * cross-domain combinational paths (untestable without inter-domain
+//     launch/capture);
+//   * non-scan flops (need clock-sequential initialization -- impossible
+//     with a two-pulse CPF);
+//   * cones observable only at primary outputs (lost when POs are
+//     masked) and logic driven directly by primary inputs (launching
+//     from PIs impossible when PIs are frozen);
+//   * random control/datapath logic with realistic gate mix and depth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace occ {
+namespace gen {
+
+struct SocParams {
+  uint64_t seed = 42;
+  size_t domains = 2;
+  /// Relative logic size per domain (normalized internally). Defaults to
+  /// the paper's flavor: the fast domain carries more logic.
+  std::vector<double> domain_share = {0.4, 0.6};
+  size_t flops = 400;
+  size_t gates = 4000;  // combinational cell target (total)
+  size_t pis = 24;
+  size_t pos = 24;
+  /// Fraction of flops excluded from scan (shadow/config registers).
+  double nonscan_fraction = 0.05;
+  /// Probability that a gate samples a fanin from a *different* domain
+  /// (creates inter-domain paths).
+  double cross_domain_fraction = 0.06;
+  /// Fraction of cones terminated only at POs (PO-masked fault class).
+  double po_only_fraction = 0.10;
+  size_t max_fanin = 4;
+};
+
+/// Generates a finalized multi-domain netlist (no scan yet; run
+/// insert_scan afterwards).
+Netlist generate_soc(const SocParams& params);
+
+}  // namespace gen
+}  // namespace occ

@@ -1,0 +1,120 @@
+#include "netlist/library.h"
+
+#include "util/check.h"
+
+namespace occ {
+
+V3 v3_and(V3 a, V3 b) {
+  if (a == V3::k0 || b == V3::k0) return V3::k0;
+  if (a == V3::k1 && b == V3::k1) return V3::k1;
+  return V3::kX;
+}
+
+V3 v3_or(V3 a, V3 b) {
+  if (a == V3::k1 || b == V3::k1) return V3::k1;
+  if (a == V3::k0 && b == V3::k0) return V3::k0;
+  return V3::kX;
+}
+
+V3 v3_xor(V3 a, V3 b) {
+  if (a == V3::kX || b == V3::kX) return V3::kX;
+  return v3_from_bool(a != b);
+}
+
+V3 eval_gate(GateType type, std::span<const V3> in) {
+  switch (type) {
+    case GateType::kBuf:
+    case GateType::kOutput:
+      OCC_DCHECK(in.size() == 1);
+      return in[0];
+    case GateType::kNot:
+      OCC_DCHECK(in.size() == 1);
+      return v3_not(in[0]);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      V3 v = V3::k1;
+      for (V3 x : in) v = v3_and(v, x);
+      return type == GateType::kNand ? v3_not(v) : v;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      V3 v = V3::k0;
+      for (V3 x : in) v = v3_or(v, x);
+      return type == GateType::kNor ? v3_not(v) : v;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      V3 v = V3::k0;
+      for (V3 x : in) v = v3_xor(v, x);
+      return type == GateType::kXnor ? v3_not(v) : v;
+    }
+    case GateType::kMux2: {
+      OCC_DCHECK(in.size() == 3);
+      const V3 sel = in[0];
+      if (sel == V3::k0) return in[1];
+      if (sel == V3::k1) return in[2];
+      // sel = X: output known only if both data inputs agree and are known.
+      if (in[1] == in[2] && in[1] != V3::kX) return in[1];
+      return V3::kX;
+    }
+    case GateType::kTie0:
+      return V3::k0;
+    case GateType::kTie1:
+      return V3::k1;
+    case GateType::kXSource:
+      return V3::kX;
+    default:
+      OCC_CHECK(false, "eval_gate: not a combinational cell: ",
+                gate_type_name(type));
+  }
+}
+
+V3 controlling_value(GateType t) {
+  switch (t) {
+    case GateType::kAnd:
+    case GateType::kNand:
+      return V3::k0;
+    case GateType::kOr:
+    case GateType::kNor:
+      return V3::k1;
+    default:
+      return V3::kX;
+  }
+}
+
+bool is_inverting(GateType t) {
+  return t == GateType::kNand || t == GateType::kNor ||
+         t == GateType::kNot || t == GateType::kXnor;
+}
+
+V3 controlled_output(GateType t) {
+  switch (t) {
+    case GateType::kAnd:
+      return V3::k0;
+    case GateType::kNand:
+      return V3::k1;
+    case GateType::kOr:
+      return V3::k1;
+    case GateType::kNor:
+      return V3::k0;
+    default:
+      return V3::kX;
+  }
+}
+
+V3 noncontrolled_output(GateType t) {
+  switch (t) {
+    case GateType::kAnd:
+      return V3::k1;
+    case GateType::kNand:
+      return V3::k0;
+    case GateType::kOr:
+      return V3::k0;
+    case GateType::kNor:
+      return V3::k1;
+    default:
+      return V3::kX;
+  }
+}
+
+}  // namespace occ

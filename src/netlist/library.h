@@ -1,0 +1,45 @@
+// Scalar 3-valued logic and cell-function metadata.
+//
+// V3 is the scalar truth value used by PODEM and the event simulator;
+// the packed 64-pattern representation lives in sim/value.h.
+#pragma once
+
+#include <span>
+
+#include "netlist/types.h"
+
+namespace occ {
+
+/// Scalar ternary logic value.
+enum class V3 : uint8_t { k0 = 0, k1 = 1, kX = 2 };
+
+inline char v3_char(V3 v) { return v == V3::k0 ? '0' : v == V3::k1 ? '1' : 'X'; }
+inline V3 v3_not(V3 v) {
+  return v == V3::k0 ? V3::k1 : v == V3::k1 ? V3::k0 : V3::kX;
+}
+inline V3 v3_from_bool(bool b) { return b ? V3::k1 : V3::k0; }
+
+V3 v3_and(V3 a, V3 b);
+V3 v3_or(V3 a, V3 b);
+V3 v3_xor(V3 a, V3 b);
+
+/// Evaluates a combinational gate over scalar ternary inputs.
+/// Sequential types and sources are rejected (OCC_CHECK).
+V3 eval_gate(GateType type, std::span<const V3> in);
+
+/// Controlling value of a gate input (the value that alone determines the
+/// output), e.g. 0 for AND/NAND, 1 for OR/NOR. Returns kX for gates with
+/// no controlling value (XOR/XNOR/BUF/NOT/MUX).
+V3 controlling_value(GateType t);
+
+/// True if the gate inverts between its controlled/non-controlled input
+/// condition and output (NAND/NOR/NOT/XNOR).
+bool is_inverting(GateType t);
+
+/// Output value when some input is at the controlling value.
+V3 controlled_output(GateType t);
+
+/// Output value when all inputs are at the non-controlling value.
+V3 noncontrolled_output(GateType t);
+
+}  // namespace occ

@@ -1,0 +1,334 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace occ {
+
+std::string_view gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::kInput: return "INPUT";
+    case GateType::kOutput: return "OUTPUT";
+    case GateType::kTie0: return "TIE0";
+    case GateType::kTie1: return "TIE1";
+    case GateType::kXSource: return "XSRC";
+    case GateType::kBuf: return "BUF";
+    case GateType::kNot: return "NOT";
+    case GateType::kAnd: return "AND";
+    case GateType::kNand: return "NAND";
+    case GateType::kOr: return "OR";
+    case GateType::kNor: return "NOR";
+    case GateType::kXor: return "XOR";
+    case GateType::kXnor: return "XNOR";
+    case GateType::kMux2: return "MUX";
+    case GateType::kDff: return "DFF";
+    case GateType::kDffC: return "DFFC";
+    case GateType::kDlatL: return "DLATL";
+    case GateType::kDlatH: return "DLATH";
+  }
+  return "?";
+}
+
+int expected_fanin(GateType t) {
+  switch (t) {
+    case GateType::kInput:
+    case GateType::kTie0:
+    case GateType::kTie1:
+    case GateType::kXSource:
+      return 0;
+    case GateType::kOutput:
+    case GateType::kBuf:
+    case GateType::kNot:
+    case GateType::kDff:
+      return 1;
+    case GateType::kDlatL:
+    case GateType::kDlatH:
+      return 2;
+    case GateType::kMux2:
+      return 3;
+    case GateType::kDffC:
+      return -2;  // 2 or 3 (optional reset)
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return -1;  // variadic, >= 2
+  }
+  return -1;
+}
+
+GateId Netlist::push(Gate g) {
+  OCC_CHECK(gates_.size() < kNoGate, "netlist too large");
+  const GateId id = static_cast<GateId>(gates_.size());
+  gates_.push_back(std::move(g));
+  finalized_ = false;
+  name_index_valid_ = false;
+  return id;
+}
+
+GateId Netlist::add_input(std::string name) {
+  Gate g;
+  g.type = GateType::kInput;
+  g.name = std::move(name);
+  const GateId id = push(std::move(g));
+  inputs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_tie(bool value, std::string name) {
+  Gate g;
+  g.type = value ? GateType::kTie1 : GateType::kTie0;
+  g.name = std::move(name);
+  return push(std::move(g));
+}
+
+GateId Netlist::add_x_source(std::string name) {
+  Gate g;
+  g.type = GateType::kXSource;
+  g.name = std::move(name);
+  return push(std::move(g));
+}
+
+GateId Netlist::add_gate(GateType type, std::span<const GateId> fanin,
+                         std::string name) {
+  OCC_CHECK(!is_sequential(type) && !is_source(type) &&
+                type != GateType::kOutput,
+            "add_gate is for combinational cells, got ",
+            gate_type_name(type));
+  const int want = expected_fanin(type);
+  if (want >= 0) {
+    OCC_CHECK(static_cast<int>(fanin.size()) == want, "gate ",
+              gate_type_name(type), " expects ", want, " fanins, got ",
+              fanin.size());
+  } else {
+    OCC_CHECK(fanin.size() >= 2, "variadic gate needs >= 2 fanins");
+  }
+  for (GateId f : fanin) {
+    OCC_CHECK(f < gates_.size(), "fanin id out of range");
+  }
+  Gate g;
+  g.type = type;
+  g.fanin.assign(fanin.begin(), fanin.end());
+  g.name = std::move(name);
+  return push(std::move(g));
+}
+
+GateId Netlist::add_gate1(GateType type, GateId a, std::string name) {
+  const GateId f[] = {a};
+  return add_gate(type, f, std::move(name));
+}
+
+GateId Netlist::add_gate2(GateType type, GateId a, GateId b,
+                          std::string name) {
+  const GateId f[] = {a, b};
+  return add_gate(type, f, std::move(name));
+}
+
+GateId Netlist::add_mux2(GateId sel, GateId d0, GateId d1, std::string name) {
+  const GateId f[] = {sel, d0, d1};
+  return add_gate(GateType::kMux2, f, std::move(name));
+}
+
+GateId Netlist::add_dff(GateId d, DomainId domain, std::string name,
+                        uint16_t flags) {
+  Gate g;
+  g.type = GateType::kDff;
+  g.domain = domain;
+  g.flags = flags;
+  g.fanin = {d};  // may be kNoGate until connect_dff_d
+  g.name = std::move(name);
+  const GateId id = push(std::move(g));
+  seqs_.push_back(id);
+  dffs_.push_back(id);
+  return id;
+}
+
+void Netlist::connect_dff_d(GateId ff, GateId d) {
+  OCC_CHECK(ff < gates_.size() && gates_[ff].type == GateType::kDff,
+            "connect_dff_d target is not a DFF");
+  OCC_CHECK(d < gates_.size(), "connect_dff_d source out of range");
+  gates_[ff].fanin[0] = d;
+  finalized_ = false;
+}
+
+GateId Netlist::add_dff_c(GateId d, GateId clk, std::string name,
+                          GateId rstn) {
+  Gate g;
+  g.type = GateType::kDffC;
+  g.fanin = {d, clk};
+  if (rstn != kNoGate) g.fanin.push_back(rstn);
+  g.name = std::move(name);
+  const GateId id = push(std::move(g));
+  seqs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_latch(GateId d, GateId en, bool active_high,
+                          std::string name) {
+  Gate g;
+  g.type = active_high ? GateType::kDlatH : GateType::kDlatL;
+  g.fanin = {d, en};
+  g.name = std::move(name);
+  const GateId id = push(std::move(g));
+  seqs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_output(GateId src, std::string name) {
+  OCC_CHECK(src < gates_.size(), "output source out of range");
+  Gate g;
+  g.type = GateType::kOutput;
+  g.fanin = {src};
+  g.name = std::move(name);
+  const GateId id = push(std::move(g));
+  outputs_.push_back(id);
+  return id;
+}
+
+void Netlist::replace_fanin(GateId g, size_t pin, GateId new_src) {
+  OCC_CHECK(g < gates_.size(), "replace_fanin gate out of range");
+  OCC_CHECK(pin < gates_[g].fanin.size(), "replace_fanin pin out of range");
+  OCC_CHECK(new_src < gates_.size(), "replace_fanin source out of range");
+  gates_[g].fanin[pin] = new_src;
+  finalized_ = false;
+}
+
+Gate& Netlist::mutable_gate(GateId id) {
+  OCC_CHECK(id < gates_.size(), "gate id out of range");
+  finalized_ = false;
+  return gates_[id];
+}
+
+void Netlist::validate() const {
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    const int want = expected_fanin(g.type);
+    if (want >= 0) {
+      OCC_CHECK(static_cast<int>(g.fanin.size()) == want, "gate ", id, " (",
+                gate_type_name(g.type), ") has ", g.fanin.size(),
+                " fanins, expects ", want);
+    } else if (want == -2) {
+      OCC_CHECK(g.fanin.size() == 2 || g.fanin.size() == 3,
+                "DFFC expects 2 or 3 fanins");
+    } else {
+      OCC_CHECK(g.fanin.size() >= 2, "variadic gate ", id, " has ",
+                g.fanin.size(), " fanins");
+    }
+    for (GateId f : g.fanin) {
+      OCC_CHECK(f < gates_.size(), "gate ", id,
+                " has dangling fanin (unconnected DFF D pin?)");
+      OCC_CHECK(gates_[f].type != GateType::kOutput,
+                "OUTPUT markers cannot drive logic (gate ", id, ")");
+    }
+  }
+}
+
+void Netlist::levelize() {
+  // Kahn's algorithm over the combinational core.  Sources and sequential
+  // outputs are level 0; a sequential gate's *inputs* are ordinary
+  // combinational sinks.  Levels are edge counts from the nearest source.
+  const size_t n = gates_.size();
+  std::vector<uint32_t> pending(n, 0);
+  for (GateId id = 0; id < n; ++id) {
+    const Gate& g = gates_[id];
+    if (is_source(g.type) || is_sequential(g.type)) {
+      pending[id] = 0;
+    } else {
+      pending[id] = static_cast<uint32_t>(g.fanin.size());
+    }
+  }
+  std::deque<GateId> ready;
+  for (GateId id = 0; id < n; ++id) {
+    gates_[id].level = -1;
+    if (pending[id] == 0) {
+      gates_[id].level = 0;
+      ready.push_back(id);
+    }
+  }
+  topo_.clear();
+  topo_.reserve(n);
+  max_level_ = 0;
+  std::vector<bool> popped(n, false);
+  size_t visited = 0;
+  while (!ready.empty()) {
+    const GateId id = ready.front();
+    ready.pop_front();
+    topo_.push_back(id);
+    popped[id] = true;
+    ++visited;
+    for (GateId out : gates_[id].fanout) {
+      Gate& og = gates_[out];
+      if (is_sequential(og.type)) continue;  // flop inputs end comb paths
+      og.level = std::max(og.level, gates_[id].level + 1);
+      max_level_ = std::max(max_level_, og.level);
+      OCC_DCHECK(pending[out] > 0);
+      if (--pending[out] == 0) ready.push_back(out);
+    }
+  }
+  if (visited != n) {
+    // Report one gate stuck in a loop (levels may have been partially
+    // assigned before the cycle was hit, so check popped, not level).
+    for (GateId id = 0; id < n; ++id) {
+      if (!popped[id]) {
+        OCC_CHECK(false, "combinational loop through gate ", id, " ('",
+                  gates_[id].name, "', ", gate_type_name(gates_[id].type),
+                  "); ", n - visited, " gates in loops");
+      }
+    }
+  }
+  // Stable secondary order: sort topo by (level, id) so parallel engines
+  // get deterministic schedules.
+  std::stable_sort(topo_.begin(), topo_.end(), [this](GateId a, GateId b) {
+    return gates_[a].level < gates_[b].level;
+  });
+}
+
+void Netlist::finalize() {
+  validate();
+  for (auto& g : gates_) g.fanout.clear();
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    for (GateId f : gates_[id].fanin) {
+      gates_[f].fanout.push_back(id);
+    }
+  }
+  levelize();
+  finalized_ = true;
+}
+
+const std::vector<GateId>& Netlist::topo_order() const {
+  OCC_CHECK(finalized_, "topo_order requires finalize()");
+  return topo_;
+}
+
+size_t Netlist::num_domains() const {
+  size_t d = 0;
+  for (GateId ff : dffs_) d = std::max<size_t>(d, gates_[ff].domain);
+  return d + 1;
+}
+
+GateId Netlist::find(std::string_view name) const {
+  if (!name_index_valid_) {
+    name_index_.clear();
+    for (GateId id = 0; id < gates_.size(); ++id) {
+      if (!gates_[id].name.empty()) name_index_.emplace(gates_[id].name, id);
+    }
+    name_index_valid_ = true;
+  }
+  auto it = name_index_.find(std::string(name));
+  return it == name_index_.end() ? kNoGate : it->second;
+}
+
+void Netlist::assign_names() {
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    if (gates_[id].name.empty()) {
+      gates_[id].name = "g" + std::to_string(id);
+    }
+  }
+  name_index_valid_ = false;
+}
+
+}  // namespace occ

@@ -1,0 +1,138 @@
+// Gate-level netlist graph: construction API, validation, levelization.
+//
+// A Netlist is built incrementally (add_input / add_gate / add_dff /
+// add_output), then finalize() computes fanout lists and combinational
+// levels and validates structure.  Most engines (simulators, fault tools,
+// ATPG) require a finalized netlist.
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/types.h"
+
+namespace occ {
+
+/// One gate instance. The gate's output net is identified by the gate id.
+struct Gate {
+  GateType type = GateType::kBuf;
+  DomainId domain = 0;  // clock domain (meaningful for kDff)
+  uint16_t flags = 0;
+  int32_t level = -1;  // combinational level; sources/FF outputs = 0
+  std::vector<GateId> fanin;
+  std::vector<GateId> fanout;
+  std::string name;
+};
+
+/// Gate-level netlist with single-output gates.
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // ---- construction -----------------------------------------------------
+
+  /// Adds a primary input.
+  GateId add_input(std::string name);
+
+  /// Adds a constant source.
+  GateId add_tie(bool value, std::string name = {});
+
+  /// Adds an always-X source (uncontrollable value).
+  GateId add_x_source(std::string name = {});
+
+  /// Adds a combinational gate; fanin count is validated for the type.
+  GateId add_gate(GateType type, std::span<const GateId> fanin,
+                  std::string name = {});
+
+  /// Convenience overloads for 1/2/3-input gates.
+  GateId add_gate1(GateType type, GateId a, std::string name = {});
+  GateId add_gate2(GateType type, GateId a, GateId b, std::string name = {});
+  GateId add_mux2(GateId sel, GateId d0, GateId d1, std::string name = {});
+
+  /// Adds a cycle-semantics DFF (D connected later via connect_dff_d if
+  /// kNoGate is passed, which supports feedback).
+  GateId add_dff(GateId d, DomainId domain, std::string name = {},
+                 uint16_t flags = 0);
+
+  /// Connects/overrides the D pin of a kDff (used for feedback paths and
+  /// by scan insertion to splice in the scan mux).
+  void connect_dff_d(GateId ff, GateId d);
+
+  /// Adds an explicit-clock DFF for timed simulation.
+  GateId add_dff_c(GateId d, GateId clk, std::string name = {},
+                   GateId rstn = kNoGate);
+
+  /// Adds a level-sensitive latch (active-low or active-high enable).
+  GateId add_latch(GateId d, GateId en, bool active_high,
+                   std::string name = {});
+
+  /// Declares a primary output observing `src`.
+  GateId add_output(GateId src, std::string name = {});
+
+  /// Replaces pin `pin` of gate `g` with net `new_src` (fixing fanouts is
+  /// deferred to finalize()).
+  void replace_fanin(GateId g, size_t pin, GateId new_src);
+
+  /// Computes fanouts + levels, validates pin counts and acyclicity of the
+  /// combinational core. Throws CheckError on malformed structure.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+
+  // ---- queries ------------------------------------------------------------
+
+  size_t size() const { return gates_.size(); }
+  const Gate& gate(GateId id) const { return gates_[id]; }
+  Gate& mutable_gate(GateId id);
+
+  const std::vector<GateId>& inputs() const { return inputs_; }
+  const std::vector<GateId>& outputs() const { return outputs_; }
+  /// All sequential cells (kDff/kDffC/kDlat*), in creation order.
+  const std::vector<GateId>& seqs() const { return seqs_; }
+  /// Cycle-semantics flops only (kDff).
+  const std::vector<GateId>& dffs() const { return dffs_; }
+
+  /// Gates in non-decreasing level order (sources and flop outputs first);
+  /// valid after finalize(). Excludes nothing: every gate appears once.
+  const std::vector<GateId>& topo_order() const;
+
+  /// Maximum combinational level.
+  int32_t max_level() const { return max_level_; }
+
+  /// Number of clock domains (1 + max domain id over flops), at least 1.
+  size_t num_domains() const;
+
+  /// Finds a gate by name; returns kNoGate if absent. Builds a lazy index.
+  GateId find(std::string_view name) const;
+
+  /// Ensures every gate has a unique non-empty name (autonames "g<N>").
+  void assign_names();
+
+ private:
+  GateId push(Gate g);
+  void levelize();
+  void validate() const;
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::vector<GateId> seqs_;
+  std::vector<GateId> dffs_;
+  std::vector<GateId> topo_;
+  int32_t max_level_ = 0;
+  bool finalized_ = false;
+  mutable std::unordered_map<std::string, GateId> name_index_;
+  mutable bool name_index_valid_ = false;
+};
+
+/// Expected fanin count for a gate type; returns -1 for variadic (>= 2).
+int expected_fanin(GateType t);
+
+}  // namespace occ

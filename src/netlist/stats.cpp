@@ -1,0 +1,68 @@
+#include "netlist/stats.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace occ {
+
+NetlistStats NetlistStats::compute(const Netlist& nl) {
+  NetlistStats s;
+  s.total_gates = nl.size();
+  s.flops_per_domain.assign(nl.num_domains(), 0);
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    s.per_type[static_cast<size_t>(g.type)]++;
+    switch (g.type) {
+      case GateType::kInput:
+        s.inputs++;
+        break;
+      case GateType::kOutput:
+        s.outputs++;
+        break;
+      case GateType::kDff:
+        s.flops++;
+        s.flops_per_domain[g.domain]++;
+        if (g.flags & kFlagScan) s.scan_flops++;
+        else s.nonscan_flops++;
+        break;
+      case GateType::kDffC:
+        s.flops++;
+        break;
+      case GateType::kDlatL:
+      case GateType::kDlatH:
+        s.latches++;
+        break;
+      case GateType::kTie0:
+      case GateType::kTie1:
+      case GateType::kXSource:
+        break;
+      default:
+        s.logic_gates++;
+    }
+  }
+  if (nl.finalized()) s.max_level = nl.max_level();
+  return s;
+}
+
+std::string NetlistStats::to_string() const {
+  std::ostringstream os;
+  os << "gates=" << total_gates << " logic=" << logic_gates
+     << " PI=" << inputs << " PO=" << outputs << " FF=" << flops << " (scan="
+     << scan_flops << ", nonscan=" << nonscan_flops << ") latches="
+     << latches << " depth=" << max_level;
+  if (!flops_per_domain.empty()) {
+    os << " domains=[";
+    for (size_t d = 0; d < flops_per_domain.size(); ++d) {
+      if (d) os << ", ";
+      os << "d" << d << ":" << flops_per_domain[d];
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const NetlistStats& s) {
+  return os << s.to_string();
+}
+
+}  // namespace occ

@@ -1,0 +1,35 @@
+// Netlist statistics: per-type counts, depth, domain population.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace occ {
+
+/// Summary counters over a netlist, computed once.
+struct NetlistStats {
+  size_t total_gates = 0;
+  size_t logic_gates = 0;  // combinational cells (excl. sources/outputs)
+  size_t inputs = 0;
+  size_t outputs = 0;
+  size_t flops = 0;
+  size_t scan_flops = 0;
+  size_t nonscan_flops = 0;
+  size_t latches = 0;
+  int32_t max_level = 0;
+  std::array<size_t, 18> per_type{};        // indexed by GateType
+  std::vector<size_t> flops_per_domain;     // indexed by DomainId
+
+  static NetlistStats compute(const Netlist& nl);
+
+  /// Human-readable multi-line report.
+  std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const NetlistStats& s);
+
+}  // namespace occ

@@ -1,0 +1,74 @@
+// Fundamental identifiers and enums for gate-level netlists.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace occ {
+
+/// Index of a gate inside its Netlist. A gate's single output net shares
+/// the gate's id (single-output cell library).
+using GateId = uint32_t;
+
+/// Sentinel for "no gate" (e.g. an unconnected DFF D pin during building).
+inline constexpr GateId kNoGate = 0xFFFFFFFFu;
+
+/// Clock domain index (SOCs in this library use small dense domain ids).
+using DomainId = uint8_t;
+
+/// Bitmask over clock domains (bit d set = domain d selected/pulsed).
+using DomainMask = uint32_t;
+
+inline constexpr DomainMask kAllDomains = ~DomainMask{0};
+
+/// Cell library. Single-output primitives only; complex functions are
+/// composed from these during generation/insertion.
+enum class GateType : uint8_t {
+  kInput,    // primary input (no fanin)
+  kOutput,   // primary output marker (fanin[0] = driven net)
+  kTie0,     // constant 0
+  kTie1,     // constant 1
+  kXSource,  // always-X source (uncontrollable state, unrolled non-scan FF)
+  kBuf,      // fanin[0]
+  kNot,      // fanin[0]
+  kAnd,      // fanin[0..n-1], n >= 2
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kMux2,  // fanin[0]=select, fanin[1]=d0 (sel=0), fanin[2]=d1 (sel=1)
+  // Sequential cells. kDff is the cycle-based flop: fanin[0]=D, clocking
+  // is implicit via `domain` (used by CycleSim / ATPG).  The explicit-pin
+  // variants are for the event-driven timing simulator (CPF modeling):
+  kDff,    // fanin[0]=D; clocked by its domain's clock in cycle semantics
+  kDffC,   // fanin[0]=D, fanin[1]=CLK (posedge), optional fanin[2]=RSTN
+  kDlatL,  // fanin[0]=D, fanin[1]=EN; transparent while EN==0 (active-low)
+  kDlatH,  // fanin[0]=D, fanin[1]=EN; transparent while EN==1
+};
+
+/// True for cells whose output holds state across evaluation.
+constexpr bool is_sequential(GateType t) {
+  return t == GateType::kDff || t == GateType::kDffC ||
+         t == GateType::kDlatL || t == GateType::kDlatH;
+}
+
+/// True for zero-fanin value sources.
+constexpr bool is_source(GateType t) {
+  return t == GateType::kInput || t == GateType::kTie0 ||
+         t == GateType::kTie1 || t == GateType::kXSource;
+}
+
+/// Printable name of a gate type ("AND", "DFF", ...).
+std::string_view gate_type_name(GateType t);
+
+/// Gate flags (bitwise OR'ed into Gate::flags).
+enum GateFlags : uint16_t {
+  kFlagScan = 1u << 0,      // DFF is a scan cell (set by ScanInserter)
+  kFlagNoScan = 1u << 1,    // DFF must be excluded from scan insertion
+  kFlagScanMux = 1u << 2,   // mux inserted by ScanInserter in front of a D pin
+  kFlagOccGate = 1u << 3,   // gate belongs to an inserted CPF/OCC block
+  kFlagClockNet = 1u << 4,  // gate drives a clock distribution net
+};
+
+}  // namespace occ

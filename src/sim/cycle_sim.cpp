@@ -1,0 +1,93 @@
+#include "sim/cycle_sim.h"
+
+#include "util/check.h"
+
+namespace occ {
+
+CycleSim::CycleSim(const Netlist& nl) : nl_(&nl) {
+  OCC_CHECK(nl.finalized(), "CycleSim requires a finalized netlist");
+  for (GateId s : nl.seqs()) {
+    OCC_CHECK(nl.gate(s).type == GateType::kDff,
+              "CycleSim supports kDff only; gate '", nl.gate(s).name,
+              "' is ", gate_type_name(nl.gate(s).type));
+  }
+  vals_.assign(nl.size(), Val64::allx());
+  state_.assign(nl.size(), Val64::allx());
+  scratch_d_.resize(nl.dffs().size());
+}
+
+void CycleSim::set_input(GateId pi, Val64 v) {
+  OCC_DCHECK(nl_->gate(pi).type == GateType::kInput);
+  vals_[pi] = v;
+}
+
+void CycleSim::set_inputs_x() {
+  for (GateId pi : nl_->inputs()) vals_[pi] = Val64::allx();
+}
+
+void CycleSim::set_state(GateId ff, Val64 v) {
+  OCC_DCHECK(nl_->gate(ff).type == GateType::kDff);
+  state_[ff] = v;
+}
+
+void CycleSim::reset_x() {
+  for (GateId ff : nl_->dffs()) state_[ff] = Val64::allx();
+}
+
+void CycleSim::eval() {
+  // Levelized order guarantees fanins are final before each gate.
+  Val64 ins[8];
+  std::vector<Val64> big;
+  for (GateId id : nl_->topo_order()) {
+    const Gate& g = nl_->gate(id);
+    switch (g.type) {
+      case GateType::kInput:
+        break;  // externally driven
+      case GateType::kDff:
+        vals_[id] = state_[id];
+        break;
+      case GateType::kTie0:
+        vals_[id] = Val64::all0();
+        break;
+      case GateType::kTie1:
+        vals_[id] = Val64::all1();
+        break;
+      case GateType::kXSource:
+        vals_[id] = Val64::allx();
+        break;
+      default: {
+        const size_t n = g.fanin.size();
+        if (n <= 8) {
+          for (size_t i = 0; i < n; ++i) ins[i] = vals_[g.fanin[i]];
+          vals_[id] = eval_gate_packed(g.type, {ins, n});
+        } else {
+          big.resize(n);
+          for (size_t i = 0; i < n; ++i) big[i] = vals_[g.fanin[i]];
+          vals_[id] = eval_gate_packed(g.type, big);
+        }
+      }
+    }
+  }
+}
+
+void CycleSim::capture(DomainMask mask) {
+  const auto& dffs = nl_->dffs();
+  // Two-phase: read all D pins, then update, so flop-to-flop paths see the
+  // pre-edge values (proper edge-triggered semantics).
+  for (size_t i = 0; i < dffs.size(); ++i) {
+    scratch_d_[i] = vals_[nl_->gate(dffs[i]).fanin[0]];
+  }
+  for (size_t i = 0; i < dffs.size(); ++i) {
+    const Gate& g = nl_->gate(dffs[i]);
+    if (mask & (DomainMask{1} << g.domain)) {
+      state_[dffs[i]] = scratch_d_[i];
+    }
+  }
+}
+
+Val64 CycleSim::state(GateId ff) const {
+  OCC_DCHECK(nl_->gate(ff).type == GateType::kDff);
+  return state_[ff];
+}
+
+}  // namespace occ

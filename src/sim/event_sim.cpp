@@ -1,0 +1,161 @@
+#include "sim/event_sim.h"
+
+#include "util/check.h"
+
+namespace occ {
+
+EventSim::EventSim(const Netlist& nl) : nl_(&nl) {
+  OCC_CHECK(nl.finalized(), "EventSim requires a finalized netlist");
+  for (GateId s : nl.seqs()) {
+    OCC_CHECK(nl.gate(s).type != GateType::kDff,
+              "EventSim needs explicit-clock flops (kDffC); gate '",
+              nl.gate(s).name, "' is kDff");
+  }
+  vals_.assign(nl.size(), V3::kX);
+  latch_state_.assign(nl.size(), V3::kX);
+  delay_.assign(nl.size(), 1);
+  watch_idx_.assign(nl.size(), -1);
+  // Constants are valid from t=0 with no event needed.
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const GateType t = nl.gate(id).type;
+    if (t == GateType::kTie0) vals_[id] = V3::k0;
+    if (t == GateType::kTie1) vals_[id] = V3::k1;
+  }
+}
+
+void EventSim::set_delay(GateId g, SimTime d) {
+  OCC_DCHECK(g < delay_.size());
+  delay_[g] = d;
+}
+
+void EventSim::drive(GateId pi, SimTime t, V3 value) {
+  OCC_CHECK(nl_->gate(pi).type == GateType::kInput,
+            "drive() targets primary inputs");
+  OCC_CHECK(t >= now_, "cannot drive in the past");
+  schedule(pi, t, value);
+}
+
+void EventSim::drive_clock(GateId pi, SimTime start, SimTime period,
+                           size_t cycles) {
+  OCC_CHECK(period >= 2, "clock period must be >= 2 units");
+  drive(pi, start > period / 2 ? start - period / 2 : 0, V3::k0);
+  for (size_t c = 0; c < cycles; ++c) {
+    drive(pi, start + c * period, V3::k1);
+    drive(pi, start + c * period + period / 2, V3::k0);
+  }
+}
+
+void EventSim::watch(GateId g, std::string name) {
+  OCC_DCHECK(g < nl_->size());
+  if (watch_idx_[g] >= 0) return;
+  if (name.empty()) name = nl_->gate(g).name;
+  if (name.empty()) name = "g" + std::to_string(g);
+  watch_idx_[g] = static_cast<int32_t>(wave_.add_signal(g, std::move(name)));
+  wave_.record(static_cast<size_t>(watch_idx_[g]), now_, vals_[g]);
+}
+
+V3 EventSim::eval_now(GateId g) const {
+  const Gate& gate = nl_->gate(g);
+  V3 ins[8];
+  std::vector<V3> big;
+  const size_t n = gate.fanin.size();
+  if (n <= 8) {
+    for (size_t i = 0; i < n; ++i) ins[i] = vals_[gate.fanin[i]];
+    return eval_gate(gate.type, {ins, n});
+  }
+  big.resize(n);
+  for (size_t i = 0; i < n; ++i) big[i] = vals_[gate.fanin[i]];
+  return eval_gate(gate.type, big);
+}
+
+void EventSim::schedule(GateId g, SimTime t, V3 v) {
+  pq_.push({t, seq_++, g, v});
+}
+
+void EventSim::run_until(SimTime t_end) {
+  while (!pq_.empty() && pq_.top().t <= t_end) {
+    const SimTime t = pq_.top().t;
+    now_ = t;
+
+    // Phase 1: collect all simultaneous changes; remember old values so
+    // edge-triggered flops sample pre-edge D (hold-time semantics).
+    std::vector<std::pair<GateId, V3>> applied;
+    while (!pq_.empty() && pq_.top().t == t) {
+      const Event e = pq_.top();
+      pq_.pop();
+      if (vals_[e.gate] == e.value) continue;
+      applied.emplace_back(e.gate, vals_[e.gate]);
+      vals_[e.gate] = e.value;
+      ++events_;
+      if (watch_idx_[e.gate] >= 0) {
+        wave_.record(static_cast<size_t>(watch_idx_[e.gate]), t, e.value);
+      }
+    }
+
+    // Phase 2: propagate to fanouts.
+    for (const auto& [changed, old_val] : applied) {
+      for (GateId out : nl_->gate(changed).fanout) {
+        const Gate& og = nl_->gate(out);
+        switch (og.type) {
+          case GateType::kDffC: {
+            const GateId clk = og.fanin[1];
+            const bool is_clk_pin = (clk == changed);
+            // Optional active-low reset on pin 2.
+            if (og.fanin.size() == 3 && vals_[og.fanin[2]] == V3::k0) {
+              latch_state_[out] = V3::k0;
+              schedule(out, t + delay_[out], V3::k0);
+              break;
+            }
+            if (is_clk_pin) {
+              const V3 oldc = old_val, newc = vals_[clk];
+              if (oldc == V3::k0 && newc == V3::k1) {
+                // Rising edge: sample D as of *before* this time step.
+                V3 d = vals_[og.fanin[0]];
+                for (const auto& [g2, ov2] : applied) {
+                  if (g2 == og.fanin[0]) d = ov2;
+                }
+                latch_state_[out] = d;
+                schedule(out, t + delay_[out], d);
+              } else if (oldc == V3::kX || newc == V3::kX) {
+                latch_state_[out] = V3::kX;
+                schedule(out, t + delay_[out], V3::kX);
+              }
+            }
+            break;
+          }
+          case GateType::kDlatL:
+          case GateType::kDlatH: {
+            const V3 en = vals_[og.fanin[1]];
+            const V3 open_level =
+                og.type == GateType::kDlatH ? V3::k1 : V3::k0;
+            if (en == open_level) {
+              const V3 d = vals_[og.fanin[0]];
+              latch_state_[out] = d;
+              schedule(out, t + delay_[out], d);
+            } else if (en == V3::kX) {
+              // Unknown enable: output retains only if D agrees.
+              if (vals_[og.fanin[0]] != latch_state_[out]) {
+                latch_state_[out] = V3::kX;
+                schedule(out, t + delay_[out], V3::kX);
+              }
+            }
+            // Closed latch: holds; no event.
+            break;
+          }
+          case GateType::kOutput: {
+            schedule(out, t + delay_[out], vals_[og.fanin[0]]);
+            break;
+          }
+          default: {
+            if (is_source(og.type)) break;
+            schedule(out, t + delay_[out], eval_now(out));
+          }
+        }
+      }
+    }
+  }
+  now_ = t_end;
+  wave_.set_end_time(t_end);
+}
+
+}  // namespace occ

@@ -1,0 +1,49 @@
+#include "sim/value.h"
+
+#include "util/check.h"
+
+namespace occ {
+
+Val64 eval_gate_packed(GateType type, std::span<const Val64> in) {
+  switch (type) {
+    case GateType::kBuf:
+    case GateType::kOutput:
+      OCC_DCHECK(in.size() == 1);
+      return in[0];
+    case GateType::kNot:
+      OCC_DCHECK(in.size() == 1);
+      return v_not(in[0]);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      Val64 r = Val64::all1();
+      for (const Val64& a : in) r = v_and(r, a);
+      return type == GateType::kNand ? v_not(r) : r;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      Val64 r = Val64::all0();
+      for (const Val64& a : in) r = v_or(r, a);
+      return type == GateType::kNor ? v_not(r) : r;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      Val64 r = Val64::all0();
+      for (const Val64& a : in) r = v_xor(r, a);
+      return type == GateType::kXnor ? v_not(r) : r;
+    }
+    case GateType::kMux2:
+      OCC_DCHECK(in.size() == 3);
+      return v_mux(in[0], in[1], in[2]);
+    case GateType::kTie0:
+      return Val64::all0();
+    case GateType::kTie1:
+      return Val64::all1();
+    case GateType::kXSource:
+      return Val64::allx();
+    default:
+      OCC_CHECK(false, "eval_gate_packed: not combinational: ",
+                gate_type_name(type));
+  }
+}
+
+}  // namespace occ

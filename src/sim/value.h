@@ -1,0 +1,89 @@
+// Packed 64-pattern ternary values and bit-parallel gate evaluation.
+//
+// Encoding: bit i of a Val64 describes pattern i.
+//   v bit = value when known (canonically 0 where unknown)
+//   x bit = 1 when unknown
+// The canonical form (v & x) == 0 is maintained by every operation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "netlist/library.h"
+#include "netlist/types.h"
+
+namespace occ {
+
+/// 64 ternary values, one per pattern slot.
+struct Val64 {
+  uint64_t v = 0;
+  uint64_t x = ~0ull;  // default: all unknown
+
+  static Val64 all0() { return {0, 0}; }
+  static Val64 all1() { return {~0ull, 0}; }
+  static Val64 allx() { return {0, ~0ull}; }
+  /// Fully-known word from a bit mask.
+  static Val64 from_bits(uint64_t bits) { return {bits, 0}; }
+  /// Broadcast a scalar to all 64 slots.
+  static Val64 broadcast(V3 s) {
+    switch (s) {
+      case V3::k0: return all0();
+      case V3::k1: return all1();
+      default: return allx();
+    }
+  }
+
+  bool operator==(const Val64&) const = default;
+
+  /// Scalar view of slot i.
+  V3 get(unsigned i) const {
+    if ((x >> i) & 1) return V3::kX;
+    return ((v >> i) & 1) ? V3::k1 : V3::k0;
+  }
+  void set(unsigned i, V3 s) {
+    const uint64_t m = 1ull << i;
+    v &= ~m;
+    x &= ~m;
+    if (s == V3::k1) v |= m;
+    else if (s == V3::kX) x |= m;
+  }
+
+  /// Mask of slots with a known value.
+  uint64_t known() const { return ~x; }
+  /// Mask of slots known to be 1 / known to be 0.
+  uint64_t is1() const { return v & ~x; }
+  uint64_t is0() const { return ~v & ~x; }
+};
+
+inline Val64 v_not(Val64 a) { return {~a.v & ~a.x, a.x}; }
+
+inline Val64 v_and(Val64 a, Val64 b) {
+  // Unknown unless either side is a known 0.
+  const uint64_t xo = (a.x | b.x) & ~(a.is0() | b.is0());
+  return {a.v & b.v & ~xo, xo};
+}
+
+inline Val64 v_or(Val64 a, Val64 b) {
+  const uint64_t xo = (a.x | b.x) & ~(a.is1() | b.is1());
+  return {(a.v | b.v) & ~xo, xo};
+}
+
+inline Val64 v_xor(Val64 a, Val64 b) {
+  const uint64_t xo = a.x | b.x;
+  return {(a.v ^ b.v) & ~xo, xo};
+}
+
+inline Val64 v_mux(Val64 sel, Val64 d0, Val64 d1) {
+  // Known-select slots pick a side; X-select slots are known only where
+  // both sides agree on a known value.
+  const uint64_t s1 = sel.is1(), s0 = sel.is0();
+  const uint64_t agree = ~(d0.v ^ d1.v) & ~d0.x & ~d1.x;
+  const uint64_t xo = (s0 & d0.x) | (s1 & d1.x) | (sel.x & ~agree);
+  const uint64_t vo = ((s0 & d0.v) | (s1 & d1.v) | (sel.x & agree & d0.v)) & ~xo;
+  return {vo, xo};
+}
+
+/// Bit-parallel evaluation of a combinational cell.
+Val64 eval_gate_packed(GateType type, std::span<const Val64> in);
+
+}  // namespace occ

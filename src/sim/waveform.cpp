@@ -1,0 +1,159 @@
+#include "sim/waveform.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace occ {
+
+V3 SignalTrace::at(SimTime t) const {
+  V3 v = V3::kX;
+  for (const auto& [ct, cv] : changes) {
+    if (ct > t) break;
+    v = cv;
+  }
+  return v;
+}
+
+size_t SignalTrace::rising_edges(SimTime t0, SimTime t1) const {
+  size_t n = 0;
+  V3 prev = V3::kX;
+  for (const auto& [ct, cv] : changes) {
+    if (ct > t1) break;
+    if (ct >= t0 && prev == V3::k0 && cv == V3::k1) ++n;
+    prev = cv;
+  }
+  return n;
+}
+
+size_t SignalTrace::pulses(SimTime t0, SimTime t1) const {
+  // A pulse = rising edge followed by a falling edge inside the window.
+  size_t n = 0;
+  bool high = false;
+  V3 prev = V3::kX;
+  for (const auto& [ct, cv] : changes) {
+    if (ct > t1) break;
+    if (ct >= t0) {
+      if (prev == V3::k0 && cv == V3::k1) high = true;
+      if (high && prev == V3::k1 && cv == V3::k0) {
+        ++n;
+        high = false;
+      }
+    }
+    prev = cv;
+  }
+  return n;
+}
+
+SimTime SignalTrace::min_high_width() const {
+  SimTime best = static_cast<SimTime>(-1);
+  SimTime rise = 0;
+  bool high = false;
+  V3 prev = V3::kX;
+  for (const auto& [ct, cv] : changes) {
+    if (prev == V3::k0 && cv == V3::k1) {
+      high = true;
+      rise = ct;
+    } else if (high && cv != V3::k1) {
+      best = std::min(best, ct - rise);
+      high = false;
+    }
+    prev = cv;
+  }
+  return best;
+}
+
+size_t Waveform::add_signal(GateId gate, std::string name) {
+  SignalTrace t;
+  t.gate = gate;
+  t.name = std::move(name);
+  traces_.push_back(std::move(t));
+  return traces_.size() - 1;
+}
+
+void Waveform::record(size_t idx, SimTime t, V3 v) {
+  OCC_DCHECK(idx < traces_.size());
+  auto& ch = traces_[idx].changes;
+  if (!ch.empty() && ch.back().second == v) return;
+  if (!ch.empty() && ch.back().first == t) {
+    ch.back().second = v;  // same-instant overwrite (delta glitch)
+    return;
+  }
+  ch.emplace_back(t, v);
+  end_time_ = std::max(end_time_, t);
+}
+
+const SignalTrace* Waveform::find(std::string_view name) const {
+  for (const auto& t : traces_) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+std::string Waveform::render_ascii(SimTime step) const {
+  OCC_CHECK(step > 0, "step must be positive");
+  std::ostringstream os;
+  size_t name_w = 4;
+  for (const auto& t : traces_) name_w = std::max(name_w, t.name.size());
+  const size_t cols = static_cast<size_t>(end_time_ / step) + 1;
+
+  for (const auto& t : traces_) {
+    os << t.name << std::string(name_w - t.name.size() + 1, ' ') << "|";
+    V3 prev = V3::kX;
+    for (size_t c = 0; c < cols; ++c) {
+      const V3 v = t.at(static_cast<SimTime>(c) * step);
+      char ch;
+      if (v == V3::kX) {
+        ch = 'x';
+      } else if (v != prev && prev != V3::kX && c > 0) {
+        ch = (v == V3::k1) ? '/' : '\\';
+      } else {
+        ch = (v == V3::k1) ? '-' : '_';
+      }
+      os << ch;
+      prev = v;
+    }
+    os << "\n";
+  }
+  // Time ruler: a tick every 10 columns.
+  os << std::string(name_w + 1, ' ') << "+";
+  for (size_t c = 0; c < cols; ++c) os << (c % 10 == 0 ? '+' : '.');
+  os << "\n";
+  return os.str();
+}
+
+void Waveform::write_vcd(std::ostream& os,
+                         const std::string& module_name) const {
+  os << "$timescale 1ns $end\n$scope module " << module_name << " $end\n";
+  // VCD id characters start at '!' (33).
+  for (size_t i = 0; i < traces_.size(); ++i) {
+    os << "$var wire 1 " << static_cast<char>(33 + i) << " "
+       << traces_[i].name << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+  // Merge-sort changes by time.
+  struct Ev {
+    SimTime t;
+    size_t sig;
+    V3 v;
+  };
+  std::vector<Ev> evs;
+  for (size_t i = 0; i < traces_.size(); ++i) {
+    for (const auto& [t, v] : traces_[i].changes) evs.push_back({t, i, v});
+  }
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const Ev& a, const Ev& b) { return a.t < b.t; });
+  SimTime cur = static_cast<SimTime>(-1);
+  for (const Ev& e : evs) {
+    if (e.t != cur) {
+      os << "#" << e.t << "\n";
+      cur = e.t;
+    }
+    os << v3_char(e.v) << static_cast<char>(33 + e.sig) << "\n";
+  }
+  os << "#" << end_time_ + 1 << "\n";
+}
+
+}  // namespace occ

@@ -1,0 +1,68 @@
+// Waveform capture and rendering (ASCII art + VCD).
+//
+// Used by the event simulator to record signal histories; the Fig. 2 and
+// Fig. 4 benches render the paper's waveform diagrams from these traces.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/library.h"
+#include "netlist/types.h"
+
+namespace occ {
+
+/// Time unit of the event simulator (abstract "delay units").
+using SimTime = uint64_t;
+
+/// Change history of one signal: (time, new value), times ascending.
+struct SignalTrace {
+  GateId gate = kNoGate;
+  std::string name;
+  std::vector<std::pair<SimTime, V3>> changes;
+
+  /// Value at time t (last change at or before t; X before first change).
+  V3 at(SimTime t) const;
+
+  /// Number of rising (0 -> 1) edges in [t0, t1].
+  size_t rising_edges(SimTime t0, SimTime t1) const;
+
+  /// Number of full pulses (rise then fall) in [t0, t1].
+  size_t pulses(SimTime t0, SimTime t1) const;
+
+  /// Minimum time a '1' level is held (glitch detection); returns
+  /// SimTime(-1) if the signal never pulses.
+  SimTime min_high_width() const;
+};
+
+/// A set of traces sharing a timeline.
+class Waveform {
+ public:
+  /// Registers a signal; returns its trace index.
+  size_t add_signal(GateId gate, std::string name);
+
+  /// Records a change (no-op if equal to the last recorded value).
+  void record(size_t idx, SimTime t, V3 v);
+
+  size_t num_signals() const { return traces_.size(); }
+  const SignalTrace& trace(size_t idx) const { return traces_[idx]; }
+  const SignalTrace* find(std::string_view name) const;
+
+  SimTime end_time() const { return end_time_; }
+  void set_end_time(SimTime t) { end_time_ = t; }
+
+  /// Renders ASCII waveforms: one row per signal, columns = time steps.
+  /// `step` merges that many time units per column.
+  std::string render_ascii(SimTime step = 1) const;
+
+  /// Writes an IEEE-1364 VCD dump for external viewers.
+  void write_vcd(std::ostream& os, const std::string& module_name) const;
+
+ private:
+  std::vector<SignalTrace> traces_;
+  SimTime end_time_ = 0;
+};
+
+}  // namespace occ

@@ -1,0 +1,81 @@
+#include "util/bitvec.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace occ {
+
+BitVec::BitVec(size_t n, bool value)
+    : size_(n), words_((n + 63) / 64, value ? ~0ull : 0ull) {
+  clear_tail();
+}
+
+bool BitVec::get(size_t i) const {
+  OCC_DCHECK(i < size_);
+  return (words_[i >> 6] >> (i & 63)) & 1;
+}
+
+void BitVec::set(size_t i, bool v) {
+  OCC_DCHECK(i < size_);
+  const uint64_t mask = 1ull << (i & 63);
+  if (v) {
+    words_[i >> 6] |= mask;
+  } else {
+    words_[i >> 6] &= ~mask;
+  }
+}
+
+void BitVec::flip(size_t i) {
+  OCC_DCHECK(i < size_);
+  words_[i >> 6] ^= 1ull << (i & 63);
+}
+
+void BitVec::fill(bool v) {
+  for (auto& w : words_) w = v ? ~0ull : 0ull;
+  clear_tail();
+}
+
+BitVec& BitVec::operator^=(const BitVec& other) {
+  OCC_CHECK(size_ == other.size_, "BitVec size mismatch in ^=");
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& other) {
+  OCC_CHECK(size_ == other.size_, "BitVec size mismatch in &=");
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+size_t BitVec::popcount() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+size_t BitVec::find_first() const {
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    if (words_[wi] != 0) {
+      return (wi << 6) +
+             static_cast<size_t>(std::countr_zero(words_[wi]));
+    }
+  }
+  return size_;
+}
+
+std::string BitVec::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) s.push_back(get(i) ? '1' : '0');
+  return s;
+}
+
+void BitVec::clear_tail() {
+  const size_t tail = size_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ull << tail) - 1;
+  }
+}
+
+}  // namespace occ

@@ -1,0 +1,57 @@
+// Dynamic bit vector with word-level access, used by the EDT compression
+// substrate (GF(2) row vectors) and pattern storage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace occ {
+
+/// Fixed-size-after-construction vector of bits packed into 64-bit words.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(size_t n, bool value = false);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool get(size_t i) const;
+  void set(size_t i, bool v);
+  void flip(size_t i);
+
+  /// Sets all bits to v.
+  void fill(bool v);
+
+  /// XOR-accumulates other into this; sizes must match.
+  BitVec& operator^=(const BitVec& other);
+  /// AND-accumulates other into this; sizes must match.
+  BitVec& operator&=(const BitVec& other);
+
+  /// Number of set bits.
+  size_t popcount() const;
+
+  /// Index of first set bit, or size() if none.
+  size_t find_first() const;
+
+  /// True if any bit set.
+  bool any() const { return find_first() != size_; }
+
+  bool operator==(const BitVec& other) const = default;
+
+  /// Word-level access (words() covers ceil(size/64) words; tail bits 0).
+  const std::vector<uint64_t>& words() const { return words_; }
+  std::vector<uint64_t>& mutable_words() { return words_; }
+
+  /// "0101..."-style string, index 0 first.
+  std::string to_string() const;
+
+ private:
+  void clear_tail();
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace occ

@@ -1,0 +1,59 @@
+// Lightweight runtime-check macros used across occtest.
+//
+// OCC_CHECK(cond, msg...)  -- always-on invariant check; throws
+//                             occ::CheckError with file:line context.
+// OCC_DCHECK(cond)         -- debug-only assert (compiled out in NDEBUG).
+//
+// We throw (rather than abort) so library users and tests can observe
+// violated preconditions; per the C++ Core Guidelines (E.2/I.5) invalid
+// arguments to the public API are reported via exceptions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace occ {
+
+/// Error thrown by OCC_CHECK on a failed invariant or precondition.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "OCC_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw CheckError(os.str());
+}
+
+// Builds the optional message lazily (only evaluated on failure).
+template <typename... Args>
+std::string build_msg(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace detail
+}  // namespace occ
+
+#define OCC_CHECK(cond, ...)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::occ::detail::check_failed(#cond, __FILE__, __LINE__,             \
+                                  ::occ::detail::build_msg(__VA_ARGS__)); \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define OCC_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define OCC_DCHECK(cond) OCC_CHECK(cond)
+#endif

@@ -1,0 +1,79 @@
+#include "util/gf2.h"
+
+#include "util/check.h"
+
+namespace occ {
+
+Gf2Solver::Gf2Solver(size_t num_vars) : num_vars_(num_vars) {}
+
+bool Gf2Solver::add_equation(const BitVec& row, bool rhs) {
+  OCC_CHECK(row.size() == num_vars_, "equation width mismatch");
+  BitVec r = row;
+  bool b = rhs;
+  // Reduce against existing echelon rows.
+  for (size_t i = 0; i < echelon_.size(); ++i) {
+    if (r.get(pivots_[i])) {
+      r ^= echelon_[i];
+      b = (b != rhs_[i]);
+    }
+  }
+  const size_t pivot = r.find_first();
+  if (pivot == r.size()) {
+    // Row reduced to zero: consistent iff rhs also reduced to zero.
+    return !b;
+  }
+  // New independent row; back-substitute into existing rows to keep the
+  // echelon reduced (so solve() is a direct read-off).
+  for (size_t i = 0; i < echelon_.size(); ++i) {
+    if (echelon_[i].get(pivot)) {
+      echelon_[i] ^= r;
+      rhs_[i] = rhs_[i] != b;
+    }
+  }
+  echelon_.push_back(std::move(r));
+  pivots_.push_back(pivot);
+  rhs_.push_back(b);
+  return true;
+}
+
+BitVec Gf2Solver::solve() const {
+  BitVec x(num_vars_);
+  for (size_t i = 0; i < echelon_.size(); ++i) {
+    if (rhs_[i]) x.set(pivots_[i], true);
+  }
+  return x;
+}
+
+Gf2Matrix::Gf2Matrix(size_t rows, size_t cols)
+    : cols_(cols), rows_(rows, BitVec(cols)) {}
+
+size_t Gf2Matrix::rank() const {
+  std::vector<BitVec> rs = rows_;
+  size_t rank = 0;
+  size_t row = 0;
+  for (size_t col = 0; col < cols_ && row < rs.size(); ++col) {
+    size_t pivot = row;
+    while (pivot < rs.size() && !rs[pivot].get(col)) ++pivot;
+    if (pivot == rs.size()) continue;
+    std::swap(rs[row], rs[pivot]);
+    for (size_t r = 0; r < rs.size(); ++r) {
+      if (r != row && rs[r].get(col)) rs[r] ^= rs[row];
+    }
+    ++row;
+    ++rank;
+  }
+  return rank;
+}
+
+BitVec Gf2Matrix::multiply(const BitVec& x) const {
+  OCC_CHECK(x.size() == cols_, "Gf2Matrix::multiply width mismatch");
+  BitVec y(rows_.size());
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    BitVec t = rows_[r];
+    t &= x;
+    y.set(r, (t.popcount() & 1) != 0);
+  }
+  return y;
+}
+
+}  // namespace occ

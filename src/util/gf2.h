@@ -1,0 +1,69 @@
+// Dense GF(2) linear algebra: incremental Gaussian elimination used by the
+// EDT-style compression encoder (solving ring-generator seed/injection
+// variables against scan care bits).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace occ {
+
+/// Solves A x = b over GF(2) incrementally: rows (equations) are appended
+/// one at a time and the system reports immediately whether it remains
+/// consistent. Used per test cube by the EDT encoder; a rejected row means
+/// the cube does not fit into the compressor's free variables.
+class Gf2Solver {
+ public:
+  explicit Gf2Solver(size_t num_vars);
+
+  size_t num_vars() const { return num_vars_; }
+  size_t rank() const { return pivots_.size(); }
+
+  /// Attempts to add equation row . x = rhs. Returns true if the system
+  /// stays consistent (row absorbed, possibly redundant); false if the
+  /// equation contradicts earlier ones (state unchanged).
+  bool add_equation(const BitVec& row, bool rhs);
+
+  /// Returns one solution (free variables = 0), or nullopt if no equation
+  /// was ever rejected but the solver was misused (never happens in-API).
+  BitVec solve() const;
+
+ private:
+  size_t num_vars_;
+  // Reduced rows in row-echelon form; pivot_col_[i] is the pivot column of
+  // echelon_[i]. rhs_ holds the reduced right-hand sides.
+  std::vector<BitVec> echelon_;
+  std::vector<size_t> pivots_;
+  std::vector<bool> rhs_;
+};
+
+/// Dense GF(2) matrix with row operations -- used for compactor/phase
+/// shifter analysis and in tests for checking linear independence.
+class Gf2Matrix {
+ public:
+  Gf2Matrix(size_t rows, size_t cols);
+
+  size_t rows() const { return rows_.size(); }
+  size_t cols() const { return cols_; }
+
+  bool get(size_t r, size_t c) const { return rows_[r].get(c); }
+  void set(size_t r, size_t c, bool v) { rows_[r].set(c, v); }
+
+  BitVec& row(size_t r) { return rows_[r]; }
+  const BitVec& row(size_t r) const { return rows_[r]; }
+
+  /// Rank via Gaussian elimination on a copy.
+  size_t rank() const;
+
+  /// Matrix * vector over GF(2).
+  BitVec multiply(const BitVec& x) const;
+
+ private:
+  size_t cols_;
+  std::vector<BitVec> rows_;
+};
+
+}  // namespace occ

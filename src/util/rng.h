@@ -1,0 +1,51 @@
+// Deterministic, seedable pseudo-random number generator (xoshiro256**).
+//
+// All stochastic parts of occtest (circuit generation, random fill,
+// pattern sampling) take an explicit Rng so experiments are reproducible
+// from a single seed, which the benchmark harnesses print.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace occ {
+
+/// xoshiro256** by Blackman & Vigna -- fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-initializes state from a 64-bit seed via SplitMix64.
+  void reseed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform 32-bit value.
+  uint32_t next_u32() { return static_cast<uint32_t>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound) using Lemire rejection; bound must be > 0.
+  uint64_t below(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  int64_t range(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Uniform double in [0,1).
+  double uniform();
+
+  // UniformRandomBitGenerator interface, so Rng works with <algorithm>.
+  using result_type = uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace occ

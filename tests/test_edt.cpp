@@ -1,0 +1,139 @@
+// Tests: EDT-style compression (encode/decompress round trip, capacity
+// limits, compactor X-masking analysis).
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "dft/edt.h"
+#include "util/rng.h"
+
+namespace occ {
+namespace {
+
+TEST(Edt, EncodeDecompressRoundTrip) {
+  EdtConfig cfg;
+  cfg.channels = 2;
+  cfg.ring_length = 32;
+  EdtCompressor edt(cfg, std::vector<size_t>{20, 20, 17, 20});
+  Rng rng(5);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    // Sparse cube: ~10% care bits.
+    std::vector<CareBit> cube;
+    for (uint32_t c = 0; c < edt.num_chains(); ++c) {
+      for (uint32_t p = 0; p < 20 && (c != 2 || p < 17); ++p) {
+        if (rng.chance(0.10)) {
+          cube.push_back({c, p, rng.chance(0.5)});
+        }
+      }
+    }
+    const auto cs = edt.encode(cube);
+    ASSERT_TRUE(cs.has_value()) << "sparse cube must encode";
+    const auto chains = edt.decompress(*cs);
+    for (const CareBit& cb : cube) {
+      EXPECT_EQ(chains[cb.chain][cb.position], cb.value)
+          << "chain " << cb.chain << " pos " << cb.position;
+    }
+  }
+}
+
+TEST(Edt, OverDenseCubeRejected) {
+  // More care bits than free variables cannot be consistent in general.
+  EdtConfig cfg;
+  cfg.channels = 1;
+  cfg.ring_length = 16;
+  EdtCompressor edt(cfg, std::vector<size_t>{40, 40, 40});
+  // Free variables: 1 x 40 = 40. Specify all 120 cells with random data.
+  Rng rng(9);
+  std::vector<CareBit> cube;
+  for (uint32_t c = 0; c < 3; ++c) {
+    for (uint32_t p = 0; p < 40; ++p) {
+      cube.push_back({c, p, rng.chance(0.5)});
+    }
+  }
+  EXPECT_FALSE(edt.encode(cube).has_value());
+}
+
+TEST(Edt, EncodabilityDegradesWithDensity) {
+  EdtConfig cfg;
+  cfg.channels = 2;
+  cfg.ring_length = 32;
+  EdtCompressor edt(cfg, std::vector<size_t>{32, 32, 32, 32, 32, 32});
+  Rng rng(13);
+  auto success_rate = [&](double density) {
+    int ok = 0;
+    const int trials = 20;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<CareBit> cube;
+      for (uint32_t c = 0; c < 6; ++c) {
+        for (uint32_t p = 0; p < 32; ++p) {
+          if (rng.chance(density)) cube.push_back({c, p, rng.chance(0.5)});
+        }
+      }
+      ok += edt.encode(cube).has_value();
+    }
+    return static_cast<double>(ok) / trials;
+  };
+  const double sparse = success_rate(0.05);
+  const double dense = success_rate(0.8);
+  EXPECT_GT(sparse, dense);
+  EXPECT_GT(sparse, 0.8);
+}
+
+TEST(Edt, CompressionRatioMatchesGeometry) {
+  // 357 chains from 36 channels (the paper's device): ratio ~ chains /
+  // channels when chains are balanced.
+  std::vector<size_t> chains(357, 60);
+  EdtConfig cfg;
+  cfg.channels = 36;
+  cfg.ring_length = 128;
+  EdtCompressor edt(cfg, chains);
+  // Warm-up cycles cost a little; the ratio stays near chains/channels.
+  EXPECT_GT(edt.compression_ratio(), 0.8 * 357.0 / 36.0);
+  EXPECT_LE(edt.compression_ratio(), 357.0 / 36.0);
+}
+
+TEST(Edt, CareBitRangeChecked) {
+  EdtCompressor edt({}, std::vector<size_t>{8});
+  EXPECT_THROW(edt.encode({{1, 0, true}}), CheckError);
+  EXPECT_THROW(edt.encode({{0, 8, true}}), CheckError);
+}
+
+TEST(XorCompactor, CompactsAndPreservesSingleErrors) {
+  XorCompactor comp(12, 3, 77);
+  std::vector<V3> bits(12, V3::k0);
+  const std::vector<V3> base = comp.compact(bits);
+  // Flip one chain: at least one output must change.
+  for (uint32_t c = 0; c < 12; ++c) {
+    std::vector<V3> mod = bits;
+    mod[c] = V3::k1;
+    const std::vector<V3> out = comp.compact(mod);
+    EXPECT_NE(out, base) << "single-chain error lost by compactor";
+    EXPECT_TRUE(comp.error_visible(bits, c));
+  }
+}
+
+TEST(XorCompactor, XMasksGroupOutputs) {
+  XorCompactor comp(4, 1, 1);  // all chains in one group
+  std::vector<V3> bits(4, V3::k0);
+  bits[2] = V3::kX;
+  const auto out = comp.compact(bits);
+  EXPECT_EQ(out[0], V3::kX);
+  // An error in chain 0 is hidden by chain 2's X (single output).
+  EXPECT_FALSE(comp.error_visible(bits, 0));
+}
+
+TEST(XorCompactor, OverlappingGroupsTolerateX) {
+  // With multiple outputs and overlap, many chains survive one X.
+  XorCompactor comp(16, 4, 3);
+  std::vector<V3> bits(16, V3::k0);
+  bits[5] = V3::kX;
+  size_t visible = 0;
+  for (uint32_t c = 0; c < 16; ++c) {
+    if (c == 5) continue;
+    visible += comp.error_visible(bits, c);
+  }
+  EXPECT_GT(visible, 10u);
+}
+
+}  // namespace
+}  // namespace occ

@@ -1,0 +1,211 @@
+// Unit tests: event-driven timing simulator and waveform capture.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/event_sim.h"
+#include "sim/waveform.h"
+#include "util/check.h"
+
+namespace occ {
+namespace {
+
+TEST(EventSim, GateDelayPropagation) {
+  Netlist nl("d");
+  const GateId a = nl.add_input("a");
+  const GateId b1 = nl.add_gate1(GateType::kBuf, a, "b1");
+  const GateId b2 = nl.add_gate1(GateType::kBuf, b1, "b2");
+  nl.add_output(b2, "o");
+  nl.finalize();
+  EventSim sim(nl);
+  sim.set_delay(b1, 3);
+  sim.set_delay(b2, 2);
+  sim.watch(b2, "b2");
+  sim.drive(a, 0, V3::k0);
+  sim.drive(a, 10, V3::k1);
+  sim.run_until(100);
+  EXPECT_EQ(sim.value(b2), V3::k1);
+  const SignalTrace* tr = sim.waveform().find("b2");
+  ASSERT_NE(tr, nullptr);
+  // Change at t=10 arrives after 3+2 units.
+  EXPECT_EQ(tr->at(14), V3::k0);
+  EXPECT_EQ(tr->at(15), V3::k1);
+}
+
+TEST(EventSim, DffSamplesOnRisingEdgeOnly) {
+  Netlist nl("ff");
+  const GateId d = nl.add_input("d");
+  const GateId c = nl.add_input("c");
+  const GateId ff = nl.add_dff_c(d, c, "ff");
+  nl.add_output(ff, "o");
+  nl.finalize();
+  EventSim sim(nl);
+  sim.drive(d, 0, V3::k1);
+  sim.drive(c, 0, V3::k0);
+  sim.run_until(5);
+  EXPECT_EQ(sim.value(ff), V3::kX);  // no edge yet
+  sim.drive(d, 6, V3::k0);           // D changes while clock low: ignored
+  sim.run_until(8);
+  EXPECT_EQ(sim.value(ff), V3::kX);
+  sim.drive(c, 10, V3::k1);  // rising edge samples D=0
+  sim.run_until(12);
+  EXPECT_EQ(sim.value(ff), V3::k0);
+  sim.drive(d, 14, V3::k1);
+  sim.drive(c, 16, V3::k0);  // falling edge: no sample
+  sim.run_until(18);
+  EXPECT_EQ(sim.value(ff), V3::k0);
+  sim.drive(c, 20, V3::k1);  // next rising edge samples D=1
+  sim.run_until(22);
+  EXPECT_EQ(sim.value(ff), V3::k1);
+}
+
+TEST(EventSim, DffHoldTimeSemantics) {
+  // D changes at the same instant as the clock edge: the flop samples the
+  // *old* D (pre-edge value), like real hardware with zero hold margin.
+  Netlist nl("hold");
+  const GateId d = nl.add_input("d");
+  const GateId c = nl.add_input("c");
+  const GateId ff = nl.add_dff_c(d, c, "ff");
+  nl.add_output(ff, "o");
+  nl.finalize();
+  EventSim sim(nl);
+  sim.drive(d, 0, V3::k0);
+  sim.drive(c, 0, V3::k0);
+  sim.drive(d, 10, V3::k1);
+  sim.drive(c, 10, V3::k1);
+  sim.run_until(20);
+  EXPECT_EQ(sim.value(ff), V3::k0);
+}
+
+TEST(EventSim, ShiftRegisterChains) {
+  // Two flops on the same clock: edge-triggered semantics means a
+  // two-cycle delay from input to second stage, not a race-through.
+  Netlist nl("sr");
+  const GateId d = nl.add_input("d");
+  const GateId c = nl.add_input("c");
+  const GateId f0 = nl.add_dff_c(d, c, "f0");
+  const GateId f1 = nl.add_dff_c(f0, c, "f1");
+  nl.add_output(f1, "o");
+  nl.finalize();
+  EventSim sim(nl);
+  sim.drive(d, 0, V3::k1);
+  sim.drive_clock(c, 10, 10, 3);
+  sim.run_until(100);
+  // After 3 edges: f0=1 (edge1), f1 got f0's pre-edge value at edge2 = 1
+  // only if f0 was already 1 -> f1 becomes 1 at edge 2.
+  EXPECT_EQ(sim.value(f0), V3::k1);
+  EXPECT_EQ(sim.value(f1), V3::k1);
+}
+
+TEST(EventSim, DffAsyncResetClears) {
+  Netlist nl("rst");
+  const GateId d = nl.add_input("d");
+  const GateId c = nl.add_input("c");
+  const GateId rn = nl.add_input("rn");
+  const GateId ff = nl.add_dff_c(d, c, "ff", rn);
+  nl.add_output(ff, "o");
+  nl.finalize();
+  EventSim sim(nl);
+  sim.drive(d, 0, V3::k1);
+  sim.drive(rn, 0, V3::k1);
+  sim.drive(c, 0, V3::k0);
+  sim.drive(c, 10, V3::k1);
+  sim.run_until(15);
+  EXPECT_EQ(sim.value(ff), V3::k1);
+  sim.drive(rn, 20, V3::k0);
+  sim.run_until(25);
+  EXPECT_EQ(sim.value(ff), V3::k0);
+}
+
+TEST(EventSim, LatchTransparency) {
+  Netlist nl("lat");
+  const GateId d = nl.add_input("d");
+  const GateId en = nl.add_input("en");
+  const GateId lat = nl.add_latch(d, en, /*active_high=*/false, "lat");
+  nl.add_output(lat, "o");
+  nl.finalize();
+  EventSim sim(nl);
+  sim.drive(en, 0, V3::k0);  // transparent (active-low)
+  sim.drive(d, 0, V3::k1);
+  sim.run_until(5);
+  EXPECT_EQ(sim.value(lat), V3::k1);
+  sim.drive(d, 6, V3::k0);
+  sim.run_until(8);
+  EXPECT_EQ(sim.value(lat), V3::k0);  // follows while open
+  sim.drive(en, 10, V3::k1);          // close
+  sim.drive(d, 12, V3::k1);
+  sim.run_until(15);
+  EXPECT_EQ(sim.value(lat), V3::k0);  // holds
+  sim.drive(en, 20, V3::k0);          // reopen
+  sim.run_until(25);
+  EXPECT_EQ(sim.value(lat), V3::k1);  // follows again
+}
+
+TEST(EventSim, DriveClockProducesPulses) {
+  Netlist nl("clk");
+  const GateId c = nl.add_input("c");
+  nl.add_output(c, "o");
+  nl.finalize();
+  EventSim sim(nl);
+  sim.watch(c, "c");
+  sim.drive_clock(c, 20, 10, 5);
+  sim.run_until(200);
+  const SignalTrace* tr = sim.waveform().find("c");
+  EXPECT_EQ(tr->rising_edges(0, 200), 5u);
+  EXPECT_EQ(tr->pulses(0, 200), 5u);
+  EXPECT_EQ(tr->min_high_width(), 5u);
+}
+
+TEST(Waveform, AsciiRenderAndVcd) {
+  Waveform w;
+  const size_t s = w.add_signal(0, "sig");
+  w.record(s, 0, V3::k0);
+  w.record(s, 5, V3::k1);
+  w.record(s, 9, V3::k0);
+  w.set_end_time(12);
+  const std::string art = w.render_ascii();
+  EXPECT_NE(art.find("sig"), std::string::npos);
+  EXPECT_NE(art.find('/'), std::string::npos);
+  EXPECT_NE(art.find('\\'), std::string::npos);
+  std::ostringstream vcd;
+  w.write_vcd(vcd, "top");
+  EXPECT_NE(vcd.str().find("$var wire 1 ! sig $end"), std::string::npos);
+  EXPECT_NE(vcd.str().find("#5"), std::string::npos);
+}
+
+TEST(Waveform, PulseCountingIgnoresXPrefix) {
+  Waveform w;
+  const size_t s = w.add_signal(0, "sig");
+  // X -> 1 is not a rising edge (no known 0 before).
+  w.record(s, 2, V3::k1);
+  w.record(s, 4, V3::k0);
+  w.record(s, 6, V3::k1);
+  w.record(s, 8, V3::k0);
+  EXPECT_EQ(w.trace(0).rising_edges(0, 10), 1u);
+  EXPECT_EQ(w.trace(0).pulses(0, 10), 1u);
+}
+
+TEST(EventSim, RejectsImplicitClockFlops) {
+  Netlist nl("bad");
+  const GateId d = nl.add_input("d");
+  nl.add_dff(d, 0, "ff");
+  nl.finalize();
+  EXPECT_THROW(EventSim sim(nl), CheckError);
+}
+
+TEST(EventSim, EventCountsAccumulate) {
+  Netlist nl("cnt");
+  const GateId a = nl.add_input("a");
+  const GateId n1 = nl.add_gate1(GateType::kNot, a, "n1");
+  nl.add_output(n1, "o");
+  nl.finalize();
+  EventSim sim(nl);
+  for (int i = 0; i < 10; ++i) {
+    sim.drive(a, 10 + i * 10, (i % 2) ? V3::k0 : V3::k1);
+  }
+  sim.run_until(200);
+  EXPECT_GE(sim.events_processed(), 20u);
+}
+
+}  // namespace
+}  // namespace occ

@@ -1,0 +1,173 @@
+// Unit tests: fault enumeration, collapsing, fault-list bookkeeping.
+#include <gtest/gtest.h>
+
+#include "fault/collapse.h"
+#include "fault/fault.h"
+#include "fault/fault_list.h"
+#include "gen/circuits.h"
+
+namespace occ {
+namespace {
+
+TEST(Fault, EnumerateC17Uncollapsed) {
+  Netlist nl = gen::make_c17();
+  const auto faults = enumerate_faults(nl, FaultModel::kStuckAt);
+  // 5 PI stems + 6 NAND gates x (2 inputs + 1 output) + 2 PO pins,
+  // two faults each: (5 + 18 + 2) * 2 = 50.
+  EXPECT_EQ(faults.size(), 50u);
+}
+
+TEST(Fault, C17CollapsedCountIsCanonical) {
+  // c17's collapsed stuck-at fault count is 22 -- a standard result in
+  // the ATPG literature.
+  Netlist nl = gen::make_c17();
+  FaultList fl = FaultList::build(nl, FaultModel::kStuckAt);
+  EXPECT_EQ(fl.size(), 22u);
+}
+
+TEST(Fault, TransitionAndStuckAtCountsMatch) {
+  // Paper section 5: both models target two faults per gate terminal, so
+  // collapsed counts are identical.
+  for (auto make : {gen::make_c17, gen::make_alu4}) {
+    Netlist nl = make();
+    FaultList sa = FaultList::build(nl, FaultModel::kStuckAt);
+    FaultList tf = FaultList::build(nl, FaultModel::kTransition);
+    EXPECT_EQ(sa.size(), tf.size());
+    EXPECT_EQ(sa.uncollapsed_count(), tf.uncollapsed_count());
+  }
+}
+
+TEST(Fault, EquivalenceRules) {
+  Netlist nl("eq");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g = nl.add_gate2(GateType::kAnd, a, b, "g");
+  nl.add_output(g, "o");
+  nl.finalize();
+  const auto faults = enumerate_faults(nl, FaultModel::kStuckAt);
+  const CollapsedFaults col = collapse_faults(nl, faults);
+
+  auto rep_of = [&](GateId gate, uint8_t pin, FaultType t) {
+    for (size_t i = 0; i < faults.size(); ++i) {
+      if (faults[i].gate == gate && faults[i].pin == pin &&
+          faults[i].type == t) {
+        return col.rep_of[i];
+      }
+    }
+    ADD_FAILURE() << "fault not found";
+    return uint32_t{0};
+  };
+
+  // AND input sa0 == output sa0.
+  EXPECT_EQ(rep_of(g, 0, FaultType::kSa0),
+            rep_of(g, kOutputPin, FaultType::kSa0));
+  EXPECT_EQ(rep_of(g, 1, FaultType::kSa0),
+            rep_of(g, kOutputPin, FaultType::kSa0));
+  // AND input sa1 != output sa1.
+  EXPECT_NE(rep_of(g, 0, FaultType::kSa1),
+            rep_of(g, kOutputPin, FaultType::kSa1));
+  // Single-fanout stem: PI a's stem faults == AND input-0 branch faults.
+  EXPECT_EQ(rep_of(a, kOutputPin, FaultType::kSa1),
+            rep_of(g, 0, FaultType::kSa1));
+}
+
+TEST(Fault, NotGateInvertsEquivalence) {
+  Netlist nl("inv");
+  const GateId a = nl.add_input("a");
+  const GateId n = nl.add_gate1(GateType::kNot, a, "n");
+  nl.add_output(n, "o");
+  nl.finalize();
+  const auto faults = enumerate_faults(nl, FaultModel::kStuckAt);
+  const CollapsedFaults col = collapse_faults(nl, faults);
+  auto idx = [&](GateId gate, uint8_t pin, FaultType t) {
+    for (size_t i = 0; i < faults.size(); ++i) {
+      if (faults[i].gate == gate && faults[i].pin == pin &&
+          faults[i].type == t) {
+        return col.rep_of[i];
+      }
+    }
+    return ~uint32_t{0};
+  };
+  // NOT input sa0 == output sa1.
+  EXPECT_EQ(idx(n, 0, FaultType::kSa0), idx(n, kOutputPin, FaultType::kSa1));
+  EXPECT_EQ(idx(n, 0, FaultType::kSa1), idx(n, kOutputPin, FaultType::kSa0));
+}
+
+TEST(Fault, OccGatesExcluded) {
+  Netlist nl("occ");
+  const GateId a = nl.add_input("a");
+  const GateId g = nl.add_gate1(GateType::kBuf, a, "g");
+  nl.mutable_gate(g).flags |= kFlagOccGate;
+  nl.add_output(g, "o");
+  nl.finalize();
+  const auto faults = enumerate_faults(nl, FaultModel::kStuckAt);
+  for (const Fault& f : faults) {
+    EXPECT_NE(f.gate, g) << "OCC gate must not contribute fault sites";
+  }
+}
+
+TEST(Fault, FaultNetResolvesBranchDriver) {
+  Netlist nl("net");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g = nl.add_gate2(GateType::kOr, a, b, "g");
+  nl.add_output(g, "o");
+  nl.finalize();
+  EXPECT_EQ(fault_net(nl, {g, 1, FaultType::kSa0}), b);
+  EXPECT_EQ(fault_net(nl, {g, kOutputPin, FaultType::kSa0}), g);
+}
+
+TEST(FaultList, StatusTransitions) {
+  Netlist nl = gen::make_c17();
+  FaultList fl = FaultList::build(nl, FaultModel::kStuckAt);
+  EXPECT_EQ(fl.count(FaultStatus::kUndetected), fl.size());
+  fl.set_status(0, FaultStatus::kDetected);
+  fl.set_status(1, FaultStatus::kUntestable);
+  fl.set_status(2, FaultStatus::kPossiblyDetected);
+  EXPECT_EQ(fl.count(FaultStatus::kDetected), 1u);
+  EXPECT_EQ(fl.count(FaultStatus::kUntestable), 1u);
+  // Detected is sticky.
+  fl.set_status(0, FaultStatus::kUndetected);
+  EXPECT_EQ(fl.status(0), FaultStatus::kDetected);
+  // Possibly-detected faults are still ATPG targets.
+  EXPECT_EQ(fl.undetected().size(), fl.size() - 2);
+}
+
+TEST(FaultList, CoverageMetrics) {
+  Netlist nl = gen::make_c17();
+  FaultList fl = FaultList::build(nl, FaultModel::kStuckAt);
+  const size_t n = fl.size();
+  for (size_t i = 0; i < n - 2; ++i) fl.set_status(i, FaultStatus::kDetected);
+  fl.set_status(n - 2, FaultStatus::kUntestable);
+  EXPECT_DOUBLE_EQ(fl.fault_coverage(),
+                   static_cast<double>(n - 2) / static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(fl.test_coverage(),
+                   static_cast<double>(n - 2) / static_cast<double>(n - 1));
+  EXPECT_GT(fl.atpg_effectiveness(), fl.fault_coverage());
+  EXPECT_FALSE(fl.summary().empty());
+}
+
+TEST(Fault, ToStringFormats) {
+  Netlist nl = gen::make_c17();
+  nl.finalize();
+  const std::string s =
+      fault_to_string(nl, {nl.find("G10"), 0, FaultType::kStr});
+  EXPECT_NE(s.find("G10"), std::string::npos);
+  EXPECT_NE(s.find("STR"), std::string::npos);
+  EXPECT_NE(s.find("in0"), std::string::npos);
+}
+
+TEST(Fault, CollapseRatioReasonable) {
+  Netlist nl = gen::make_alu4();
+  const auto faults = enumerate_faults(nl, FaultModel::kStuckAt);
+  const CollapsedFaults col = collapse_faults(nl, faults);
+  EXPECT_LT(col.collapse_ratio(), 0.85);
+  EXPECT_GT(col.collapse_ratio(), 0.3);
+  // Every fault maps to a valid representative.
+  for (uint32_t r : col.rep_of) {
+    EXPECT_LT(r, col.representatives.size());
+  }
+}
+
+}  // namespace
+}  // namespace occ

@@ -1,0 +1,201 @@
+// Shared test utilities: a random sequential-netlist generator and an
+// independent scalar reference fault simulator used as an oracle against
+// the packed PPSFP engine.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/ncp.h"
+#include "fault/fault.h"
+#include "fsim/pattern.h"
+#include "netlist/library.h"
+#include "netlist/netlist.h"
+#include "util/rng.h"
+
+namespace occ {
+namespace test {
+
+struct RandomNetlistParams {
+  size_t pis = 6;
+  size_t pos = 4;
+  size_t flops = 6;
+  size_t gates = 40;
+  size_t domains = 2;
+};
+
+/// Random DAG with scan-flagged flops across `domains` domains.
+inline Netlist random_netlist(Rng& rng, const RandomNetlistParams& p = {}) {
+  Netlist nl("rand");
+  std::vector<GateId> pool;
+  for (size_t i = 0; i < p.pis; ++i) {
+    pool.push_back(nl.add_input("pi" + std::to_string(i)));
+  }
+  std::vector<GateId> ffs;
+  for (size_t i = 0; i < p.flops; ++i) {
+    const GateId ff =
+        nl.add_dff(kNoGate, static_cast<DomainId>(rng.below(p.domains)),
+                   "ff" + std::to_string(i), kFlagScan);
+    ffs.push_back(ff);
+    pool.push_back(ff);
+  }
+  const GateType kinds[] = {GateType::kAnd, GateType::kNand, GateType::kOr,
+                            GateType::kNor, GateType::kXor, GateType::kXnor,
+                            GateType::kNot, GateType::kMux2};
+  for (size_t i = 0; i < p.gates; ++i) {
+    const GateType t = kinds[rng.below(8)];
+    auto pick = [&] { return pool[rng.below(pool.size())]; };
+    GateId g;
+    if (t == GateType::kNot) {
+      g = nl.add_gate1(t, pick(), "g" + std::to_string(i));
+    } else if (t == GateType::kMux2) {
+      g = nl.add_mux2(pick(), pick(), pick(), "g" + std::to_string(i));
+    } else {
+      GateId a = pick(), b = pick();
+      if (a == b) b = pool[(rng.below(pool.size()))];
+      g = nl.add_gate2(t, a, b, "g" + std::to_string(i));
+    }
+    pool.push_back(g);
+  }
+  for (GateId ff : ffs) {
+    nl.connect_dff_d(ff, pool[pool.size() - 1 - rng.below(p.gates / 2)]);
+  }
+  for (size_t i = 0; i < p.pos; ++i) {
+    nl.add_output(pool[pool.size() - 1 - rng.below(p.gates / 2)],
+                  "po" + std::to_string(i));
+  }
+  nl.finalize();
+  return nl;
+}
+
+/// Observation vector: strobed-PO values per strobe frame, then final
+/// scan-cell states. Computed by a direct scalar frame-by-frame
+/// simulation, optionally with a fault injected (mirroring the engine's
+/// broadside semantics: stuck-at in every frame; transition as stuck-at
+/// of the initial value in every at-speed frame whose fault-free launch
+/// condition holds).
+inline std::vector<V3> ref_observations(const Netlist& nl,
+                                        const NamedCaptureProcedure& ncp,
+                                        bool scan_en_frozen, GateId scan_en,
+                                        const TestPattern& pat,
+                                        const Fault* fault) {
+  const size_t frames = ncp.cycles.size();
+  const std::vector<GateId> scells = scan_cells(nl);
+  const GateId site = fault ? fault_net(nl, *fault) : kNoGate;
+
+  // Good pass first (for transition activation frames).
+  std::vector<uint64_t> inj_frames;  // frame indices with injection
+  if (fault && !is_transition(fault->type)) {
+    for (size_t f = 0; f < frames; ++f) inj_frames.push_back(f);
+  }
+
+  auto run = [&](bool faulty, const std::vector<V3>* good_site_vals,
+                 std::vector<V3>* site_vals_out) {
+    std::vector<V3> state(nl.dffs().size(), V3::kX);
+    std::vector<int32_t> dpos(nl.size(), -1);
+    for (size_t i = 0; i < nl.dffs().size(); ++i) dpos[nl.dffs()[i]] = i;
+    for (size_t i = 0; i < scells.size(); ++i) {
+      state[static_cast<size_t>(dpos[scells[i]])] = pat.load[i];
+    }
+    std::vector<V3> obs;
+    std::vector<V3> vals(nl.size(), V3::kX);
+    for (size_t f = 0; f < frames; ++f) {
+      const bool inject =
+          faulty && std::find(inj_frames.begin(), inj_frames.end(), f) !=
+                        inj_frames.end();
+      for (GateId g : nl.topo_order()) {
+        const Gate& gate = nl.gate(g);
+        if (gate.type == GateType::kInput) {
+          size_t pi_pos = 0;
+          for (size_t i = 0; i < nl.inputs().size(); ++i) {
+            if (nl.inputs()[i] == g) pi_pos = i;
+          }
+          vals[g] = pat.pi_frames[f][pi_pos];
+          if (scan_en_frozen && g == scan_en) vals[g] = V3::k0;
+        } else if (gate.type == GateType::kDff) {
+          vals[g] = state[static_cast<size_t>(dpos[g])];
+        } else if (gate.type == GateType::kTie0) {
+          vals[g] = V3::k0;
+        } else if (gate.type == GateType::kTie1) {
+          vals[g] = V3::k1;
+        } else if (gate.type == GateType::kXSource) {
+          vals[g] = V3::kX;
+        } else {
+          std::vector<V3> in;
+          for (size_t pin = 0; pin < gate.fanin.size(); ++pin) {
+            V3 v = vals[gate.fanin[pin]];
+            if (inject && fault->pin != kOutputPin && g == fault->gate &&
+                pin == fault->pin) {
+              v = v3_from_bool(fault_value(fault->type));
+            }
+            in.push_back(v);
+          }
+          vals[g] = eval_gate(gate.type, in);
+        }
+        if (inject && fault->pin == kOutputPin && g == fault->gate) {
+          vals[g] = v3_from_bool(fault_value(fault->type));
+        }
+      }
+      if (site_vals_out) site_vals_out->push_back(vals[site]);
+      if (ncp.cycles[f].po_strobe) {
+        for (GateId po : nl.outputs()) obs.push_back(vals[po]);
+      }
+      // Capture. A D-pin branch fault corrupts the captured value.
+      std::vector<V3> next = state;
+      for (size_t i = 0; i < nl.dffs().size(); ++i) {
+        const Gate& ff = nl.gate(nl.dffs()[i]);
+        if (ncp.cycles[f].pulses & (DomainMask{1} << ff.domain)) {
+          V3 d = vals[ff.fanin[0]];
+          if (inject && fault->gate == nl.dffs()[i] && fault->pin == 0) {
+            d = v3_from_bool(fault_value(fault->type));
+          }
+          next[i] = d;
+        }
+      }
+      state = next;
+      (void)good_site_vals;
+    }
+    for (size_t i = 0; i < scells.size(); ++i) {
+      obs.push_back(state[static_cast<size_t>(dpos[scells[i]])]);
+    }
+    return obs;
+  };
+
+  if (!fault) return run(false, nullptr, nullptr);
+
+  if (is_transition(fault->type)) {
+    // Good pass records the site's frame values.
+    std::vector<V3> site_vals;
+    run(false, nullptr, &site_vals);
+    const V3 init = v3_from_bool(fault_value(fault->type));
+    const V3 fin = v3_not(init);
+    for (size_t k = 1; k < frames; ++k) {
+      if (ncp.cycles[k].at_speed && site_vals[k - 1] == init &&
+          site_vals[k] == fin) {
+        inj_frames.push_back(k);
+      }
+    }
+    if (inj_frames.empty()) return run(false, nullptr, nullptr);
+  }
+  return run(true, nullptr, nullptr);
+}
+
+/// Hard detection: some observation position where good and faulty are
+/// both known and differ.
+inline bool ref_detects(const Netlist& nl, const NamedCaptureProcedure& ncp,
+                        bool scan_en_frozen, GateId scan_en,
+                        const TestPattern& pat, const Fault& f) {
+  const auto good = ref_observations(nl, ncp, scan_en_frozen, scan_en, pat,
+                                     nullptr);
+  const auto bad =
+      ref_observations(nl, ncp, scan_en_frozen, scan_en, pat, &f);
+  for (size_t i = 0; i < good.size(); ++i) {
+    if (good[i] != V3::kX && bad[i] != V3::kX && good[i] != bad[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace test
+}  // namespace occ

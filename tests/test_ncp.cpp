@@ -1,0 +1,162 @@
+// Tests: named capture procedures and the five experiment clocking
+// schemes.
+#include <gtest/gtest.h>
+
+#include "core/clock_scheme.h"
+#include "core/ncp.h"
+#include "util/check.h"
+
+namespace occ {
+namespace {
+
+NamedCaptureProcedure two_pulse(DomainMask m) {
+  NamedCaptureProcedure p;
+  p.name = "t";
+  p.cycles = {
+      {.pulses = m, .pi_change = true, .po_strobe = false, .at_speed = false},
+      {.pulses = m, .pi_change = false, .po_strobe = false,
+       .at_speed = true}};
+  return p;
+}
+
+TEST(Ncp, ValidationRules) {
+  NamedCaptureProcedure p = two_pulse(1);
+  p.validate();  // fine
+
+  NamedCaptureProcedure no_cycles;
+  no_cycles.name = "empty";
+  EXPECT_THROW(no_cycles.validate(), CheckError);
+
+  NamedCaptureProcedure no_pi = two_pulse(1);
+  no_pi.cycles[0].pi_change = false;
+  EXPECT_THROW(no_pi.validate(), CheckError);
+
+  NamedCaptureProcedure at_speed0 = two_pulse(1);
+  at_speed0.cycles[0].at_speed = true;
+  EXPECT_THROW(at_speed0.validate(), CheckError);
+
+  NamedCaptureProcedure no_pulse = two_pulse(1);
+  no_pulse.cycles[1].pulses = 0;
+  EXPECT_THROW(no_pulse.validate(), CheckError);
+}
+
+TEST(Ncp, DomainsUsedAndAtSpeed) {
+  NamedCaptureProcedure p = two_pulse(0b01);
+  p.cycles[1].pulses = 0b10;
+  EXPECT_EQ(p.domains_used(), DomainMask{0b11});
+  EXPECT_TRUE(p.has_at_speed_pair());
+  p.cycles[1].at_speed = false;
+  EXPECT_FALSE(p.has_at_speed_pair());
+}
+
+TEST(Ncp, ToStringMentionsConstraints) {
+  const NamedCaptureProcedure p = two_pulse(0b10);
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("D1"), std::string::npos);
+  EXPECT_NE(s.find("pi-frozen"), std::string::npos);
+  EXPECT_NE(s.find("po-masked"), std::string::npos);
+}
+
+TEST(Ncp, TesterCycleModel) {
+  const NamedCaptureProcedure p = two_pulse(1);
+  // On-chip: no per-pulse ATE cycles, but arming overhead.
+  const size_t on_chip = ncp_tester_cycles(p, true);
+  const size_t external = ncp_tester_cycles(p, false);
+  EXPECT_GT(on_chip, 0u);
+  EXPECT_GT(external, 0u);
+}
+
+TEST(Schemes, StuckAtExternal) {
+  const ClockingScheme s = scheme_stuck_at_external(2);
+  EXPECT_EQ(s.model, FaultModel::kStuckAt);
+  EXPECT_FALSE(s.scan_en_frozen);
+  EXPECT_EQ(s.procedures.size(), 2u);  // basic + clock-sequential
+  for (const auto& p : s.procedures) {
+    for (const auto& c : p.cycles) {
+      EXPECT_EQ(c.pulses, DomainMask{0b11}) << "common external clock";
+      EXPECT_FALSE(c.at_speed);
+    }
+    EXPECT_TRUE(p.cycles.back().po_strobe);
+  }
+}
+
+TEST(Schemes, ExternalFullIsUnconstrained) {
+  const ClockingScheme s = scheme_external_full(2, 4);
+  EXPECT_EQ(s.procedures.size(), 3u);  // bursts of 2, 3, 4
+  for (const auto& p : s.procedures) {
+    EXPECT_TRUE(p.has_at_speed_pair());
+    for (size_t k = 0; k < p.cycles.size(); ++k) {
+      EXPECT_TRUE(p.cycles[k].pi_change) << "PIs fully available";
+      EXPECT_TRUE(p.cycles[k].po_strobe) << "POs fully observable";
+      EXPECT_EQ(p.cycles[k].at_speed, k > 0);
+    }
+  }
+}
+
+TEST(Schemes, CpfBasicIsExactlyTwoPulsesPerDomain) {
+  const ClockingScheme s = scheme_cpf_basic(2);
+  EXPECT_EQ(s.procedures.size(), 2u);  // one per domain
+  for (const auto& p : s.procedures) {
+    EXPECT_EQ(p.cycles.size(), 2u) << "basic CPF: exactly two pulses";
+    EXPECT_EQ(p.cycles[0].pulses, p.cycles[1].pulses)
+        << "no inter-domain capability";
+    for (const auto& c : p.cycles) {
+      EXPECT_FALSE(c.po_strobe) << "outputs masked";
+    }
+    EXPECT_FALSE(p.cycles[1].pi_change) << "inputs frozen";
+    EXPECT_TRUE(p.cycles[1].at_speed);
+  }
+  // The two procedures cover different domains.
+  EXPECT_NE(s.procedures[0].domains_used(), s.procedures[1].domains_used());
+}
+
+TEST(Schemes, CpfEnhancedAddsPulsesAndInterDomain) {
+  const ClockingScheme s = scheme_cpf_enhanced(2, 4);
+  // Per domain: bursts 2,3,4 = 6; inter-domain: 2 ordered pairs x 2
+  // variants = 4. Total 10.
+  EXPECT_EQ(s.procedures.size(), 10u);
+  size_t inter = 0;
+  size_t max_burst = 0;
+  for (const auto& p : s.procedures) {
+    max_burst = std::max(max_burst, p.cycles.size());
+    DomainMask first = p.cycles.front().pulses;
+    DomainMask last = p.cycles.back().pulses;
+    if (first != last) {
+      ++inter;
+      EXPECT_TRUE(p.cycles.back().at_speed)
+          << "inter-domain capture must be at-speed";
+    }
+  }
+  EXPECT_EQ(inter, 4u);
+  EXPECT_EQ(max_burst, 4u) << "up to four pulses";
+}
+
+TEST(Schemes, ExternalConstrainedMasksButPulsesAllDomains) {
+  const ClockingScheme s = scheme_external_constrained(2, 4);
+  for (const auto& p : s.procedures) {
+    for (size_t k = 0; k < p.cycles.size(); ++k) {
+      EXPECT_EQ(p.cycles[k].pulses, DomainMask{0b11});
+      EXPECT_FALSE(p.cycles[k].po_strobe);
+      if (k > 0) EXPECT_FALSE(p.cycles[k].pi_change);
+    }
+  }
+}
+
+TEST(Schemes, AllSchemesValidate) {
+  for (size_t nd : {1u, 2u, 3u}) {
+    scheme_stuck_at_external(nd).validate();
+    scheme_external_full(nd).validate();
+    scheme_cpf_basic(nd).validate();
+    scheme_external_constrained(nd).validate();
+    if (nd >= 1) scheme_cpf_enhanced(nd).validate();
+  }
+}
+
+TEST(Schemes, ToStringListsProcedures) {
+  const std::string s = scheme_cpf_enhanced(2).to_string();
+  EXPECT_NE(s.find("d_cpf_enhanced"), std::string::npos);
+  EXPECT_NE(s.find("ecpf_x0to1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace occ

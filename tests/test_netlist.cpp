@@ -1,0 +1,177 @@
+// Unit tests: netlist graph, levelization, validation, bench I/O, stats.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/circuits.h"
+#include "netlist/bench_io.h"
+#include "netlist/netlist.h"
+#include "netlist/stats.h"
+#include "util/check.h"
+
+namespace occ {
+namespace {
+
+TEST(Netlist, BuildAndFinalize) {
+  Netlist nl("t");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g = nl.add_gate2(GateType::kAnd, a, b, "g");
+  const GateId o = nl.add_output(g, "o");
+  nl.finalize();
+  EXPECT_TRUE(nl.finalized());
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.gate(a).fanout.size(), 1u);
+  EXPECT_EQ(nl.gate(g).fanout[0], o);
+  EXPECT_EQ(nl.gate(a).level, 0);
+  EXPECT_EQ(nl.gate(g).level, 1);
+  EXPECT_EQ(nl.gate(o).level, 2);
+  EXPECT_EQ(nl.max_level(), 2);
+}
+
+TEST(Netlist, TopoOrderRespectsLevels) {
+  Netlist nl = gen::make_adder(8);
+  int32_t prev = -1;
+  for (GateId g : nl.topo_order()) {
+    EXPECT_GE(nl.gate(g).level, prev);
+    prev = nl.gate(g).level;
+  }
+}
+
+TEST(Netlist, CombinationalLoopDetected) {
+  Netlist nl("loop");
+  const GateId a = nl.add_input("a");
+  const GateId g1 = nl.add_gate2(GateType::kAnd, a, a, "g1");
+  const GateId g2 = nl.add_gate2(GateType::kOr, g1, a, "g2");
+  nl.replace_fanin(g1, 1, g2);  // g1 <- g2 <- g1
+  EXPECT_THROW(nl.finalize(), CheckError);
+}
+
+TEST(Netlist, FlopFeedbackIsLegal) {
+  Netlist nl("fb");
+  const GateId ff = nl.add_dff(kNoGate, 0, "ff");
+  const GateId inv = nl.add_gate1(GateType::kNot, ff, "inv");
+  nl.connect_dff_d(ff, inv);
+  nl.add_output(ff, "o");
+  nl.finalize();  // toggle flop: legal feedback through the flop
+  EXPECT_EQ(nl.dffs().size(), 1u);
+}
+
+TEST(Netlist, DanglingDffDRejected) {
+  Netlist nl("dangling");
+  nl.add_dff(kNoGate, 0, "ff");
+  EXPECT_THROW(nl.finalize(), CheckError);
+}
+
+TEST(Netlist, PinCountValidation) {
+  Netlist nl("pins");
+  const GateId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateType::kAnd, std::vector<GateId>{a}, "bad"),
+               CheckError);
+  EXPECT_THROW(nl.add_gate(GateType::kNot, std::vector<GateId>{a, a}, "bad"),
+               CheckError);
+  const GateId m = nl.add_mux2(a, a, a, "m");
+  EXPECT_EQ(nl.gate(m).fanin.size(), 3u);
+}
+
+TEST(Netlist, OutputCannotDriveLogic) {
+  Netlist nl("po");
+  const GateId a = nl.add_input("a");
+  const GateId o = nl.add_output(a, "o");
+  nl.add_gate2(GateType::kAnd, a, o, "bad");
+  EXPECT_THROW(nl.finalize(), CheckError);
+}
+
+TEST(Netlist, FindAndAssignNames) {
+  Netlist nl("names");
+  const GateId a = nl.add_input("alpha");
+  const GateId g = nl.add_gate1(GateType::kNot, a);
+  EXPECT_EQ(nl.find("alpha"), a);
+  EXPECT_EQ(nl.find("nope"), kNoGate);
+  nl.assign_names();
+  EXPECT_FALSE(nl.gate(g).name.empty());
+  EXPECT_EQ(nl.find(nl.gate(g).name), g);
+}
+
+TEST(Netlist, NumDomains) {
+  Netlist nl("dom");
+  const GateId a = nl.add_input("a");
+  nl.add_dff(a, 0, "f0");
+  nl.add_dff(a, 2, "f2");
+  EXPECT_EQ(nl.num_domains(), 3u);
+}
+
+TEST(BenchIo, RoundTripCombinational) {
+  Netlist nl = gen::make_c17();
+  std::ostringstream os;
+  write_bench(nl, os);
+  std::istringstream is(os.str());
+  Netlist rt = read_bench(is, "c17rt");
+  EXPECT_EQ(rt.size(), nl.size());
+  EXPECT_EQ(rt.inputs().size(), nl.inputs().size());
+  EXPECT_EQ(rt.outputs().size(), nl.outputs().size());
+  EXPECT_EQ(rt.max_level(), nl.max_level());
+}
+
+TEST(BenchIo, RoundTripSequentialWithDomains) {
+  Netlist nl = gen::make_two_domain_link(4);
+  // Tag one flop noscan to test attribute round-trip.
+  nl.mutable_gate(nl.dffs()[0]).flags |= kFlagNoScan;
+  nl.finalize();
+  std::ostringstream os;
+  write_bench(nl, os);
+  std::istringstream is(os.str());
+  Netlist rt = read_bench(is, "rt");
+  EXPECT_EQ(rt.dffs().size(), nl.dffs().size());
+  EXPECT_EQ(rt.num_domains(), 2u);
+  size_t noscan = 0;
+  for (GateId ff : rt.dffs()) {
+    if (rt.gate(ff).flags & kFlagNoScan) ++noscan;
+  }
+  EXPECT_EQ(noscan, 1u);
+}
+
+TEST(BenchIo, ForwardReferencesResolve) {
+  const char* text = R"(
+    INPUT(a)
+    out = AND(later, a)
+    later = NOT(a)
+    OUTPUT(out)
+  )";
+  std::istringstream is(text);
+  Netlist nl = read_bench(is, "fwd");
+  EXPECT_NE(nl.find("later"), kNoGate);
+  EXPECT_EQ(nl.gate(nl.find("out")).fanin[0], nl.find("later"));
+}
+
+TEST(BenchIo, UndefinedNetRejected) {
+  std::istringstream is("INPUT(a)\nx = AND(a, ghost)\n");
+  EXPECT_THROW(read_bench(is, "bad"), CheckError);
+}
+
+TEST(BenchIo, DuplicateNetRejected) {
+  std::istringstream is("INPUT(a)\nx = NOT(a)\nx = BUF(a)\n");
+  EXPECT_THROW(read_bench(is, "dup"), CheckError);
+}
+
+TEST(Stats, CountsMatchHandBuiltCircuit) {
+  Netlist nl = gen::make_counter(4);
+  const NetlistStats s = NetlistStats::compute(nl);
+  EXPECT_EQ(s.flops, 4u);
+  EXPECT_EQ(s.inputs, 1u);
+  EXPECT_EQ(s.outputs, 4u);
+  EXPECT_EQ(s.logic_gates, 8u);  // 4 XOR + 4 AND
+  EXPECT_EQ(s.flops_per_domain.size(), 1u);
+  EXPECT_EQ(s.flops_per_domain[0], 4u);
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+TEST(GateTypeNames, AllNamed) {
+  for (int t = 0; t <= static_cast<int>(GateType::kDlatH); ++t) {
+    EXPECT_NE(gate_type_name(static_cast<GateType>(t)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace occ

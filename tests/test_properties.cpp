@@ -1,0 +1,218 @@
+// Property-based sweeps: cross-engine equivalences on random circuits.
+//
+//   * PPSFP fault simulator vs independent scalar reference (stuck-at
+//     and transition, random netlists and patterns);
+//   * event-driven simulator vs cycle simulator on settled values;
+//   * structural fault collapsing: equivalent faults have identical
+//     detection behavior;
+//   * PODEM cubes are always confirmed by the fault simulator.
+#include <gtest/gtest.h>
+
+#include "atpg/podem.h"
+#include "atpg/unroll.h"
+#include "core/clock_scheme.h"
+#include "fault/collapse.h"
+#include "fsim/fsim.h"
+#include "sim/cycle_sim.h"
+#include "sim/event_sim.h"
+#include "test_helpers.h"
+
+namespace occ {
+namespace {
+
+using test::random_netlist;
+using test::RandomNetlistParams;
+using test::ref_detects;
+
+TestPattern random_pattern(const Netlist& nl,
+                           const NamedCaptureProcedure& ncp,
+                           uint32_t ncp_index, Rng& rng) {
+  TestPattern p;
+  p.ncp_index = ncp_index;
+  p.pi_frames.assign(ncp.cycles.size(),
+                     std::vector<V3>(nl.inputs().size(), V3::kX));
+  p.load.assign(scan_cells(nl).size(), V3::kX);
+  p.random_fill(ncp, rng);
+  // Sprinkle a few X's back in to exercise 3-valued paths.
+  for (auto& fr : p.pi_frames) {
+    for (auto& v : fr) {
+      if (rng.chance(0.1)) v = V3::kX;
+    }
+  }
+  for (size_t f = 1; f < p.pi_frames.size(); ++f) {
+    if (!ncp.cycles[f].pi_change) p.pi_frames[f] = p.pi_frames[f - 1];
+  }
+  return p;
+}
+
+class FsimOracleSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FsimOracleSweep, StuckAtMatchesReference) {
+  Rng rng(GetParam());
+  Netlist nl = random_netlist(rng);
+  const ClockingScheme s = scheme_stuck_at_external(nl.num_domains());
+  FaultList fl = FaultList::build(nl, FaultModel::kStuckAt);
+  NcpFaultSim fsim(nl, s, kNoGate);
+
+  for (uint32_t nc = 0; nc < s.procedures.size(); ++nc) {
+    const NamedCaptureProcedure& ncp = s.procedures[nc];
+    PatternSet ps("x");
+    for (int i = 0; i < 8; ++i) {
+      ps.add(random_pattern(nl, ncp, nc, rng));
+    }
+    PatternBatch b = pack_batch(ps, 0, 8, nl, ncp);
+    fsim.simulate_good(b);
+
+    // Reference: per fault, per pattern.
+    FaultList ref = FaultList::build(nl, FaultModel::kStuckAt);
+    std::vector<std::pair<size_t, unsigned>> dets;
+    FaultList packed = FaultList::build(nl, FaultModel::kStuckAt);
+    fsim.detect_faults(b, packed, &dets);
+
+    for (size_t fi = 0; fi < ref.size(); ++fi) {
+      bool ref_det = false;
+      for (size_t pi = 0; pi < 8 && !ref_det; ++pi) {
+        ref_det = ref_detects(nl, ncp, s.scan_en_frozen, kNoGate, ps[pi],
+                              ref.fault(fi));
+      }
+      const bool packed_det =
+          packed.status(fi) == FaultStatus::kDetected;
+      EXPECT_EQ(packed_det, ref_det)
+          << "seed " << GetParam() << " ncp " << nc << " fault "
+          << fault_to_string(nl, ref.fault(fi));
+    }
+  }
+}
+
+TEST_P(FsimOracleSweep, TransitionMatchesReference) {
+  Rng rng(GetParam() ^ 0x7F);
+  Netlist nl = random_netlist(rng);
+  const size_t nd = nl.num_domains();
+  for (const ClockingScheme& s :
+       {scheme_cpf_basic(nd), scheme_external_constrained(nd, 3)}) {
+    NcpFaultSim fsim(nl, s, kNoGate);
+    for (uint32_t nc = 0; nc < s.procedures.size(); ++nc) {
+      const NamedCaptureProcedure& ncp = s.procedures[nc];
+      PatternSet ps("x");
+      for (int i = 0; i < 6; ++i) {
+        ps.add(random_pattern(nl, ncp, nc, rng));
+      }
+      PatternBatch b = pack_batch(ps, 0, 6, nl, ncp);
+      fsim.simulate_good(b);
+      FaultList packed = FaultList::build(nl, FaultModel::kTransition);
+      fsim.detect_faults(b, packed);
+
+      FaultList ref = FaultList::build(nl, FaultModel::kTransition);
+      for (size_t fi = 0; fi < ref.size(); ++fi) {
+        bool ref_det = false;
+        for (size_t pi = 0; pi < 6 && !ref_det; ++pi) {
+          ref_det = ref_detects(nl, ncp, s.scan_en_frozen, kNoGate,
+                                ps[pi], ref.fault(fi));
+        }
+        EXPECT_EQ(packed.status(fi) == FaultStatus::kDetected, ref_det)
+            << "seed " << GetParam() << " scheme " << s.name << " ncp "
+            << nc << " fault " << fault_to_string(nl, ref.fault(fi));
+      }
+    }
+  }
+}
+
+TEST_P(FsimOracleSweep, CollapsedClassesDetectTogether) {
+  Rng rng(GetParam() ^ 0xC0L);
+  Netlist nl = random_netlist(rng);
+  const auto all = enumerate_faults(nl, FaultModel::kStuckAt);
+  const CollapsedFaults col = collapse_faults(nl, all);
+  const ClockingScheme s = scheme_stuck_at_external(nl.num_domains());
+  const NamedCaptureProcedure& ncp = s.procedures[0];
+  for (int trial = 0; trial < 3; ++trial) {
+    const TestPattern p = random_pattern(nl, ncp, 0, rng);
+    // Every fault must detect iff its representative detects.
+    for (size_t i = 0; i < all.size(); i += 7) {  // sample for speed
+      const Fault& f = all[i];
+      const Fault& rep = col.representatives[col.rep_of[i]];
+      const bool df =
+          ref_detects(nl, ncp, s.scan_en_frozen, kNoGate, p, f);
+      const bool dr =
+          ref_detects(nl, ncp, s.scan_en_frozen, kNoGate, p, rep);
+      EXPECT_EQ(df, dr) << "collapse merged non-equivalent faults: "
+                        << fault_to_string(nl, f) << " vs "
+                        << fault_to_string(nl, rep);
+    }
+  }
+}
+
+TEST_P(FsimOracleSweep, EventSimMatchesCycleSimOnCombinational) {
+  Rng rng(GetParam() ^ 0xE5);
+  RandomNetlistParams prm;
+  prm.flops = 0;
+  prm.gates = 60;
+  Netlist nl = random_netlist(rng, prm);
+  CycleSim cs(nl);
+  EventSim es(nl);
+  for (int trial = 0; trial < 5; ++trial) {
+    const SimTime t0 = trial * 1000;
+    std::vector<V3> in(nl.inputs().size());
+    for (size_t i = 0; i < in.size(); ++i) {
+      in[i] = rng.chance(0.15) ? V3::kX
+                               : v3_from_bool(rng.chance(0.5));
+      cs.set_input(nl.inputs()[i], Val64::broadcast(in[i]));
+      es.drive(nl.inputs()[i], t0, in[i]);
+    }
+    cs.eval();
+    es.run_until(t0 + 500);  // settle
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (nl.gate(g).type == GateType::kOutput) {
+        EXPECT_EQ(es.value(g), cs.value(g).get(0))
+            << "seed " << GetParam() << " trial " << trial << " gate " << g;
+      }
+    }
+  }
+}
+
+TEST_P(FsimOracleSweep, PodemCubesConfirmedByFsim) {
+  Rng rng(GetParam() ^ 0x9D);
+  Netlist nl = random_netlist(rng);
+  const size_t nd = nl.num_domains();
+  const ClockingScheme s = scheme_cpf_enhanced(nd, 3);
+  FaultList fl = FaultList::build(nl, FaultModel::kTransition);
+  for (uint32_t nc = 0; nc < s.procedures.size(); nc += 2) {
+    UnrolledModel um(nl, s, nc, kNoGate);
+    Podem podem(um);
+    for (size_t fi = 0; fi < fl.size(); fi += 11) {  // sample
+      for (const UnrolledFault& uf : um.translate(fl.fault(fi))) {
+        if (podem.run(uf) != Podem::Outcome::kDetected) continue;
+        // Convert cube -> pattern and confirm via reference simulator.
+        TestPattern p;
+        p.ncp_index = nc;
+        p.pi_frames.assign(s.procedures[nc].cycles.size(),
+                           std::vector<V3>(nl.inputs().size(), V3::kX));
+        p.load.assign(scan_cells(nl).size(), V3::kX);
+        const auto& info = um.var_info();
+        const auto& cube = podem.assignment();
+        for (size_t v = 0; v < info.size(); ++v) {
+          if (cube[v] == V3::kX) continue;
+          if (info[v].kind == UnrolledModel::VarInfo::kLoad) {
+            p.load[info[v].pos] = cube[v];
+          } else {
+            p.pi_frames[info[v].frame][info[v].pos] = cube[v];
+          }
+        }
+        for (size_t f = 1; f < p.pi_frames.size(); ++f) {
+          if (!s.procedures[nc].cycles[f].pi_change) {
+            p.pi_frames[f] = p.pi_frames[f - 1];
+          }
+        }
+        EXPECT_TRUE(ref_detects(nl, s.procedures[nc], s.scan_en_frozen,
+                                kNoGate, p, fl.fault(fi)))
+            << "seed " << GetParam() << " ncp " << nc << " fault "
+            << fault_to_string(nl, fl.fault(fi));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsimOracleSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace occ

@@ -1,0 +1,207 @@
+// Unit tests: packed ternary values and the cycle-based simulator.
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "gen/circuits.h"
+#include "netlist/library.h"
+#include "sim/cycle_sim.h"
+#include "sim/value.h"
+#include "util/rng.h"
+
+namespace occ {
+namespace {
+
+const V3 kAllV3[] = {V3::k0, V3::k1, V3::kX};
+
+// ---- packed value semantics vs scalar library ---------------------------
+
+class PackedVsScalar : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(PackedVsScalar, TwoInputGatesAgree) {
+  const V3 a = kAllV3[std::get<0>(GetParam())];
+  const V3 b = kAllV3[std::get<1>(GetParam())];
+  const Val64 pa = Val64::broadcast(a);
+  const Val64 pb = Val64::broadcast(b);
+  const GateType types[] = {GateType::kAnd,  GateType::kNand, GateType::kOr,
+                            GateType::kNor,  GateType::kXor,  GateType::kXnor};
+  for (GateType t : types) {
+    const V3 sc = eval_gate(t, std::vector<V3>{a, b});
+    const Val64 in[] = {pa, pb};
+    const Val64 pk = eval_gate_packed(t, in);
+    EXPECT_EQ(pk.get(0), sc) << gate_type_name(t);
+    EXPECT_EQ(pk.get(63), sc) << gate_type_name(t);
+    // Canonical form: value bit clear where unknown.
+    EXPECT_EQ(pk.v & pk.x, 0u);
+  }
+}
+
+TEST_P(PackedVsScalar, MuxAgrees) {
+  const V3 sel = kAllV3[std::get<0>(GetParam())];
+  const V3 d = kAllV3[std::get<1>(GetParam())];
+  for (V3 d1 : kAllV3) {
+    const V3 sc = eval_gate(GateType::kMux2, std::vector<V3>{sel, d, d1});
+    const Val64 in[] = {Val64::broadcast(sel), Val64::broadcast(d),
+                        Val64::broadcast(d1)};
+    const Val64 pk = eval_gate_packed(GateType::kMux2, in);
+    EXPECT_EQ(pk.get(17), sc);
+    EXPECT_EQ(pk.v & pk.x, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllValuePairs, PackedVsScalar,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Range(0, 3)));
+
+TEST(Val64, NotInvolution) {
+  for (V3 v : kAllV3) {
+    const Val64 p = Val64::broadcast(v);
+    EXPECT_EQ(v_not(v_not(p)), p);
+  }
+}
+
+TEST(Val64, SlotAccess) {
+  Val64 v = Val64::allx();
+  v.set(3, V3::k1);
+  v.set(40, V3::k0);
+  EXPECT_EQ(v.get(3), V3::k1);
+  EXPECT_EQ(v.get(40), V3::k0);
+  EXPECT_EQ(v.get(0), V3::kX);
+  EXPECT_EQ(v.is1() & (1ull << 3), 1ull << 3);
+  EXPECT_EQ(v.is0() & (1ull << 40), 1ull << 40);
+}
+
+// ---- cycle simulator ------------------------------------------------------
+
+TEST(CycleSim, AdderComputesSums) {
+  Netlist nl = gen::make_adder(8);
+  CycleSim sim(nl);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint32_t a = rng.next_u32() & 0xFF;
+    const uint32_t b = rng.next_u32() & 0xFF;
+    const uint32_t cin = rng.next_u32() & 1;
+    for (size_t i = 0; i < 8; ++i) {
+      sim.set_input(nl.find("a" + std::to_string(i)),
+                    Val64::broadcast(v3_from_bool((a >> i) & 1)));
+      sim.set_input(nl.find("b" + std::to_string(i)),
+                    Val64::broadcast(v3_from_bool((b >> i) & 1)));
+    }
+    sim.set_input(nl.find("cin"), Val64::broadcast(v3_from_bool(cin)));
+    sim.eval();
+    const uint32_t want = a + b + cin;
+    for (size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(sim.value(nl.find("sum" + std::to_string(i))).get(0),
+                v3_from_bool((want >> i) & 1));
+    }
+    EXPECT_EQ(sim.value(nl.find("cout")).get(0),
+              v3_from_bool((want >> 8) & 1));
+  }
+}
+
+TEST(CycleSim, ParallelSlotsIndependent) {
+  Netlist nl = gen::make_adder(1);
+  CycleSim sim(nl);
+  // Slot i: a = bit i of pattern A etc.
+  Val64 a = Val64::from_bits(0xAAAAAAAAAAAAAAAAull);
+  Val64 b = Val64::from_bits(0xCCCCCCCCCCCCCCCCull);
+  Val64 c = Val64::from_bits(0xF0F0F0F0F0F0F0F0ull);
+  sim.set_input(nl.find("a0"), a);
+  sim.set_input(nl.find("b0"), b);
+  sim.set_input(nl.find("cin"), c);
+  sim.eval();
+  const Val64 sum = sim.value(nl.find("sum0"));
+  const Val64 cout = sim.value(nl.find("cout"));
+  EXPECT_EQ(sum.v, a.v ^ b.v ^ c.v);
+  EXPECT_EQ(cout.v, (a.v & b.v) | (c.v & (a.v ^ b.v)));
+  EXPECT_EQ(sum.x, 0u);
+}
+
+TEST(CycleSim, CounterCountsUp) {
+  Netlist nl = gen::make_counter(4);
+  CycleSim sim(nl);
+  // Reset state to 0 explicitly.
+  for (GateId ff : nl.dffs()) sim.set_state(ff, Val64::all0());
+  sim.set_input(nl.find("en"), Val64::all1());
+  for (uint32_t step = 1; step <= 20; ++step) {
+    sim.pulse(kAllDomains);
+    sim.eval();
+    uint32_t got = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      if (sim.state(nl.dffs()[i]).get(0) == V3::k1) got |= 1u << i;
+    }
+    EXPECT_EQ(got, step & 0xF) << "after " << step << " pulses";
+  }
+}
+
+TEST(CycleSim, CounterHoldsWhenDisabled) {
+  Netlist nl = gen::make_counter(4);
+  CycleSim sim(nl);
+  for (GateId ff : nl.dffs()) sim.set_state(ff, Val64::all0());
+  sim.set_input(nl.find("en"), Val64::all1());
+  sim.pulse(kAllDomains);
+  sim.set_input(nl.find("en"), Val64::all0());
+  for (int k = 0; k < 5; ++k) sim.pulse(kAllDomains);
+  sim.eval();
+  EXPECT_EQ(sim.state(nl.dffs()[0]).get(0), V3::k1);
+  EXPECT_EQ(sim.state(nl.dffs()[1]).get(0), V3::k0);
+}
+
+TEST(CycleSim, DomainMaskSelectsFlops) {
+  Netlist nl = gen::make_two_domain_link(2);
+  CycleSim sim(nl);
+  for (GateId ff : nl.dffs()) sim.set_state(ff, Val64::all0());
+  sim.set_input(nl.find("din"), Val64::all1());
+  sim.set_input(nl.find("sel"), Val64::all0());
+  // Pulse only domain 0: srcff0 loads din, dstffs keep state.
+  sim.pulse(DomainMask{1} << 0);
+  sim.eval();
+  EXPECT_EQ(sim.state(nl.find("srcff0")).get(0), V3::k1);
+  EXPECT_EQ(sim.state(nl.find("dstff0")).get(0), V3::k0);
+  // Now pulse domain 1: dst captures the glue of current src values.
+  sim.pulse(DomainMask{1} << 1);
+  sim.eval();
+  // glue0 = XOR(srcff0=1, srcff1=0) = 1, sel=0 -> glue passes.
+  EXPECT_EQ(sim.state(nl.find("dstff0")).get(0), V3::k1);
+}
+
+TEST(CycleSim, XPropagation) {
+  Netlist nl("x");
+  const GateId a = nl.add_input("a");
+  const GateId x = nl.add_x_source("x");
+  const GateId an = nl.add_gate2(GateType::kAnd, a, x, "an");
+  const GateId orr = nl.add_gate2(GateType::kOr, a, x, "orr");
+  nl.add_output(an, "o1");
+  nl.add_output(orr, "o2");
+  nl.finalize();
+  CycleSim sim(nl);
+  sim.set_input(a, Val64::all0());
+  sim.eval();
+  EXPECT_EQ(sim.value(an).get(0), V3::k0);  // 0 AND X = 0
+  EXPECT_EQ(sim.value(orr).get(0), V3::kX);  // 0 OR X = X
+  sim.set_input(a, Val64::all1());
+  sim.eval();
+  EXPECT_EQ(sim.value(an).get(0), V3::kX);
+  EXPECT_EQ(sim.value(orr).get(0), V3::k1);
+}
+
+TEST(CycleSim, ResetXMakesStateUnknown) {
+  Netlist nl = gen::make_counter(2);
+  CycleSim sim(nl);
+  sim.reset_x();
+  sim.set_input(nl.find("en"), Val64::all1());
+  sim.eval();
+  EXPECT_EQ(sim.value(nl.dffs()[0]).get(0), V3::kX);
+}
+
+TEST(CycleSim, RejectsTimedCells) {
+  Netlist nl("timed");
+  const GateId d = nl.add_input("d");
+  const GateId c = nl.add_input("c");
+  nl.add_dff_c(d, c, "ff");
+  nl.finalize();
+  EXPECT_THROW(CycleSim sim(nl), CheckError);
+}
+
+}  // namespace
+}  // namespace occ

@@ -1,0 +1,199 @@
+// Unit tests: RNG, BitVec, GF(2) linear algebra.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitvec.h"
+#include "util/check.h"
+#include "util/gf2.h"
+#include "util/rng.h"
+
+namespace occ {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowOneIsZero) {
+  Rng r(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(BitVec, SetGetFlip) {
+  BitVec b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_FALSE(b.any());
+  b.set(0, true);
+  b.set(64, true);
+  b.set(129, true);
+  EXPECT_TRUE(b.get(0));
+  EXPECT_TRUE(b.get(64));
+  EXPECT_TRUE(b.get(129));
+  EXPECT_FALSE(b.get(1));
+  EXPECT_EQ(b.popcount(), 3u);
+  b.flip(0);
+  EXPECT_FALSE(b.get(0));
+  EXPECT_EQ(b.popcount(), 2u);
+}
+
+TEST(BitVec, FindFirst) {
+  BitVec b(200);
+  EXPECT_EQ(b.find_first(), 200u);
+  b.set(77, true);
+  EXPECT_EQ(b.find_first(), 77u);
+  b.set(3, true);
+  EXPECT_EQ(b.find_first(), 3u);
+}
+
+TEST(BitVec, XorAndSizes) {
+  BitVec a(70), b(70);
+  a.set(5, true);
+  a.set(69, true);
+  b.set(5, true);
+  b.set(10, true);
+  a ^= b;
+  EXPECT_FALSE(a.get(5));
+  EXPECT_TRUE(a.get(10));
+  EXPECT_TRUE(a.get(69));
+  BitVec c(71);
+  EXPECT_THROW(a ^= c, CheckError);
+}
+
+TEST(BitVec, FillAndTailClear) {
+  BitVec b(67, true);
+  EXPECT_EQ(b.popcount(), 67u);  // tail bits beyond size stay clear
+  b.fill(false);
+  EXPECT_EQ(b.popcount(), 0u);
+}
+
+TEST(Gf2Solver, SolvesSimpleSystem) {
+  // x0 ^ x1 = 1, x1 = 1 -> x0 = 0, x1 = 1.
+  Gf2Solver s(2);
+  BitVec r1(2);
+  r1.set(0, true);
+  r1.set(1, true);
+  EXPECT_TRUE(s.add_equation(r1, true));
+  BitVec r2(2);
+  r2.set(1, true);
+  EXPECT_TRUE(s.add_equation(r2, true));
+  const BitVec x = s.solve();
+  EXPECT_FALSE(x.get(0));
+  EXPECT_TRUE(x.get(1));
+}
+
+TEST(Gf2Solver, DetectsContradiction) {
+  Gf2Solver s(2);
+  BitVec r(2);
+  r.set(0, true);
+  EXPECT_TRUE(s.add_equation(r, true));
+  EXPECT_TRUE(s.add_equation(r, true));   // redundant, consistent
+  EXPECT_FALSE(s.add_equation(r, false));  // contradiction
+  // Solver state unchanged: still solvable.
+  const BitVec x = s.solve();
+  EXPECT_TRUE(x.get(0));
+}
+
+TEST(Gf2Solver, RandomSystemsRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 24;
+    // Pick a secret x, generate consistent equations, solve, verify.
+    BitVec secret(n);
+    for (size_t i = 0; i < n; ++i) secret.set(i, rng.chance(0.5));
+    Gf2Solver s(n);
+    std::vector<BitVec> rows;
+    std::vector<bool> rhs;
+    for (size_t e = 0; e < n + 10; ++e) {
+      BitVec row(n);
+      for (size_t i = 0; i < n; ++i) row.set(i, rng.chance(0.4));
+      BitVec dot = row;
+      dot &= secret;
+      const bool b = (dot.popcount() & 1) != 0;
+      EXPECT_TRUE(s.add_equation(row, b));
+      rows.push_back(row);
+      rhs.push_back(b);
+    }
+    const BitVec x = s.solve();
+    for (size_t e = 0; e < rows.size(); ++e) {
+      BitVec dot = rows[e];
+      dot &= x;
+      EXPECT_EQ((dot.popcount() & 1) != 0, rhs[e]);
+    }
+  }
+}
+
+TEST(Gf2Matrix, RankAndMultiply) {
+  Gf2Matrix m(3, 3);
+  m.set(0, 0, true);
+  m.set(1, 1, true);
+  m.set(2, 0, true);  // row2 = row0 -> rank 2
+  EXPECT_EQ(m.rank(), 2u);
+  BitVec x(3);
+  x.set(0, true);
+  const BitVec y = m.multiply(x);
+  EXPECT_TRUE(y.get(0));
+  EXPECT_FALSE(y.get(1));
+  EXPECT_TRUE(y.get(2));
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    OCC_CHECK(false, "value=", 42, " name=", "foo");
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string w = e.what();
+    EXPECT_NE(w.find("value=42"), std::string::npos);
+    EXPECT_NE(w.find("name=foo"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace occ
