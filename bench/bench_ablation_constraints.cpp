@@ -12,7 +12,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "atpg/engine.h"
+#include "api/session.h"
 #include "dft/scan.h"
 #include "gen/socgen.h"
 
@@ -96,7 +96,9 @@ int main() {
   double ref_fc = 0;
   double all_fc = 0, sum_delta = 0;
   for (size_t i = 0; i < rows.size(); ++i) {
-    const AtpgRunResult r = run_atpg(nl, rows[i].scheme, se, opts);
+    SessionConfig cfg;
+    cfg.design_ref(nl).scan_en(se).scheme(rows[i].scheme).atpg(opts);
+    const AtpgRunResult r = Session(std::move(cfg)).run().atpg;
     const double fc = r.fault_coverage() * 100;
     if (i == 0) ref_fc = fc;
     if (i == rows.size() - 1) all_fc = fc;

@@ -8,7 +8,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "atpg/engine.h"
+#include "api/session.h"
 #include "dft/scan.h"
 #include "gen/socgen.h"
 
@@ -21,9 +21,10 @@ int main() {
   prm.flops = 160;
   prm.gates = 1600;
   prm.nonscan_fraction = 0.08;  // emphasize clock-sequential effects
+  // One shared scan-inserted SOC; each pulse-count variant is one
+  // Session over it (design_ref avoids re-generating per run).
   Netlist nl = gen::generate_soc(prm);
-  insert_scan(nl, {.num_chains = 4});
-  const GateId se = nl.find("scan_en");
+  const ScanChains chains = insert_scan(nl, {.num_chains = 4});
   const size_t nd = nl.num_domains();
 
   AtpgOptions opts;
@@ -54,7 +55,11 @@ int main() {
         s.procedures.push_back(std::move(p));
       }
     }
-    const AtpgRunResult r = run_atpg(nl, s, se, opts);
+    SessionConfig cfg;
+    cfg.design_ref(nl).chains(chains).scheme(s).atpg(opts)
+        .on_chip_clocking(true);
+    const SessionResult sres = Session(std::move(cfg)).run();
+    const AtpgRunResult& r = sres.atpg;
     std::cout << "  " << maxp << "     " << r.fault_coverage() * 100
               << "    " << r.test_coverage() * 100 << "    " << std::setw(6)
               << r.pattern_count() << "    " << std::setw(6)

@@ -1,13 +1,16 @@
 // Engine micro-benchmarks (google-benchmark): cycle simulation, PPSFP
-// fault simulation, PODEM, unrolling, CPF event simulation.
+// fault simulation (sequential and sharded), PODEM, unrolling, CPF event
+// simulation, and the full Session pipeline.
 #include <benchmark/benchmark.h>
 
+#include "api/session.h"
 #include "atpg/podem.h"
 #include "atpg/unroll.h"
 #include "core/clock_scheme.h"
 #include "core/verify.h"
 #include "dft/scan.h"
 #include "fsim/fsim.h"
+#include "fsim/sharded.h"
 #include "gen/socgen.h"
 #include "sim/cycle_sim.h"
 #include "util/rng.h"
@@ -74,6 +77,69 @@ void BM_FaultSimBatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FaultSimBatch)->Unit(benchmark::kMillisecond);
+
+// Sharded PPSFP: the same batch graded with the fault list fanned out
+// over N shards. Results are bit-identical for every N (asserted in
+// tests/test_api.cpp); wall clock scales with physical cores.
+void BM_ShardedFaultSim(benchmark::State& state) {
+  Netlist& nl = bench_soc();
+  const ClockingScheme s = scheme_cpf_basic(nl.num_domains());
+  const GateId se = nl.find("scan_en");
+  Rng rng(2);
+  PatternSet ps("b");
+  for (int i = 0; i < 64; ++i) {
+    TestPattern p;
+    p.ncp_index = 0;
+    p.pi_frames.assign(2, std::vector<V3>(nl.inputs().size(), V3::kX));
+    p.load.assign(scan_cells(nl).size(), V3::kX);
+    p.random_fill(s.procedures[0], rng);
+    ps.add(std::move(p));
+  }
+  PatternBatch b = pack_batch(ps, 0, 64, nl, s.procedures[0]);
+  const size_t shards = static_cast<size_t>(state.range(0));
+  ShardedFaultSim fsim(nl, s, se, shards);
+  size_t detected = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    FaultList fl = FaultList::build(nl, FaultModel::kTransition);
+    state.ResumeTiming();
+    const FsimStats st = fsim.run_batch(b, fl);
+    benchmark::DoNotOptimize(st.newly_detected);
+    detected = st.newly_detected;
+  }
+  state.counters["detected"] = static_cast<double>(detected);
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_ShardedFaultSim)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Full pipeline through the Session facade (scan-inserted SOC, basic
+// CPF, deterministic PODEM + compaction), parameterized by shard count.
+void BM_SessionPipeline(benchmark::State& state) {
+  Netlist& nl = bench_soc();
+  const size_t shards = static_cast<size_t>(state.range(0));
+  size_t patterns = 0;
+  for (auto _ : state) {
+    SessionConfig cfg;
+    cfg.design_ref(nl)
+        .scheme(scheme_cpf_basic(nl.num_domains()))
+        .fsim_shards(shards);
+    const SessionResult r = Session(std::move(cfg)).run();
+    benchmark::DoNotOptimize(r.atpg.patterns.size());
+    patterns = r.pattern_count();
+  }
+  state.counters["patterns"] = static_cast<double>(patterns);
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_SessionPipeline)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_UnrollModel(benchmark::State& state) {
   Netlist& nl = bench_soc();

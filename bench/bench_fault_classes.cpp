@@ -9,8 +9,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "atpg/engine.h"
-#include "dft/scan.h"
+#include "api/session.h"
 #include "fsim/tfsim.h"
 #include "gen/socgen.h"
 
@@ -25,15 +24,18 @@ int main() {
   prm.gates = 1600;
   prm.nonscan_fraction = 0.08;
   prm.po_only_fraction = 0.25;
-  Netlist nl = gen::generate_soc(prm);
-  insert_scan(nl, {.num_chains = 4});
-  const GateId se = nl.find("scan_en");
 
   AtpgOptions opts;
   opts.random_rounds = 12;
   opts.classify = true;
-  const AtpgRunResult r =
-      run_atpg(nl, scheme_cpf_basic(nl.num_domains()), se, opts);
+  SessionConfig cfg;
+  cfg.design([prm] { return gen::generate_soc(prm); })
+      .scan({.num_chains = 4})
+      .scheme(scheme_cpf_basic(prm.domains))
+      .atpg(opts)
+      .on_chip_clocking(true);
+  const SessionResult sres = Session(std::move(cfg)).run();
+  const AtpgRunResult& r = sres.atpg;
 
   std::cout << "experiment (c) on this SOC: " << r.summary() << "\n\n";
   const FaultClassReport& c = r.classes;

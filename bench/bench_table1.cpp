@@ -6,11 +6,14 @@
 // reference values, and evaluates the qualitative shape checks from
 // section 5.2 of the paper.
 //
-// Usage: bench_table1 [--quick|--full]
+// Usage: bench_table1 [--quick|--full] [--shards N]
 //   default : mid-size SOC (~3 minutes) -- same orderings as full scale
 //   --quick : small SOC (~40 seconds)
 //   --full  : paper-scale shape run (~15-20 minutes); the EXPERIMENTS.md
 //             Table-1 numbers were produced at this scale
+//   --shards N : fault-simulation thread shards per experiment Session
+//                (0 = hardware concurrency; results are identical)
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -23,12 +26,28 @@
 int main(int argc, char** argv) {
   using namespace occ;
   bool quick = false, full = false;
+  size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--shards") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--shards requires a value\n";
+        return 2;
+      }
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || v < 0) {
+        std::cerr << "--shards expects a non-negative integer, got '"
+                  << argv[i] << "'\n";
+        return 2;
+      }
+      shards = static_cast<size_t>(v);
+    }
   }
 
   flow::Table1Config cfg;
+  cfg.fsim_shards = shards;
   cfg.soc.seed = 20050307;  // DATE 2005, Munich
   if (quick) {
     cfg.soc.flops = 120;

@@ -1,13 +1,12 @@
-// Compression flow: encode a real ATPG pattern set through the EDT-style
-// compressor and report the ATE vector-memory saving (the paper's
-// conclusion: "Only using this technique the observed pattern count can
-// be loaded into the ATE vector memory without truncation").
+// Compression flow: a Session with the EDT stage enabled encodes its
+// deterministic cubes through the EDT-style compressor and reports the
+// ATE vector-memory saving (the paper's conclusion: "Only using this
+// technique the observed pattern count can be loaded into the ATE vector
+// memory without truncation").
 #include <iomanip>
 #include <iostream>
 
-#include "atpg/engine.h"
-#include "dft/edt.h"
-#include "dft/scan.h"
+#include "api/session.h"
 #include "gen/socgen.h"
 
 int main() {
@@ -18,62 +17,39 @@ int main() {
   prm.seed = 3;
   prm.flops = 160;
   prm.gates = 1600;
-  Netlist nl = gen::generate_soc(prm);
-  const ScanChains chains = insert_scan(nl, {.num_chains = 8});
-  const size_t nd = nl.num_domains();
 
-  // Generate a transition pattern set under the basic CPF scheme.
+  // Transition patterns under the basic CPF scheme, 8 scan chains fed
+  // from 2 external channels. compress() keeps the unfilled cubes (care
+  // bits only) and runs the GF(2) encode + decompress round trip.
   AtpgOptions opts;
-  opts.random_rounds = 0;   // deterministic flow only
-  opts.keep_cubes = true;   // encoding works on care bits, not fills
-  const ClockingScheme scheme = scheme_cpf_basic(nd);
-  const AtpgRunResult r = run_atpg(nl, scheme, chains.scan_en, opts);
-  std::cout << "pattern set: " << r.summary() << "\n";
+  opts.random_rounds = 0;  // deterministic flow only
+  EdtConfig edt;
+  edt.channels = 2;
+  edt.ring_length = 64;
+  SessionConfig cfg;
+  cfg.design([prm] { return gen::generate_soc(prm); })
+      .scan({.num_chains = 8})
+      .scheme(scheme_cpf_basic(prm.domains))
+      .atpg(opts)
+      .compress(edt)
+      .on_chip_clocking(true);
+
+  const SessionResult r = Session(std::move(cfg)).run();
+
+  std::cout << "pattern set: " << r.atpg.summary() << "\n";
   std::cout << "care-bit density of cubes: "
-            << r.cubes.care_bit_density() * 100 << "%\n\n";
+            << r.atpg.cubes.care_bit_density() * 100 << "%\n\n";
 
-  // Compressor sized for this design's chains, 2 external channels.
-  std::vector<size_t> lengths;
-  for (const ScanChain& ch : chains.chains) {
-    lengths.push_back(ch.cells.size());
-  }
-  EdtConfig cfg;
-  cfg.channels = 2;
-  cfg.ring_length = 64;
-  EdtCompressor edt(cfg, lengths);
-
-  // Encode every cube's scan-load care bits.
-  size_t encoded = 0, verified = 0;
-  size_t uncompressed_bits = 0, compressed_bits = 0;
-  for (const TestPattern& p : r.cubes) {
-    std::vector<CareBit> cube;
-    for (size_t i = 0; i < p.load.size(); ++i) {
-      if (p.load[i] == V3::kX) continue;
-      const auto slot = chains.slot_of(scan_cells(nl)[i]);
-      cube.push_back({slot.chain, slot.position, p.load[i] == V3::k1});
-    }
-    uncompressed_bits += chains.total_cells();
-    const auto cs = edt.encode(cube);
-    if (!cs) continue;
-    ++encoded;
-    compressed_bits += cs->cycles * cs->channels;
-    const auto loaded = edt.decompress(*cs);
-    bool ok = true;
-    for (const CareBit& cb : cube) {
-      ok = ok && loaded[cb.chain][cb.position] == cb.value;
-    }
-    verified += ok;
-  }
-
-  std::cout << "patterns encoded : " << encoded << "/"
-            << r.cubes.size() << " (rest would be split/re-targeted)\n";
-  std::cout << "round-trip OK    : " << verified << "/" << encoded << "\n";
-  if (compressed_bits > 0) {
-    std::cout << "stimulus volume  : " << uncompressed_bits << " -> "
-              << compressed_bits << " bits ("
-              << static_cast<double>(uncompressed_bits) /
-                     static_cast<double>(compressed_bits)
+  const CompressionStats& cs = r.compression;
+  std::cout << "patterns encoded : " << cs.encoded << "/" << cs.cubes_total
+            << " (rest would be split/re-targeted)\n";
+  std::cout << "round-trip OK    : " << cs.roundtrip_ok << "/" << cs.encoded
+            << "\n";
+  if (cs.compressed_bits > 0) {
+    std::cout << "stimulus volume  : " << cs.uncompressed_bits << " -> "
+              << cs.compressed_bits << " bits (" << cs.ratio()
               << "x compression of encoded patterns)\n";
   }
-  return verified == encoded ? 0 : 1;
+  std::cout << "tester cycles    : " << r.tester_cycles << "\n";
+  return cs.roundtrip_ok == cs.encoded ? 0 : 1;
 }

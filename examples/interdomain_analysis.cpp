@@ -3,15 +3,15 @@
 //
 // The paper: "at-speed testing of logic between clock domains has been
 // avoided in the past. The experiments show that these tests ... improve
-// the coverage". This example quantifies that on a two-domain SOC:
-// the per-domain-only scheme vs the same scheme plus inter-domain
-// procedures, with the recovered faults listed by location.
+// the coverage". This example quantifies that on a two-domain SOC as two
+// Sessions differing only in their clocking scheme: per-domain-only vs
+// the same scheme plus inter-domain procedures, with the recovered
+// faults listed by location.
 #include <algorithm>
 #include <iomanip>
 #include <iostream>
 
-#include "atpg/engine.h"
-#include "dft/scan.h"
+#include "api/session.h"
 #include "fsim/tfsim.h"
 #include "gen/socgen.h"
 
@@ -45,8 +45,14 @@ int main() {
   // Scheme B: with inter-domain launch/capture.
   const ClockingScheme with_x = scheme_cpf_enhanced(nd, 3);
 
-  const AtpgRunResult ra = run_atpg(nl, per_domain, chains.scan_en, opts);
-  const AtpgRunResult rb = run_atpg(nl, with_x, chains.scan_en, opts);
+  auto run_scheme = [&](ClockingScheme scheme) {
+    SessionConfig cfg;
+    cfg.design_ref(nl).chains(chains).scheme(std::move(scheme)).atpg(opts)
+        .on_chip_clocking(true);
+    return Session(std::move(cfg)).run();
+  };
+  const SessionResult ra = run_scheme(per_domain);
+  const SessionResult rb = run_scheme(with_x);
 
   std::cout << "per-domain only : FC=" << ra.fault_coverage() * 100
             << "% patterns=" << ra.pattern_count() << "\n";
@@ -54,13 +60,15 @@ int main() {
             << "% patterns=" << rb.pattern_count() << "\n\n";
 
   // Which faults did inter-domain procedures recover?
+  const FaultList& fa = ra.atpg.faults;
+  const FaultList& fb = rb.atpg.faults;
   size_t recovered = 0, cross_sited = 0;
-  for (size_t i = 0; i < ra.faults.size(); ++i) {
-    const bool a_det = ra.faults.status(i) == FaultStatus::kDetected;
-    const bool b_det = rb.faults.status(i) == FaultStatus::kDetected;
+  for (size_t i = 0; i < fa.size(); ++i) {
+    const bool a_det = fa.status(i) == FaultStatus::kDetected;
+    const bool b_det = fb.status(i) == FaultStatus::kDetected;
     if (!a_det && b_det) {
       ++recovered;
-      const Fault& f = ra.faults.fault(i);
+      const Fault& f = fa.fault(i);
       const GateId net = fault_net(nl, f);
       const DomainMask src = source_domains(nl, net);
       const DomainMask snk = sink_domains(nl, f.gate);

@@ -1,49 +1,58 @@
-// Quickstart: build a circuit, insert scan, run stuck-at ATPG.
+// Quickstart: one occ::Session from design to graded patterns.
 //
-//   $ ./quickstart
+//   $ ./example_quickstart
 //
-// Walks the core flow of the library in ~60 lines: netlist construction,
-// scan insertion, fault-list creation, test generation and fault grading.
+// The Session facade runs the whole pipeline -- netlist construction,
+// scan insertion, fault-list creation, test generation, compaction and
+// fault grading -- from a single builder-style configuration and returns
+// one SessionResult with coverage, pattern counts and ATE cost. See
+// api/session.h; the other examples plug in compression, ATE export and
+// custom clocking schemes the same way.
 #include <iostream>
 
-#include "atpg/engine.h"
-#include "dft/scan.h"
+#include "api/session.h"
 #include "gen/circuits.h"
 #include "netlist/stats.h"
 
 int main() {
   using namespace occ;
 
-  // 1. A design: an 8-bit counter (or build your own via the Netlist
-  //    builder API -- see gen/circuits.cpp for examples).
-  Netlist nl = gen::make_counter(8);
-  std::cout << "design: " << NetlistStats::compute(nl).to_string() << "\n";
-
-  // 2. DFT: convert flops to scan cells and stitch chains.
-  const ScanChains chains = insert_scan(nl, {.num_chains = 2});
-  std::cout << "scan: " << chains.chains.size() << " chains, max length "
-            << chains.max_length() << "\n";
-
-  // 3. A clocking scheme: stuck-at test with an external clock
-  //    (experiment (a) of the paper).
-  const ClockingScheme scheme = scheme_stuck_at_external(nl.num_domains());
-  std::cout << scheme.to_string();
-
-  // 4. ATPG: random + deterministic PODEM + compaction.
+  // 1. Configure the scenario: an 8-bit counter (or pass your own
+  //    netlist via design()/design_ref()), 2 scan chains, the stuck-at
+  //    external-clock scheme of paper experiment (a), and a short
+  //    random-pattern stage before deterministic PODEM.
   AtpgOptions opts;
   opts.random_rounds = 4;
-  const AtpgRunResult result =
-      run_atpg(nl, scheme, chains.scan_en, opts);
+  SessionConfig cfg;
+  cfg.design([] { return gen::make_counter(8); })
+      .scan({.num_chains = 2})
+      .scheme(scheme_stuck_at_external(1))
+      .atpg(opts);
 
-  // 5. Results.
-  std::cout << "\n" << result.summary() << "\n";
-  std::cout << "fault list: " << result.faults.summary() << "\n";
+  // 2. Run it. Stages report through the observer; sinks could stream
+  //    reports or ATE programs (see compression_flow / soc_delay_test).
+  cfg.observer([](const ProgressEvent& e) {
+    if (e.kind == ProgressEvent::Kind::kStageBegin) {
+      std::cout << "[stage] " << e.stage << "\n";
+    }
+  });
+  const SessionResult result = Session(std::move(cfg)).run();
 
-  // 6. Inspect the first pattern.
-  if (!result.patterns.empty()) {
-    const TestPattern& p = result.patterns[0];
+  // 3. Results.
+  std::cout << "\ndesign: "
+            << NetlistStats::compute(*result.netlist).to_string() << "\n";
+  std::cout << "scan: " << result.chains.chains.size()
+            << " chains, max length " << result.chains.max_length()
+            << "\n";
+  std::cout << result.scheme.to_string() << "\n";
+  std::cout << result.summary();
+  std::cout << "fault list: " << result.atpg.faults.summary() << "\n";
+
+  // 4. Inspect the first pattern.
+  if (!result.atpg.patterns.empty()) {
+    const TestPattern& p = result.atpg.patterns[0];
     std::cout << "\nfirst pattern (NCP "
-              << scheme.procedures[p.ncp_index].name << "):\n  load=";
+              << result.scheme.procedures[p.ncp_index].name << "):\n  load=";
     for (V3 v : p.load) std::cout << v3_char(v);
     std::cout << "\n  pi  =";
     for (V3 v : p.pi_frames[0]) std::cout << v3_char(v);

@@ -1,15 +1,16 @@
-// Full two-domain SOC delay-test flow, end to end:
-// generate SOC -> insert scan -> run transition ATPG under the basic-CPF
-// and enhanced-CPF clocking schemes -> compare coverage and ATE cost,
-// and verify one generated pattern through the *real* scan protocol
-// (shift / capture / unload on the cycle-accurate simulator).
+// Full two-domain SOC delay-test flow, end to end, as two Sessions over
+// one shared scan-inserted design:
+// generate SOC -> insert scan -> transition ATPG under the basic-CPF and
+// enhanced-CPF clocking schemes -> compare coverage and ATE cost (the
+// sessions compute tester cycles themselves) -> export the ATE program
+// through a sink -> verify one generated pattern through the *real* scan
+// protocol (shift / capture / unload on the cycle-accurate simulator).
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 
-#include "atpg/engine.h"
-#include "dft/ate_export.h"
+#include "api/session.h"
 #include "dft/protocol.h"
-#include "dft/scan.h"
 #include "gen/socgen.h"
 #include "netlist/stats.h"
 
@@ -29,49 +30,51 @@ int main() {
   opts.random_rounds = 8;
   const size_t nd = nl.num_domains();
 
-  const AtpgRunResult basic =
-      run_atpg(nl, scheme_cpf_basic(nd), chains.scan_en, opts);
-  const AtpgRunResult enhanced =
-      run_atpg(nl, scheme_cpf_enhanced(nd, 4), chains.scan_en, opts);
+  // ATE program export rides along as a sink on the basic-CPF session
+  // (paper section 4: internal pulses converted back to the
+  // scan_clk/scan_en sequence that produces them).
+  std::ostringstream ate_text;
+  auto ate_sink = std::make_shared<AteProgramSink>(ate_text, true);
 
-  std::cout << "basic CPF    : " << basic.summary() << "\n";
-  std::cout << "enhanced CPF : " << enhanced.summary() << "\n";
+  auto run_scheme = [&](ClockingScheme scheme, bool with_ate) {
+    SessionConfig cfg;
+    cfg.design_ref(nl).chains(chains).scheme(std::move(scheme)).atpg(opts)
+        .on_chip_clocking(true);
+    if (with_ate) cfg.sink(ate_sink);
+    return Session(std::move(cfg)).run();
+  };
+
+  const SessionResult basic = run_scheme(scheme_cpf_basic(nd), true);
+  const SessionResult enhanced =
+      run_scheme(scheme_cpf_enhanced(nd, 4), false);
+
+  std::cout << "basic CPF    : " << basic.atpg.summary() << "\n";
+  std::cout << "enhanced CPF : " << enhanced.atpg.summary() << "\n";
   std::cout << "coverage recovered by the enhanced CPF: "
             << (enhanced.fault_coverage() - basic.fault_coverage()) * 100
             << "% (multi-pulse init + inter-domain tests)\n\n";
 
-  // ATE cost model.
-  ScanProtocol proto(nl, chains);
-  const ClockingScheme sb = scheme_cpf_basic(nd);
-  const ClockingScheme se2 = scheme_cpf_enhanced(nd, 4);
-  std::cout << "ATE cycles, basic   : "
-            << total_tester_cycles(proto, basic.patterns, sb.procedures,
-                                   true)
-            << "\n";
-  std::cout << "ATE cycles, enhanced: "
-            << total_tester_cycles(proto, enhanced.patterns,
-                                   se2.procedures, true)
-            << "\n\n";
+  // ATE cost model (computed by the sessions).
+  std::cout << "ATE cycles, basic   : " << basic.tester_cycles << "\n";
+  std::cout << "ATE cycles, enhanced: " << enhanced.tester_cycles << "\n\n";
 
-  // ATE program export (paper section 4: internal pulses converted back
-  // to the scan_clk/scan_en sequence that produces them).
-  const AteProgram prog = export_ate_program(nl, chains, scheme_cpf_basic(nd),
-                                             basic.patterns, true);
-  std::cout << "ATE program (basic CPF): " << prog.num_cycles()
-            << " tester cycles across " << prog.pin_names.size()
-            << " pins -- only scan_clk/scan_en control the capture\n\n";
+  std::cout << "ATE program (basic CPF): " << ate_sink->last_program_cycles()
+            << " tester cycles -- only scan_clk/scan_en control the "
+               "capture\n\n";
 
   // Ground-truth check: apply the first enhanced pattern through real
   // shifting and compare with the abstract expected response.
-  if (!enhanced.patterns.empty()) {
-    const TestPattern& p = enhanced.patterns[0];
-    const NamedCaptureProcedure& ncp = se2.procedures[p.ncp_index];
-    NcpFaultSim fsim(nl, se2, chains.scan_en);
+  if (!enhanced.atpg.patterns.empty()) {
+    const TestPattern& p = enhanced.atpg.patterns[0];
+    const NamedCaptureProcedure& ncp =
+        enhanced.scheme.procedures[p.ncp_index];
+    NcpFaultSim fsim(nl, enhanced.scheme, chains.scan_en);
     PatternSet ps("v");
     ps.add(p);
     PatternBatch b = pack_batch(ps, 0, 1, nl, ncp);
     fsim.simulate_good(b);
     const std::vector<V3> expect = fsim.expected_unload(0);
+    ScanProtocol proto(nl, chains);
     const ProtocolResult pr = proto.apply(p, ncp, true);
     // The abstraction is conservative: non-scan state is X at load, while
     // real shifting leaves non-scan cells with concrete (churned) values.

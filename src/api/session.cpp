@@ -1,0 +1,338 @@
+#include "api/session.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "dft/protocol.h"
+#include "fsim/tfsim.h"
+#include "util/check.h"
+
+namespace occ {
+namespace {
+
+/// Stage scope guard: emits paired begin/end events around a stage.
+class StageScope {
+ public:
+  StageScope(const ProgressObserver* obs, std::string stage)
+      : obs_(obs), stage_(std::move(stage)) {
+    emit(ProgressEvent::Kind::kStageBegin);
+  }
+  ~StageScope() { emit(ProgressEvent::Kind::kStageEnd); }
+
+ private:
+  void emit(ProgressEvent::Kind kind) const {
+    if (obs_ && *obs_) (*obs_)({kind, stage_, 0, 0});
+  }
+  const ProgressObserver* obs_;
+  std::string stage_;
+};
+
+}  // namespace
+
+// ---- SessionConfig -------------------------------------------------------
+
+SessionConfig& SessionConfig::design(Netlist nl) {
+  owned_design_ = std::move(nl);
+  return *this;
+}
+SessionConfig& SessionConfig::design(std::function<Netlist()> builder) {
+  design_builder_ = std::move(builder);
+  return *this;
+}
+SessionConfig& SessionConfig::design_ref(const Netlist& nl) {
+  design_ref_ = &nl;
+  return *this;
+}
+SessionConfig& SessionConfig::scan(ScanConfig cfg) {
+  scan_ = std::move(cfg);
+  return *this;
+}
+SessionConfig& SessionConfig::chains(ScanChains ch) {
+  chains_ = std::move(ch);
+  return *this;
+}
+SessionConfig& SessionConfig::scan_en(GateId pi) {
+  scan_en_ = pi;
+  return *this;
+}
+SessionConfig& SessionConfig::scheme(ClockingScheme s) {
+  scheme_ = std::move(s);
+  return *this;
+}
+SessionConfig& SessionConfig::atpg(AtpgOptions o) {
+  atpg_ = o;
+  return *this;
+}
+SessionConfig& SessionConfig::seed(uint64_t s) {
+  seed_override_ = s;
+  return *this;
+}
+SessionConfig& SessionConfig::source(std::shared_ptr<PatternSource> s) {
+  sources_.push_back(std::move(s));
+  return *this;
+}
+SessionConfig& SessionConfig::sink(std::shared_ptr<ResultSink> s) {
+  sinks_.push_back(std::move(s));
+  return *this;
+}
+SessionConfig& SessionConfig::observer(ProgressObserver cb) {
+  observer_ = std::move(cb);
+  return *this;
+}
+SessionConfig& SessionConfig::fsim_shards(size_t n) {
+  fsim_shards_ = n;
+  return *this;
+}
+SessionConfig& SessionConfig::compress(EdtConfig cfg) {
+  edt_ = cfg;
+  return *this;
+}
+SessionConfig& SessionConfig::on_chip_clocking(bool on_chip) {
+  on_chip_clocking_ = on_chip;
+  return *this;
+}
+
+// ---- SessionResult -------------------------------------------------------
+
+std::string SessionResult::summary() const {
+  std::ostringstream os;
+  os << atpg.summary() << "\n";
+  if (has_scan_chains) {
+    os << "tester cycles: " << tester_cycles << " ("
+       << chains.chains.size() << " chains, max length "
+       << chains.max_length() << ")\n";
+  }
+  if (compression.enabled) {
+    os.precision(2);
+    os << std::fixed << "compression: " << compression.encoded << "/"
+       << compression.cubes_total << " cubes encoded, "
+       << compression.roundtrip_ok << " verified, "
+       << compression.uncompressed_bits << " -> "
+       << compression.compressed_bits << " stimulus bits";
+    if (compression.compressed_bits > 0) {
+      os << " (" << compression.ratio() << "x)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+// ---- Session -------------------------------------------------------------
+
+SessionResult Session::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const ProgressObserver* obs = cfg_.observer_ ? &cfg_.observer_ : nullptr;
+  SessionResult result;
+
+  // -- build: materialize the design -------------------------------------
+  {
+    StageScope scope(obs, "build");
+    const int sources_set = (cfg_.owned_design_ ? 1 : 0) +
+                            (cfg_.design_builder_ ? 1 : 0) +
+                            (cfg_.design_ref_ != nullptr ? 1 : 0);
+    OCC_CHECK(sources_set == 1,
+              "session: configure exactly one design source (design/"
+              "design_ref), got ", sources_set);
+    if (cfg_.design_builder_) {
+      result.netlist = std::make_shared<Netlist>(cfg_.design_builder_());
+    } else if (cfg_.owned_design_) {
+      // Copy so the session stays re-runnable (scan insertion mutates).
+      result.netlist = std::make_shared<Netlist>(*cfg_.owned_design_);
+    } else if (cfg_.scan_) {
+      // Borrowed design + scan insertion: work on a private copy.
+      result.netlist = std::make_shared<Netlist>(*cfg_.design_ref_);
+    } else {
+      result.netlist = std::shared_ptr<const Netlist>(
+          cfg_.design_ref_, [](const Netlist*) {});
+    }
+    OCC_CHECK(result.netlist->size() > 0, "session: netlist is empty");
+    OCC_CHECK(result.netlist->finalized(),
+              "session: netlist is not finalized");
+  }
+
+  // -- scan: insert chains or adopt the caller's -------------------------
+  if (cfg_.scan_) {
+    StageScope scope(obs, "scan");
+    OCC_CHECK(!cfg_.chains_,
+              "session: configure either scan insertion or existing"
+              " chains, not both");
+    auto* mutable_nl =
+        const_cast<Netlist*>(result.netlist.get());  // owned by result
+    result.chains = insert_scan(*mutable_nl, *cfg_.scan_);
+    result.has_scan_chains = true;
+  } else if (cfg_.chains_) {
+    result.chains = *cfg_.chains_;
+    result.has_scan_chains = true;
+  }
+  if (cfg_.scan_en_) {
+    result.scan_en = *cfg_.scan_en_;
+  } else if (result.has_scan_chains) {
+    result.scan_en = result.chains.scan_en;
+  } else {
+    result.scan_en = result.netlist->find("scan_en");
+  }
+
+  // -- validate the clocking scheme ---------------------------------------
+  OCC_CHECK(cfg_.scheme_.has_value(), "session: no clocking scheme"
+                                      " configured");
+  result.scheme = *cfg_.scheme_;
+  result.scheme.validate();
+
+  // -- ATPG: pattern sources over the sharded fault simulator -------------
+  const Netlist& nl = *result.netlist;
+  AtpgOptions opts = cfg_.atpg_;
+  if (cfg_.seed_override_) opts.seed = *cfg_.seed_override_;
+  if (cfg_.edt_) opts.keep_cubes = true;  // encoding works on care bits
+  {
+    const auto atpg_t0 = std::chrono::steady_clock::now();
+    AtpgRunResult& res = result.atpg;
+    res.scheme_name = result.scheme.name;
+    res.patterns = PatternSet(result.scheme.name);
+    res.cubes = PatternSet(result.scheme.name);
+    {
+      StageScope scope(obs, "faults");
+      res.faults = FaultList::build(nl, result.scheme.model);
+    }
+    Rng rng(opts.seed);
+    ShardedFaultSim fsim(nl, result.scheme, result.scan_en,
+                         cfg_.fsim_shards_);
+    PipelineContext ctx{nl,         result.scheme, result.scan_en, opts,
+                        res.faults, fsim,          rng,            res,
+                        obs};
+
+    std::vector<std::shared_ptr<PatternSource>> sources = cfg_.sources_;
+    if (sources.empty()) {
+      // Classic pipeline: the random stage reads rounds from opts (and
+      // skips itself at random_rounds = 0), then deterministic PODEM.
+      sources.push_back(std::make_shared<RandomPatternSource>());
+      sources.push_back(std::make_shared<PodemPatternSource>());
+    }
+    for (const auto& src : sources) {
+      StageScope scope(obs, "source:" + src->name());
+      src->generate(ctx);
+    }
+
+    // Reverse-order compaction: re-grade against a fresh fault list in
+    // reverse pattern order, keep only first-detectors.
+    if (opts.reverse_compaction && !res.patterns.empty()) {
+      StageScope scope(obs, "compact");
+      FaultList fl2 = FaultList::build(nl, result.scheme.model);
+      // Preserve untestable/aborted classifications.
+      for (size_t i = 0; i < res.faults.size(); ++i) {
+        if (res.faults.status(i) == FaultStatus::kUntestable ||
+            res.faults.status(i) == FaultStatus::kAborted) {
+          fl2.set_status(i, res.faults.status(i));
+        }
+      }
+      // The generation-stage simulator is idle now and run_batch resets
+      // all per-batch state, so compaction reuses it (no second pool or
+      // per-shard scratch allocation).
+      ShardedFaultSim& fsim2 = fsim;
+      // Reverse order, grouped per NCP into batches.
+      std::vector<size_t> order(res.patterns.size());
+      for (size_t i = 0; i < order.size(); ++i) {
+        order[i] = res.patterns.size() - 1 - i;
+      }
+      std::vector<bool> keep(res.patterns.size(), false);
+      size_t pos = 0;
+      while (pos < order.size()) {
+        const uint32_t nc = res.patterns[order[pos]].ncp_index;
+        PatternSet group(result.scheme.name);
+        std::vector<size_t> group_idx;
+        while (pos < order.size() && group.size() < 64 &&
+               res.patterns[order[pos]].ncp_index == nc) {
+          group.add(res.patterns[order[pos]]);
+          group_idx.push_back(order[pos]);
+          ++pos;
+        }
+        PatternBatch b = pack_batch(group, 0, group.size(), nl,
+                                    result.scheme.procedures[nc]);
+        std::vector<std::pair<size_t, unsigned>> dets;
+        const FsimStats st = fsim2.run_batch(b, fl2, &dets);
+        res.fsim.gate_evals += st.gate_evals;
+        for (const auto& [fault, slot] : dets) {
+          keep[group_idx[slot]] = true;
+        }
+        ctx.progress("compact", pos, order.size());
+      }
+      PatternSet compacted(result.scheme.name);
+      for (size_t i = 0; i < res.patterns.size(); ++i) {
+        if (keep[i]) compacted.add(res.patterns[i]);
+      }
+      // Detection-preserving by construction; adopt the smaller set and
+      // the recomputed fault list.
+      res.patterns = std::move(compacted);
+      res.faults = std::move(fl2);
+    }
+    res.patterns_after_compaction = res.patterns.size();
+
+    if (opts.classify) {
+      StageScope scope(obs, "classify");
+      res.classes = classify_undetected(nl, res.faults, result.scan_en);
+    }
+    res.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - atpg_t0)
+                      .count();
+  }
+
+  // -- tester-cycle cost model --------------------------------------------
+  if (result.has_scan_chains) {
+    StageScope scope(obs, "cost");
+    ScanProtocol proto(nl, result.chains);
+    result.tester_cycles =
+        total_tester_cycles(proto, result.atpg.patterns,
+                            result.scheme.procedures,
+                            cfg_.on_chip_clocking_);
+  }
+
+  // -- EDT compression of the deterministic cubes -------------------------
+  if (cfg_.edt_) {
+    StageScope scope(obs, "compress");
+    OCC_CHECK(result.has_scan_chains,
+              "session: compression requires scan chains");
+    std::vector<size_t> lengths;
+    for (const ScanChain& ch : result.chains.chains) {
+      lengths.push_back(ch.cells.size());
+    }
+    const EdtCompressor edt(*cfg_.edt_, lengths);
+    const std::vector<GateId> scells = scan_cells(nl);
+    CompressionStats& cs = result.compression;
+    cs.enabled = true;
+    cs.cubes_total = result.atpg.cubes.size();
+    for (const TestPattern& p : result.atpg.cubes) {
+      std::vector<CareBit> cube;
+      for (size_t i = 0; i < p.load.size(); ++i) {
+        if (p.load[i] == V3::kX) continue;
+        const auto slot = result.chains.slot_of(scells[i]);
+        cube.push_back({slot.chain, slot.position, p.load[i] == V3::k1});
+      }
+      const auto stim = edt.encode(cube);
+      if (!stim) continue;  // over-dense cube: would be split/re-targeted
+      // Volume accounting covers encoded cubes only, so ratio() really is
+      // "compression of the patterns that made it through the encoder".
+      cs.uncompressed_bits += result.chains.total_cells();
+      ++cs.encoded;
+      cs.compressed_bits += stim->cycles * stim->channels;
+      const auto loaded = edt.decompress(*stim);
+      bool ok = true;
+      for (const CareBit& cb : cube) {
+        ok = ok && loaded[cb.chain][cb.position] == cb.value;
+      }
+      cs.roundtrip_ok += ok;
+    }
+  }
+
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+
+  // -- sinks ---------------------------------------------------------------
+  for (const auto& sink : cfg_.sinks_) {
+    StageScope scope(obs, "sink");
+    sink->write(result);
+  }
+  return result;
+}
+
+}  // namespace occ

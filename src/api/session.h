@@ -1,0 +1,173 @@
+// occ::Session -- the unified entry point to the whole pipeline:
+//
+//   design source -> scan insertion -> clocking scheme -> ATPG
+//   (pluggable PatternSources over a sharded fault simulator) ->
+//   reverse-order compaction -> fault classification -> tester-cycle
+//   cost -> optional EDT compression -> ResultSinks.
+//
+// One SessionConfig describes the scenario; Session::run() executes it
+// and returns a SessionResult aggregating coverage, pattern counts,
+// compression statistics and ATE cost. Every example, bench driver and
+// the Table-1 harness are one Session each; the legacy run_atpg() is a
+// thin wrapper over a minimal session (see atpg/engine.cpp) and stays
+// bit-identical for any fsim_shards setting.
+//
+// Quickstart:
+//
+//   auto result = occ::Session(
+//       occ::SessionConfig()
+//           .design([] { return occ::gen::make_counter(8); })
+//           .scan({.num_chains = 2})
+//           .scheme(occ::scheme_stuck_at_external(1))
+//           .fsim_shards(4))
+//       .run();
+//   std::cout << result.summary();
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "api/stages.h"
+#include "dft/edt.h"
+#include "dft/scan.h"
+
+namespace occ {
+
+/// EDT encode statistics for the session's deterministic cubes.
+struct CompressionStats {
+  bool enabled = false;
+  size_t cubes_total = 0;
+  size_t encoded = 0;        // cubes with a consistent GF(2) encoding
+  size_t roundtrip_ok = 0;   // encoded cubes verified via decompress()
+  size_t uncompressed_bits = 0;
+  size_t compressed_bits = 0;
+
+  double ratio() const {
+    return compressed_bits == 0
+               ? 0.0
+               : static_cast<double>(uncompressed_bits) /
+                     static_cast<double>(compressed_bits);
+  }
+};
+
+/// Aggregated outcome of one Session::run().
+struct SessionResult {
+  /// The design the pipeline ran on (owned by the result when the
+  /// session built or copied it; aliases the caller's netlist after
+  /// design_ref() without scan insertion).
+  std::shared_ptr<const Netlist> netlist;
+  ClockingScheme scheme;
+  ScanChains chains;
+  bool has_scan_chains = false;
+  GateId scan_en = kNoGate;
+
+  AtpgRunResult atpg;
+  /// ATE vector-memory cost of the final pattern set (0 without chains).
+  size_t tester_cycles = 0;
+  CompressionStats compression;
+  double seconds = 0.0;  // whole session wall clock
+
+  double test_coverage() const { return atpg.test_coverage(); }
+  double fault_coverage() const { return atpg.fault_coverage(); }
+  size_t pattern_count() const { return atpg.pattern_count(); }
+
+  /// Multi-line human-readable report.
+  std::string summary() const;
+};
+
+/// Builder-style configuration for one session. All setters return *this
+/// so scenarios read as one chained expression.
+class SessionConfig {
+ public:
+  // ---- design source (exactly one) --------------------------------------
+  /// Takes ownership of a finalized netlist.
+  SessionConfig& design(Netlist nl);
+  /// Defers construction to run() (keeps heavy generators off the
+  /// configuration path).
+  SessionConfig& design(std::function<Netlist()> builder);
+  /// Borrows the caller's netlist; it must outlive run(). If scan
+  /// insertion is requested the session copies it first.
+  SessionConfig& design_ref(const Netlist& nl);
+
+  // ---- DFT ---------------------------------------------------------------
+  /// Insert scan during run(); with design_ref() the session copies the
+  /// borrowed netlist first, so the caller's design is never mutated.
+  SessionConfig& scan(ScanConfig cfg);
+  /// Adopt chains from scan insertion already done by the caller.
+  SessionConfig& chains(ScanChains ch);
+  /// Explicit scan-enable input (kNoGate = none). Without this, chains
+  /// provide it, or the input named "scan_en" is used when present.
+  SessionConfig& scan_en(GateId pi);
+
+  // ---- clocking & ATPG ---------------------------------------------------
+  SessionConfig& scheme(ClockingScheme s);
+  SessionConfig& atpg(AtpgOptions o);
+  /// Pins the ATPG seed; wins over AtpgOptions::seed regardless of the
+  /// order seed() and atpg() were called in.
+  SessionConfig& seed(uint64_t s);
+
+  // ---- pluggable stages --------------------------------------------------
+  /// Appends a pattern source; with none registered the session runs the
+  /// classic random + PODEM pipeline.
+  SessionConfig& source(std::shared_ptr<PatternSource> s);
+  SessionConfig& sink(std::shared_ptr<ResultSink> s);
+  SessionConfig& observer(ProgressObserver cb);
+
+  // ---- scale -------------------------------------------------------------
+  /// Fault-simulation shards (thread pool size). 1 = sequential; 0 =
+  /// hardware concurrency. Results are bit-identical for every value.
+  SessionConfig& fsim_shards(size_t n);
+
+  // ---- optional stages ---------------------------------------------------
+  /// EDT-compress the deterministic cubes after ATPG (implies
+  /// keep_cubes; requires scan chains).
+  SessionConfig& compress(EdtConfig cfg);
+  /// Tester-cycle cost model flavor: on-chip clocking uses the
+  /// arm-and-wait capture block, external clocking pays per-pulse tester
+  /// cycles. Also selects the AteProgramSink flavor via the result.
+  SessionConfig& on_chip_clocking(bool on_chip);
+
+ private:
+  friend class Session;
+
+  // Design source variants (at most one set).
+  std::optional<Netlist> owned_design_;
+  std::function<Netlist()> design_builder_;
+  const Netlist* design_ref_ = nullptr;
+
+  std::optional<ScanConfig> scan_;
+  std::optional<ScanChains> chains_;
+  std::optional<GateId> scan_en_;
+  std::optional<ClockingScheme> scheme_;
+  AtpgOptions atpg_;
+  std::optional<uint64_t> seed_override_;
+  std::vector<std::shared_ptr<PatternSource>> sources_;
+  std::vector<std::shared_ptr<ResultSink>> sinks_;
+  ProgressObserver observer_;
+  size_t fsim_shards_ = 1;
+  std::optional<EdtConfig> edt_;
+  bool on_chip_clocking_ = false;
+};
+
+/// Executes one configured pipeline. Construction is cheap; all work
+/// (including design construction) happens in run(). A Session may be
+/// run multiple times; every run is independent and deterministic in
+/// the configured seed.
+class Session {
+ public:
+  explicit Session(SessionConfig cfg) : cfg_(std::move(cfg)) {}
+
+  const SessionConfig& config() const { return cfg_; }
+
+  /// Runs the full pipeline. Throws CheckError on configuration errors
+  /// (no design, empty netlist, invalid scheme, compression without
+  /// chains).
+  SessionResult run();
+
+ private:
+  SessionConfig cfg_;
+};
+
+}  // namespace occ

@@ -1,0 +1,162 @@
+// Pluggable pipeline stages for occ::Session.
+//
+// A session turns a design into a graded pattern set by running an
+// ordered list of PatternSources over one shared PipelineContext (fault
+// list, sharded fault simulator, RNG, result accumulators), then hands
+// the finished SessionResult to every registered ResultSink. Progress on
+// long runs is surfaced through a ProgressObserver callback.
+//
+// Built-in sources reproduce the classic run_atpg() flow:
+//   RandomPatternSource  -- 64-wide random rounds, first-detector keep;
+//   PodemPatternSource   -- deterministic PODEM with fault dropping,
+//                           static cube merging and abort retry;
+//   ExternalCubeSource   -- grades cubes produced elsewhere (a previous
+//                           session, a file, a diagnostic tool).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "atpg/engine.h"
+#include "fsim/sharded.h"
+#include "util/rng.h"
+
+namespace occ {
+
+struct SessionResult;
+
+/// One progress notification. Stage begin/end events always nest and a
+/// session emits them in deterministic order; kProgress events carry a
+/// done/total pair for long-running stages (deterministic PODEM).
+struct ProgressEvent {
+  enum class Kind { kStageBegin, kStageEnd, kProgress };
+  Kind kind = Kind::kStageBegin;
+  std::string stage;
+  size_t done = 0;
+  size_t total = 0;
+};
+
+using ProgressObserver = std::function<void(const ProgressEvent&)>;
+
+/// Shared state every PatternSource works against. The fault simulator
+/// is the session's sharded instance: sources written against this
+/// context parallelize across the session's thread pool for free.
+struct PipelineContext {
+  const Netlist& nl;
+  const ClockingScheme& scheme;
+  GateId scan_en;
+  const AtpgOptions& opts;
+  FaultList& faults;
+  ShardedFaultSim& fsim;
+  Rng& rng;
+  AtpgRunResult& res;  // pattern/cube accumulators and counters
+  const ProgressObserver* observer;  // may be null
+
+  void emit(ProgressEvent::Kind kind, const std::string& stage,
+            size_t done = 0, size_t total = 0) const {
+    if (observer && *observer) (*observer)({kind, stage, done, total});
+  }
+  void progress(const std::string& stage, size_t done, size_t total) const {
+    emit(ProgressEvent::Kind::kProgress, stage, done, total);
+  }
+};
+
+/// A test-generation stage: appends patterns to ctx.res.patterns and
+/// updates fault statuses through ctx.fsim / ctx.faults.
+class PatternSource {
+ public:
+  virtual ~PatternSource() = default;
+  virtual std::string name() const = 0;
+  virtual void generate(PipelineContext& ctx) = 0;
+};
+
+/// Random-pattern stage with first-detector pattern selection. Rounds
+/// and the yield floor default to the session's AtpgOptions
+/// (random_rounds / random_min_yield); a round below the floor ends the
+/// stage for that capture procedure.
+class RandomPatternSource : public PatternSource {
+ public:
+  RandomPatternSource() = default;
+  RandomPatternSource(size_t rounds, size_t min_yield)
+      : rounds_(rounds), min_yield_(min_yield) {}
+  std::string name() const override { return "random"; }
+  void generate(PipelineContext& ctx) override;
+
+ private:
+  std::optional<size_t> rounds_;
+  std::optional<size_t> min_yield_;
+};
+
+/// Deterministic PODEM stage: per-NCP unrolled models, capability
+/// pre-filtering, abort retry, static cube merging and windowed
+/// flush-to-fault-simulation, all per the session's AtpgOptions.
+class PodemPatternSource : public PatternSource {
+ public:
+  std::string name() const override { return "podem"; }
+  void generate(PipelineContext& ctx) override;
+};
+
+/// Grades externally produced test cubes: every cube is random-filled
+/// with a child RNG split off the session stream by cube index (so the
+/// fill is identical however the cubes are batched or sharded), then
+/// fault-simulated with dropping. Cubes must already reference this
+/// session's scheme (ncp_index) and netlist geometry.
+class ExternalCubeSource : public PatternSource {
+ public:
+  explicit ExternalCubeSource(PatternSet cubes) : cubes_(std::move(cubes)) {}
+  std::string name() const override { return "external"; }
+  void generate(PipelineContext& ctx) override;
+
+ private:
+  PatternSet cubes_;
+};
+
+/// Consumes a finished session. Sinks run after every pipeline stage
+/// (including compaction/compression) completed, in registration order.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void write(const SessionResult& result) = 0;
+};
+
+/// Writes the one-line coverage/pattern summary (plus compression and
+/// tester-cycle lines when those stages ran) to a stream.
+class SummarySink : public ResultSink {
+ public:
+  explicit SummarySink(std::ostream& os) : os_(&os) {}
+  void write(const SessionResult& result) override;
+
+ private:
+  std::ostream* os_;
+};
+
+/// Dumps the final pattern set in the STIL-flavored text format.
+class PatternTextSink : public ResultSink {
+ public:
+  explicit PatternTextSink(std::ostream& os) : os_(&os) {}
+  void write(const SessionResult& result) override;
+
+ private:
+  std::ostream* os_;
+};
+
+/// Compiles the pattern set into the ATE pin-cycle program (internal
+/// pulses converted back to scan_clk/scan_en sequences, paper section 4)
+/// and writes it. Requires the session to have scan chains.
+class AteProgramSink : public ResultSink {
+ public:
+  AteProgramSink(std::ostream& os, bool on_chip_clocking)
+      : os_(&os), on_chip_(on_chip_clocking) {}
+  void write(const SessionResult& result) override;
+  size_t last_program_cycles() const { return last_cycles_; }
+
+ private:
+  std::ostream* os_;
+  bool on_chip_;
+  size_t last_cycles_ = 0;
+};
+
+}  // namespace occ

@@ -1,86 +1,10 @@
 #include "atpg/engine.h"
 
-#include <algorithm>
-#include <chrono>
-#include <iostream>
-#include <memory>
 #include <sstream>
 
-#include "util/check.h"
-#include "util/rng.h"
+#include "api/session.h"
 
 namespace occ {
-namespace {
-
-/// Forward DP over the netlist: for every gate, the set of flop domains
-/// its combinational fan-out cone feeds, and whether it reaches a PO.
-struct SinkInfo {
-  std::vector<DomainMask> domains;
-  std::vector<bool> reaches_po;
-};
-
-SinkInfo compute_sinks(const Netlist& nl) {
-  SinkInfo si;
-  si.domains.assign(nl.size(), 0);
-  si.reaches_po.assign(nl.size(), false);
-  const auto& topo = nl.topo_order();
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    const GateId g = *it;
-    for (GateId o : nl.gate(g).fanout) {
-      const Gate& og = nl.gate(o);
-      if (og.type == GateType::kDff) {
-        si.domains[g] |= DomainMask{1} << og.domain;
-      } else if (og.type == GateType::kOutput) {
-        si.reaches_po[g] = true;
-      } else {
-        si.domains[g] |= si.domains[o];
-        si.reaches_po[g] = si.reaches_po[g] || si.reaches_po[o];
-      }
-    }
-  }
-  return si;
-}
-
-/// A pattern cube built from a PODEM assignment.
-TestPattern cube_to_pattern(const UnrolledModel& um,
-                            const std::vector<V3>& cube, const Netlist& nl,
-                            uint32_t ncp_index) {
-  const NamedCaptureProcedure& ncp = um.ncp();
-  TestPattern p;
-  p.ncp_index = ncp_index;
-  p.pi_frames.assign(ncp.cycles.size(),
-                     std::vector<V3>(nl.inputs().size(), V3::kX));
-  p.load.assign(scan_cells(nl).size(), V3::kX);
-  const auto& info = um.var_info();
-  for (size_t v = 0; v < info.size(); ++v) {
-    if (cube[v] == V3::kX) continue;
-    if (info[v].kind == UnrolledModel::VarInfo::kLoad) {
-      p.load[info[v].pos] = cube[v];
-    } else {
-      p.pi_frames[info[v].frame][info[v].pos] = cube[v];
-    }
-  }
-  // Copy PI values forward into frozen frames so the pattern is
-  // self-consistent (variables are shared; values must repeat).
-  for (size_t f = 1; f < p.pi_frames.size(); ++f) {
-    if (!ncp.cycles[f].pi_change) p.pi_frames[f] = p.pi_frames[f - 1];
-  }
-  return p;
-}
-
-TestPattern random_pattern(const Netlist& nl,
-                           const NamedCaptureProcedure& ncp,
-                           uint32_t ncp_index, Rng& rng) {
-  TestPattern p;
-  p.ncp_index = ncp_index;
-  p.pi_frames.assign(ncp.cycles.size(),
-                     std::vector<V3>(nl.inputs().size(), V3::kX));
-  p.load.assign(scan_cells(nl).size(), V3::kX);
-  p.random_fill(ncp, rng);
-  return p;
-}
-
-}  // namespace
 
 std::string AtpgRunResult::summary() const {
   std::ostringstream os;
@@ -89,7 +13,9 @@ std::string AtpgRunResult::summary() const {
   os << scheme_name << ": TC=" << test_coverage() * 100.0
      << "% FC=" << fault_coverage() * 100.0
      << "% patterns=" << patterns.size() << " (rand=" << random_patterns
-     << ", det=" << deterministic_patterns << ")"
+     << ", det=" << deterministic_patterns;
+  if (external_patterns > 0) os << ", ext=" << external_patterns;
+  os << ")"
      << " untestable=" << faults.count(FaultStatus::kUntestable)
      << " aborted=" << faults.count(FaultStatus::kAborted)
      << " t=" << seconds << "s";
@@ -98,280 +24,13 @@ std::string AtpgRunResult::summary() const {
 
 AtpgRunResult run_atpg(const Netlist& nl, const ClockingScheme& scheme,
                        GateId scan_en_pi, const AtpgOptions& opts) {
-  const auto t0 = std::chrono::steady_clock::now();
-  scheme.validate();
-  Rng rng(opts.seed);
-
-  AtpgRunResult res;
-  res.scheme_name = scheme.name;
-  res.patterns = PatternSet(scheme.name);
-  res.faults = FaultList::build(nl, scheme.model);
-  FaultList& fl = res.faults;
-
-  NcpFaultSim fsim(nl, scheme, scan_en_pi);
-  const size_t num_ncps = scheme.procedures.size();
-
-  // ---- Stage 1: random patterns with first-detector selection ----------
-  for (uint32_t nc = 0; nc < num_ncps; ++nc) {
-    const NamedCaptureProcedure& ncp = scheme.procedures[nc];
-    for (size_t round = 0; round < opts.random_rounds; ++round) {
-      PatternSet cand(scheme.name);
-      for (size_t i = 0; i < 64; ++i) {
-        cand.add(random_pattern(nl, ncp, nc, rng));
-      }
-      PatternBatch batch = pack_batch(cand, 0, 64, nl, ncp);
-      std::vector<std::pair<size_t, unsigned>> dets;
-      const FsimStats st = fsim.run_batch(batch, fl, &dets);
-      res.fsim.faults_simulated += st.faults_simulated;
-      res.fsim.newly_detected += st.newly_detected;
-      res.fsim.gate_evals += st.gate_evals;
-      // Keep only first-detector patterns.
-      std::vector<bool> keep(64, false);
-      for (const auto& [fault, slot] : dets) keep[slot] = true;
-      for (size_t i = 0; i < 64; ++i) {
-        if (keep[i]) {
-          res.patterns.add(cand[i]);
-          ++res.random_patterns;
-        }
-      }
-      if (st.newly_detected < opts.random_min_yield) break;
-    }
-  }
-  if (opts.verbose) {
-    std::cerr << "[atpg] after random stage: " << fl.summary() << "\n";
-  }
-
-  // ---- Stage 2: deterministic PODEM with fault dropping -----------------
-  const SinkInfo sinks = compute_sinks(nl);
-  std::vector<std::unique_ptr<UnrolledModel>> models(num_ncps);
-  std::vector<std::unique_ptr<Podem>> podems(num_ncps);
-  std::vector<std::unique_ptr<Podem>> podems_deep(num_ncps);
-  auto model_for = [&](uint32_t nc) -> std::pair<UnrolledModel*, Podem*> {
-    if (!models[nc]) {
-      models[nc] = std::make_unique<UnrolledModel>(nl, scheme, nc,
-                                                   scan_en_pi);
-      podems[nc] = std::make_unique<Podem>(
-          *models[nc], Podem::Options{.backtrack_limit =
-                                          opts.backtrack_limit});
-    }
-    return {models[nc].get(), podems[nc].get()};
-  };
-  auto deep_podem_for = [&](uint32_t nc) -> Podem* {
-    if (!podems_deep[nc]) {
-      podems_deep[nc] = std::make_unique<Podem>(
-          *models[nc],
-          Podem::Options{.backtrack_limit = opts.backtrack_limit *
-                                            opts.abort_retry_factor});
-    }
-    return podems_deep[nc].get();
-  };
-
-  // Open (unfilled) cube windows per NCP for static merging, plus flush
-  // to random fill + PPSFP once a window fills up.
-  std::vector<std::vector<TestPattern>> open_cubes(num_ncps);
-  auto cubes_compatible = [](const TestPattern& a, const TestPattern& b) {
-    for (size_t f = 0; f < a.pi_frames.size(); ++f) {
-      for (size_t i = 0; i < a.pi_frames[f].size(); ++i) {
-        const V3 x = a.pi_frames[f][i], y = b.pi_frames[f][i];
-        if (x != V3::kX && y != V3::kX && x != y) return false;
-      }
-    }
-    for (size_t i = 0; i < a.load.size(); ++i) {
-      if (a.load[i] != V3::kX && b.load[i] != V3::kX &&
-          a.load[i] != b.load[i]) {
-        return false;
-      }
-    }
-    return true;
-  };
-  auto merge_into = [](TestPattern& dst, const TestPattern& src) {
-    for (size_t f = 0; f < dst.pi_frames.size(); ++f) {
-      for (size_t i = 0; i < dst.pi_frames[f].size(); ++i) {
-        if (src.pi_frames[f][i] != V3::kX) {
-          dst.pi_frames[f][i] = src.pi_frames[f][i];
-        }
-      }
-    }
-    for (size_t i = 0; i < dst.load.size(); ++i) {
-      if (src.load[i] != V3::kX) dst.load[i] = src.load[i];
-    }
-  };
-  auto flush = [&](uint32_t nc) {
-    auto& q = open_cubes[nc];
-    if (q.empty()) return;
-    PatternSet batch_set(scheme.name);
-    for (TestPattern& p : q) {
-      if (opts.keep_cubes) res.cubes.add(p);
-      p.random_fill(scheme.procedures[nc], rng);
-      batch_set.add(p);
-    }
-    size_t first = 0;
-    while (first < batch_set.size()) {
-      const size_t n = std::min<size_t>(64, batch_set.size() - first);
-      PatternBatch b =
-          pack_batch(batch_set, first, n, nl, scheme.procedures[nc]);
-      const FsimStats st = fsim.run_batch(b, fl);
-      res.fsim.faults_simulated += st.faults_simulated;
-      res.fsim.newly_detected += st.newly_detected;
-      res.fsim.gate_evals += st.gate_evals;
-      first += n;
-    }
-    for (const TestPattern& p : batch_set) {
-      res.patterns.add(p);
-      ++res.deterministic_patterns;
-    }
-    q.clear();
-  };
-
-  for (size_t fi = 0; fi < fl.size(); ++fi) {
-    if (fl.status(fi) != FaultStatus::kUndetected &&
-        fl.status(fi) != FaultStatus::kPossiblyDetected) {
-      continue;
-    }
-    const Fault& f = fl.fault(fi);
-    const DomainMask fsinks = sinks.domains[f.gate];
-    const bool fpo = sinks.reaches_po[f.gate];
-
-    bool detected = false;
-    bool aborted = false;
-    bool any_candidate = false;
-    for (uint32_t nc = 0; nc < num_ncps && !detected; ++nc) {
-      const NamedCaptureProcedure& ncp = scheme.procedures[nc];
-      // Capability pre-filter: the fault's effects must be capturable.
-      bool po_obs = false;
-      for (const auto& c : ncp.cycles) po_obs = po_obs || c.po_strobe;
-      DomainMask capture_mask = 0;
-      if (scheme.model == FaultModel::kTransition) {
-        for (size_t k = 1; k < ncp.cycles.size(); ++k) {
-          if (ncp.cycles[k].at_speed) capture_mask |= ncp.cycles[k].pulses;
-        }
-      } else {
-        for (const auto& c : ncp.cycles) capture_mask |= c.pulses;
-      }
-      if (!(fsinks & capture_mask) && !(fpo && po_obs)) continue;
-
-      auto [model, podem] = model_for(nc);
-      const std::vector<UnrolledFault> targets = model->translate(f);
-      for (const UnrolledFault& uf : targets) {
-        any_candidate = true;
-        Podem* used = podem;
-        Podem::Outcome out = used->run(uf);
-        if (out == Podem::Outcome::kAborted &&
-            opts.abort_retry_factor > 1) {
-          used = deep_podem_for(nc);
-          out = used->run(uf);
-        }
-        if (out == Podem::Outcome::kDetected) {
-          TestPattern cube =
-              cube_to_pattern(*model, used->assignment(), nl, nc);
-          // Static merge: extra known bits cannot un-detect a cube's
-          // target (3-valued implication is monotone), so compatible
-          // cubes share one pattern -- the dynamic-compaction effect
-          // behind realistic stuck-at/transition pattern-count ratios.
-          bool merged = false;
-          if (opts.merge_cubes) {
-            for (auto it = open_cubes[nc].rbegin();
-                 it != open_cubes[nc].rend(); ++it) {
-              if (cubes_compatible(*it, cube)) {
-                merge_into(*it, cube);
-                merged = true;
-                break;
-              }
-            }
-          }
-          if (!merged) {
-            open_cubes[nc].push_back(std::move(cube));
-            if (open_cubes[nc].size() >= opts.merge_window) flush(nc);
-          }
-          detected = true;
-          // The generated cube provably detects fi even before fsim.
-          fl.set_status(fi, FaultStatus::kDetected);
-          break;
-        }
-        if (out == Podem::Outcome::kAborted) aborted = true;
-      }
-    }
-    if (!detected) {
-      if (aborted) {
-        fl.set_status(fi, FaultStatus::kAborted);
-      } else {
-        // Untestable under every applicable capture procedure (or no
-        // procedure can observe it at all).
-        (void)any_candidate;
-        fl.set_status(fi, FaultStatus::kUntestable);
-      }
-    }
-  }
-  for (uint32_t nc = 0; nc < num_ncps; ++nc) flush(nc);
-  for (uint32_t nc = 0; nc < num_ncps; ++nc) {
-    for (Podem* p : {podems[nc].get(), podems_deep[nc].get()}) {
-      if (p == nullptr) continue;
-      res.podem.runs += p->stats().runs;
-      res.podem.decisions += p->stats().decisions;
-      res.podem.backtracks += p->stats().backtracks;
-      res.podem.implications += p->stats().implications;
-    }
-  }
-  if (opts.verbose) {
-    std::cerr << "[atpg] after deterministic stage: " << fl.summary()
-              << "\n";
-  }
-
-  // ---- Stage 3: reverse-order compaction --------------------------------
-  if (opts.reverse_compaction && !res.patterns.empty()) {
-    FaultList fl2 = FaultList::build(nl, scheme.model);
-    // Preserve untestable/aborted classifications.
-    for (size_t i = 0; i < fl.size(); ++i) {
-      if (fl.status(i) == FaultStatus::kUntestable ||
-          fl.status(i) == FaultStatus::kAborted) {
-        fl2.set_status(i, fl.status(i));
-      }
-    }
-    NcpFaultSim fsim2(nl, scheme, scan_en_pi);
-    // Reverse order, grouped per NCP into batches.
-    std::vector<size_t> order(res.patterns.size());
-    for (size_t i = 0; i < order.size(); ++i) {
-      order[i] = res.patterns.size() - 1 - i;
-    }
-    std::vector<bool> keep(res.patterns.size(), false);
-    size_t pos = 0;
-    while (pos < order.size()) {
-      const uint32_t nc = res.patterns[order[pos]].ncp_index;
-      PatternSet group(scheme.name);
-      std::vector<size_t> group_idx;
-      while (pos < order.size() && group.size() < 64 &&
-             res.patterns[order[pos]].ncp_index == nc) {
-        group.add(res.patterns[order[pos]]);
-        group_idx.push_back(order[pos]);
-        ++pos;
-      }
-      PatternBatch b = pack_batch(group, 0, group.size(), nl,
-                                  scheme.procedures[nc]);
-      std::vector<std::pair<size_t, unsigned>> dets;
-      const FsimStats st = fsim2.run_batch(b, fl2, &dets);
-      res.fsim.gate_evals += st.gate_evals;
-      for (const auto& [fault, slot] : dets) keep[group_idx[slot]] = true;
-    }
-    PatternSet compacted(scheme.name);
-    for (size_t i = 0; i < res.patterns.size(); ++i) {
-      if (keep[i]) compacted.add(res.patterns[i]);
-    }
-    // Detection-preserving by construction; adopt the smaller set and the
-    // recomputed fault list.
-    res.patterns = std::move(compacted);
-    res.faults = std::move(fl2);
-  }
-  res.patterns_after_compaction = res.patterns.size();
-
-  // ---- Stage 4: classification ------------------------------------------
-  if (opts.classify) {
-    res.classes = classify_undetected(nl, res.faults, scan_en_pi);
-  }
-
-  res.seconds = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
-  return res;
+  // Compatibility wrapper: the flow lives in occ::Session (api/session.h);
+  // a minimal single-shard session is bit-identical to the historical
+  // engine (tests/test_api.cpp pins the parity).
+  SessionConfig cfg;
+  cfg.design_ref(nl).scan_en(scan_en_pi).scheme(scheme).atpg(opts);
+  SessionResult result = Session(std::move(cfg)).run();
+  return std::move(result.atpg);
 }
 
 }  // namespace occ

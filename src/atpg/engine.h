@@ -9,6 +9,10 @@
 //
 // Every Table-1 experiment of the paper is one run_atpg() call with a
 // different ClockingScheme.
+//
+// run_atpg() is a compatibility wrapper over occ::Session (api/session.h),
+// which exposes the same flow with pluggable stages, sharded fault
+// simulation and optional compression/export; prefer Session in new code.
 #pragma once
 
 #include <cstdint>
@@ -59,6 +63,7 @@ struct AtpgRunResult {
   FaultClassReport classes;
   size_t random_patterns = 0;
   size_t deterministic_patterns = 0;
+  size_t external_patterns = 0;  // graded via ExternalCubeSource
   size_t patterns_after_compaction = 0;
   double seconds = 0.0;
 

@@ -2,17 +2,25 @@
 
 #include <sstream>
 
-#include "dft/protocol.h"
+#include "api/session.h"
 #include "util/check.h"
 
 namespace occ {
 namespace flow {
 
-const ExperimentRow& Table1Result::row(char id) const {
+const ExperimentRow* Table1Result::find_row(char id) const {
   for (const auto& r : rows) {
-    if (r.id.size() >= 2 && r.id[1] == id) return r;
+    if (r.id.size() >= 2 && r.id[1] == id) return &r;
   }
-  OCC_CHECK(false, "no experiment row '", id, "'");
+  return nullptr;
+}
+
+const ExperimentRow& Table1Result::row(char id) const {
+  if (const ExperimentRow* r = find_row(id)) return *r;
+  std::string have;
+  for (const auto& r : rows) have += r.id + " ";
+  OCC_CHECK(false, "no experiment row '(", std::string(1, id),
+            ")'; rows present: ", have.empty() ? "<none>" : have);
 }
 
 bool Table1Result::all_shapes_hold() const {
@@ -27,7 +35,6 @@ Table1Result run_table1(const Table1Config& cfg) {
   out.chains = insert_scan(out.netlist, {.num_chains = cfg.scan_chains});
   const Netlist& nl = out.netlist;
   const size_t nd = nl.num_domains();
-  const GateId se = out.chains.scan_en;
 
   struct Spec {
     std::string id;
@@ -47,19 +54,27 @@ Table1Result run_table1(const Table1Config& cfg) {
   specs.push_back({"(e)", "transition, external + CPF constraints", false,
                    scheme_external_constrained(nd, cfg.max_pulses)});
 
-  ScanProtocol proto(nl, out.chains);
+  // Each experiment is one Session over the shared scan-inserted SOC;
+  // the session also computes the ATE vector-memory cost.
   for (auto& spec : specs) {
     AtpgOptions opts = cfg.atpg;
     opts.classify = cfg.classify_leftovers &&
                     spec.scheme.model == FaultModel::kTransition;
+    SessionConfig scfg;
+    scfg.design_ref(nl)
+        .chains(out.chains)
+        .scheme(spec.scheme)
+        .atpg(opts)
+        .on_chip_clocking(spec.on_chip)
+        .fsim_shards(cfg.fsim_shards);
+    SessionResult sres = Session(std::move(scfg)).run();
+
     ExperimentRow row;
     row.id = spec.id;
     row.desc = spec.desc;
     row.on_chip_clocking = spec.on_chip;
-    row.result = run_atpg(nl, spec.scheme, se, opts);
-    row.tester_cycles =
-        total_tester_cycles(proto, row.result.patterns,
-                            spec.scheme.procedures, spec.on_chip);
+    row.tester_cycles = sres.tester_cycles;
+    row.result = std::move(sres.atpg);
     out.rows.push_back(std::move(row));
   }
   out.checks = check_shapes(out);
@@ -68,6 +83,15 @@ Table1Result run_table1(const Table1Config& cfg) {
 
 std::vector<ShapeCheck> check_shapes(const Table1Result& r) {
   std::vector<ShapeCheck> checks;
+  std::string missing;
+  for (char id : {'a', 'b', 'c', 'd', 'e'}) {
+    if (!r.has_row(id)) missing += std::string("(") + id + ") ";
+  }
+  if (!missing.empty()) {
+    checks.push_back({"all five experiments present", false,
+                      "missing rows: " + missing});
+    return checks;
+  }
   // The paper's Table-1 "coverage" column sums to 100% with the
   // untestable/aborted remainders, i.e. it is detected/total -- use fault
   // coverage so clocking-constraint losses stay visible in the metric.

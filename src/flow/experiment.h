@@ -19,6 +19,9 @@ struct Table1Config {
   size_t max_pulses = 4;
   AtpgOptions atpg;
   bool classify_leftovers = true;
+  /// Fault-simulation shards forwarded to each experiment's Session
+  /// (1 = sequential, 0 = hardware concurrency; results identical).
+  size_t fsim_shards = 1;
 };
 
 struct ExperimentRow {
@@ -41,7 +44,15 @@ struct Table1Result {
   std::vector<ExperimentRow> rows;
   std::vector<ShapeCheck> checks;
 
-  const ExperimentRow& row(char id) const;  // 'a'..'e'
+  /// Lookup by experiment letter ('a'..'e'); nullptr when that
+  /// experiment was not run.
+  const ExperimentRow* find_row(char id) const;
+  bool has_row(char id) const { return find_row(id) != nullptr; }
+
+  /// Checked lookup: throws CheckError naming the missing id and the
+  /// ids actually present (partial runs are legal, see check_shapes).
+  const ExperimentRow& row(char id) const;
+
   bool all_shapes_hold() const;
 };
 
@@ -52,6 +63,8 @@ Table1Result run_table1(const Table1Config& cfg);
 /// Evaluates the paper's qualitative claims on a finished run:
 ///   TC(a) > TC(b) > TC(e) >= TC(d) > TC(c) (with (d)-(c) small positive),
 ///   P(b) >> P(a); P(c),P(d) > P(b); P(e) < P(d).
+/// A partial run (missing experiment rows) yields a single failed check
+/// naming the missing ids instead of throwing.
 std::vector<ShapeCheck> check_shapes(const Table1Result& r);
 
 }  // namespace flow

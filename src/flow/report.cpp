@@ -19,11 +19,28 @@ PaperReference paper_reference(char id) {
   OCC_CHECK(false, "unknown experiment id");
 }
 
+namespace {
+
+/// Stuck-at pattern count used as the denominator of the relative
+/// pattern columns; 0 when experiment (a) is absent (partial run).
+double stuck_at_baseline(const Table1Result& r) {
+  const ExperimentRow* a = r.find_row('a');
+  return a ? static_cast<double>(a->result.pattern_count()) : 0.0;
+}
+
+std::string rel_or_na(double patterns, double baseline) {
+  if (baseline <= 0.0) return "n/a";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << patterns / baseline;
+  return os.str();
+}
+
+}  // namespace
+
 std::string render_table1(const Table1Result& r) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(2);
-  const double pa =
-      static_cast<double>(r.row('a').result.pattern_count());
+  const double pa = stuck_at_baseline(r);
 
   os << "Table 1: test coverage and pattern count per experiment\n";
   os << "(paper values reconstructed from section 5.2 prose; pattern\n";
@@ -34,12 +51,14 @@ std::string render_table1(const Table1Result& r) {
      << "paperRel" << std::setw(12) << "ATEcycles" << "\n";
   os << std::string(108, '-') << "\n";
   for (const auto& row : r.rows) {
+    OCC_CHECK(row.id.size() >= 2, "malformed experiment id '", row.id,
+              "'");
     const PaperReference ref = paper_reference(row.id[1]);
     os << std::left << std::setw(5) << row.id << std::setw(44) << row.desc
        << std::right << std::setw(9) << row.result.fault_coverage() * 100.0
        << std::setw(10) << ref.tc << std::setw(10)
        << row.result.pattern_count() << std::setw(8)
-       << static_cast<double>(row.result.pattern_count()) / pa
+       << rel_or_na(static_cast<double>(row.result.pattern_count()), pa)
        << std::setw(10) << ref.patterns << std::setw(12)
        << row.tester_cycles << "\n";
   }
@@ -61,18 +80,19 @@ std::string render_checks(const Table1Result& r) {
 std::string render_markdown(const Table1Result& r) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(2);
-  const double pa =
-      static_cast<double>(r.row('a').result.pattern_count());
+  const double pa = stuck_at_baseline(r);
   os << "| exp | setup | TC% (ours) | TC% (paper) | patterns | rel "
         "(ours) | rel (paper) |\n";
   os << "|---|---|---|---|---|---|---|\n";
   for (const auto& row : r.rows) {
+    OCC_CHECK(row.id.size() >= 2, "malformed experiment id '", row.id,
+              "'");
     const PaperReference ref = paper_reference(row.id[1]);
     os << "| " << row.id << " | " << row.desc << " | "
        << row.result.fault_coverage() * 100.0 << " | " << ref.tc << " | "
        << row.result.pattern_count() << " | "
-       << static_cast<double>(row.result.pattern_count()) / pa << "x | "
-       << ref.patterns << "x |\n";
+       << rel_or_na(static_cast<double>(row.result.pattern_count()), pa)
+       << "x | " << ref.patterns << "x |\n";
   }
   os << "\nShape checks:\n\n";
   for (const auto& c : r.checks) {

@@ -236,8 +236,7 @@ void NcpFaultSim::propagate_frame(const Fault& f, uint64_t inj_mask,
 }
 
 std::pair<uint64_t, uint64_t> NcpFaultSim::simulate_fault(
-    const PatternBatch& batch, const Fault& f, uint64_t live_mask,
-    uint64_t* evals) {
+    const Fault& f, uint64_t live_mask, uint64_t* evals) {
   const size_t frames = cur_ncp_->cycles.size();
   const GateId site = fault_net(*nl_, f);
   uint64_t hard = 0, poss = 0;
@@ -295,8 +294,7 @@ FsimStats NcpFaultSim::detect_faults(
   OCC_CHECK(cur_ncp_ == &scheme_->procedures[batch.ncp_index],
             "detect_faults: batch does not match last simulate_good");
   FsimStats st;
-  const uint64_t live_mask =
-      batch.count >= 64 ? ~0ull : ((1ull << batch.count) - 1);
+  const uint64_t live = live_mask(batch);
 
   for (size_t i = 0; i < fl.size(); ++i) {
     const FaultStatus fs = fl.status(i);
@@ -309,7 +307,7 @@ FsimStats NcpFaultSim::detect_faults(
     }
     ++st.faults_simulated;
     auto [hard, poss] =
-        simulate_fault(batch, fl.fault(i), live_mask, &st.gate_evals);
+        simulate_fault(fl.fault(i), live, &st.gate_evals);
     if (hard) {
       fl.set_status(i, FaultStatus::kDetected);
       ++st.newly_detected;

@@ -71,6 +71,22 @@ class NcpFaultSim {
       const PatternBatch& batch, FaultList& fl,
       std::vector<std::pair<size_t, unsigned>>* detections = nullptr);
 
+  /// Simulates one fault against the last simulate_good() batch without
+  /// touching any fault list: returns the (hard, possible) detection
+  /// masks over `live_mask` slots and accumulates gate evaluations into
+  /// `evals`. This is the shard-safe primitive behind ShardedFaultSim --
+  /// it only mutates this instance's private scratch.
+  std::pair<uint64_t, uint64_t> probe_fault(const Fault& f,
+                                            uint64_t live_mask,
+                                            uint64_t* evals) {
+    return simulate_fault(f, live_mask, evals);
+  }
+
+  /// Live-slot mask for a batch (count < 64 leaves the top slots dead).
+  static uint64_t live_mask(const PatternBatch& batch) {
+    return batch.count >= 64 ? ~0ull : ((1ull << batch.count) - 1);
+  }
+
   /// simulate_good + detect_faults.
   FsimStats run_batch(
       const PatternBatch& batch, FaultList& fl,
@@ -86,8 +102,7 @@ class NcpFaultSim {
   };
 
   // Returns (hard detect mask, possible mask) for one fault.
-  std::pair<uint64_t, uint64_t> simulate_fault(const PatternBatch& batch,
-                                               const Fault& f,
+  std::pair<uint64_t, uint64_t> simulate_fault(const Fault& f,
                                                uint64_t live_mask,
                                                uint64_t* evals);
 

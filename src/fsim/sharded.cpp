@@ -1,0 +1,86 @@
+#include "fsim/sharded.h"
+
+#include <bit>
+#include <thread>
+
+namespace occ {
+namespace {
+
+size_t resolve_shards(size_t shards) {
+  if (shards == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+  return shards;
+}
+
+bool wants_simulation(FaultStatus fs) {
+  // Aborted faults stay in the simulation: ATPG gave up on targeting
+  // them, but any later pattern may still detect them incidentally.
+  return fs == FaultStatus::kUndetected ||
+         fs == FaultStatus::kPossiblyDetected || fs == FaultStatus::kAborted;
+}
+
+}  // namespace
+
+ShardedFaultSim::ShardedFaultSim(const Netlist& nl,
+                                 const ClockingScheme& scheme,
+                                 GateId scan_en_pi, size_t shards) {
+  const size_t n = resolve_shards(shards);
+  sims_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    sims_.push_back(std::make_unique<NcpFaultSim>(nl, scheme, scan_en_pi));
+  }
+  if (n > 1) pool_ = std::make_unique<ThreadPool>(n);
+}
+
+FsimStats ShardedFaultSim::run_batch(
+    const PatternBatch& batch, FaultList& fl,
+    std::vector<std::pair<size_t, unsigned>>* detections) {
+  if (sims_.size() == 1) return sims_[0]->run_batch(batch, fl, detections);
+
+  const size_t n = sims_.size();
+  const uint64_t live = NcpFaultSim::live_mask(batch);
+  probes_.assign(fl.size(), Probe{});
+
+  // Fan out: shard s owns faults s, s+n, s+2n, ... (interleaved for load
+  // balance -- collapsed fault lists cluster equivalent-cost faults).
+  // Shards only read the fault list and write disjoint probe slots.
+  pool_->run([&](size_t s) {
+    NcpFaultSim& sim = *sims_[s];
+    sim.simulate_good(batch);
+    for (size_t i = s; i < fl.size(); i += n) {
+      if (!wants_simulation(fl.status(i))) continue;
+      Probe& p = probes_[i];
+      auto [hard, poss] = sim.probe_fault(fl.fault(i), live, &p.evals);
+      p.hard = hard;
+      p.poss = poss;
+      p.simulated = true;
+    }
+  });
+
+  // Merge in fault-index order: the exact sequential detect_faults walk,
+  // fed from the precomputed probes.
+  FsimStats st;
+  for (size_t i = 0; i < fl.size(); ++i) {
+    const Probe& p = probes_[i];
+    if (!p.simulated) continue;
+    ++st.faults_simulated;
+    st.gate_evals += p.evals;
+    const FaultStatus fs = fl.status(i);
+    if (p.hard) {
+      fl.set_status(i, FaultStatus::kDetected);
+      ++st.newly_detected;
+      if (detections) {
+        detections->emplace_back(
+            i, static_cast<unsigned>(std::countr_zero(p.hard)));
+      }
+    } else if (p.poss && fs == FaultStatus::kUndetected) {
+      fl.set_status(i, FaultStatus::kPossiblyDetected);
+      ++st.newly_possibly;
+    }
+  }
+  return st;
+}
+
+}  // namespace occ

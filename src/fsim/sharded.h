@@ -1,0 +1,58 @@
+// Sharded PPSFP fault simulation: the fault list is partitioned across a
+// persistent thread pool, each shard owning a private NcpFaultSim (the
+// per-fault propagation scratch is not shareable), and the per-fault
+// detection masks are merged back in fault-index order.
+//
+// Faults are independent within one batch -- the engine's fault dropping
+// only acts *between* batches -- so the merge reproduces the sequential
+// NcpFaultSim::detect_faults result bit for bit: identical statuses,
+// identical stats, identical (fault, first-detecting-slot) pairs, for
+// any shard count. That invariant is what lets run_atpg stay a thin
+// wrapper over occ::Session regardless of the session's thread setting
+// (tests/test_api.cpp locks it in).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fsim/fsim.h"
+#include "util/thread_pool.h"
+
+namespace occ {
+
+class ShardedFaultSim {
+ public:
+  /// `shards` = number of concurrent fault partitions (1 = sequential,
+  /// no pool, exact NcpFaultSim code path; 0 = hardware concurrency).
+  ShardedFaultSim(const Netlist& nl, const ClockingScheme& scheme,
+                  GateId scan_en_pi, size_t shards = 1);
+
+  size_t shards() const { return sims_.size(); }
+  const Netlist& netlist() const { return sims_[0]->netlist(); }
+
+  /// Drop-in replacement for NcpFaultSim::run_batch (same contract, same
+  /// results); faults fan out over the shard pool.
+  FsimStats run_batch(
+      const PatternBatch& batch, FaultList& fl,
+      std::vector<std::pair<size_t, unsigned>>* detections = nullptr);
+
+  /// Good-machine expected responses for slot `s` of the last batch
+  /// (every shard simulated the same batch; shard 0 answers).
+  std::vector<V3> expected_unload(unsigned slot) const {
+    return sims_[0]->expected_unload(slot);
+  }
+
+ private:
+  struct Probe {
+    uint64_t hard = 0;
+    uint64_t poss = 0;
+    uint64_t evals = 0;
+    bool simulated = false;
+  };
+
+  std::vector<std::unique_ptr<NcpFaultSim>> sims_;
+  std::unique_ptr<ThreadPool> pool_;  // null when shards() == 1
+  std::vector<Probe> probes_;         // indexed by fault, reused per batch
+};
+
+}  // namespace occ

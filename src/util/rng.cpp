@@ -25,6 +25,16 @@ void Rng::reseed(uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
+Rng Rng::split(uint64_t stream_id) const {
+  // Fold the full 256-bit state into one word, then mix the stream id in
+  // through an odd multiplier so consecutive ids land far apart before
+  // reseed() expands the word back through SplitMix64.
+  uint64_t h = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 41);
+  h ^= (stream_id + 1) * 0x9E3779B97F4A7C15ull;
+  uint64_t x = h;
+  return Rng(splitmix64(x));
+}
+
 uint64_t Rng::next_u64() {
   const uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

@@ -18,6 +18,15 @@ class Rng {
   /// Re-initializes state from a 64-bit seed via SplitMix64.
   void reseed(uint64_t seed);
 
+  /// Derives an independent child generator from this generator's current
+  /// state and a stream id, without advancing this generator. Children
+  /// with distinct stream ids produce decorrelated streams; the same
+  /// (parent state, stream id) always yields the same child. This is the
+  /// thread-safe seeding discipline for sharded work: hand shard `s` the
+  /// child `rng.split(s)` and the parallel run consumes exactly the same
+  /// random streams as a sequential run over the shards.
+  Rng split(uint64_t stream_id) const;
+
   /// Uniform 64-bit value.
   uint64_t next_u64();
 

@@ -1,0 +1,52 @@
+// Minimal persistent fork-join pool for sharded work.
+//
+// One pool serves many dispatches: run(fn) invokes fn(shard) for every
+// shard in [0, shards()) concurrently and returns when all are done. The
+// calling thread executes shard 0 itself, so a pool of N shards spawns
+// only N-1 workers and `ThreadPool(1)` degenerates to a plain inline
+// call with no synchronization at all.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace occ {
+
+class ThreadPool {
+ public:
+  /// `shards` >= 1; spawns `shards - 1` worker threads.
+  explicit ThreadPool(size_t shards);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t shards() const { return workers_.size() + 1; }
+
+  /// Runs fn(0), fn(1), ..., fn(shards()-1) concurrently; blocks until
+  /// every invocation returned. fn must not itself call run(). If any
+  /// invocation throws, one of the exceptions is rethrown here (after
+  /// all shards finished), so pool users keep the ordinary
+  /// throw-to-caller error contract.
+  void run(const std::function<void(size_t)>& fn);
+
+ private:
+  void worker_loop(size_t shard);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* job_ = nullptr;
+  uint64_t generation_ = 0;
+  size_t pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace occ

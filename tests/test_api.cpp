@@ -1,0 +1,300 @@
+// Tests: occ::Session pipeline API -- golden paths, observer ordering,
+// error cases, run_atpg parity and sharded fault-simulation determinism.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "api/session.h"
+#include "dft/scan.h"
+#include "fsim/sharded.h"
+#include "gen/circuits.h"
+#include "util/check.h"
+
+namespace occ {
+namespace {
+
+ClockingScheme comb_sa_scheme() {
+  ClockingScheme s;
+  s.name = "comb_sa";
+  s.model = FaultModel::kStuckAt;
+  s.scan_en_frozen = false;
+  NamedCaptureProcedure p;
+  p.name = "strobe";
+  p.cycles = {{.pulses = kAllDomains,
+               .pi_change = true,
+               .po_strobe = true,
+               .at_speed = false}};
+  s.procedures.push_back(p);
+  return s;
+}
+
+// ---- golden paths --------------------------------------------------------
+
+TEST(Session, C17GoldenPath) {
+  SessionConfig cfg;
+  cfg.design([] { return gen::make_c17(); }).scheme(comb_sa_scheme());
+  const SessionResult r = Session(std::move(cfg)).run();
+  EXPECT_DOUBLE_EQ(r.test_coverage(), 1.0);
+  EXPECT_DOUBLE_EQ(r.fault_coverage(), 1.0);
+  EXPECT_GT(r.pattern_count(), 0u);
+  EXPECT_FALSE(r.has_scan_chains);
+  EXPECT_EQ(r.tester_cycles, 0u);
+  EXPECT_EQ(r.scheme.name, "comb_sa");
+  ASSERT_NE(r.netlist, nullptr);
+  EXPECT_GT(r.netlist->size(), 0u);
+  EXPECT_FALSE(r.summary().empty());
+}
+
+TEST(Session, CounterWithScanGoldenPath) {
+  AtpgOptions opts;
+  opts.random_rounds = 4;
+  SessionConfig cfg;
+  cfg.design([] { return gen::make_counter(8); })
+      .scan({.num_chains = 2})
+      .scheme(scheme_stuck_at_external(1))
+      .atpg(opts);
+  const SessionResult r = Session(std::move(cfg)).run();
+  EXPECT_GT(r.fault_coverage(), 0.9);
+  EXPECT_TRUE(r.has_scan_chains);
+  EXPECT_EQ(r.chains.chains.size(), 2u);
+  EXPECT_NE(r.scan_en, kNoGate);
+  EXPECT_GT(r.tester_cycles, 0u);
+  // The result owns the design it built and scan-inserted.
+  EXPECT_NE(r.netlist->find("scan_en"), kNoGate);
+}
+
+TEST(Session, RerunIsDeterministic) {
+  SessionConfig cfg;
+  cfg.design([] { return gen::make_alu4(); })
+      .scheme(comb_sa_scheme())
+      .seed(777);
+  Session s(std::move(cfg));
+  const SessionResult r1 = s.run();
+  const SessionResult r2 = s.run();
+  EXPECT_EQ(r1.pattern_count(), r2.pattern_count());
+  EXPECT_EQ(r1.atpg.faults.count(FaultStatus::kDetected),
+            r2.atpg.faults.count(FaultStatus::kDetected));
+}
+
+// ---- observer ordering ---------------------------------------------------
+
+TEST(Session, ObserverCallbackOrdering) {
+  std::vector<ProgressEvent> events;
+  SessionConfig cfg;
+  cfg.design([] { return gen::make_counter(6); })
+      .scan({.num_chains = 1})
+      .scheme(scheme_stuck_at_external(1))
+      .observer([&](const ProgressEvent& e) { events.push_back(e); });
+  const SessionResult r = Session(std::move(cfg)).run();
+  ASSERT_GT(r.pattern_count(), 0u);
+
+  // Begin/end events nest: every begin is closed by a matching end.
+  std::vector<std::string> stack;
+  std::vector<std::string> begins;
+  for (const auto& e : events) {
+    switch (e.kind) {
+      case ProgressEvent::Kind::kStageBegin:
+        stack.push_back(e.stage);
+        begins.push_back(e.stage);
+        break;
+      case ProgressEvent::Kind::kStageEnd:
+        ASSERT_FALSE(stack.empty());
+        EXPECT_EQ(stack.back(), e.stage);
+        stack.pop_back();
+        break;
+      case ProgressEvent::Kind::kProgress:
+        ASSERT_FALSE(stack.empty());
+        EXPECT_LE(e.done, e.total);
+        break;
+    }
+  }
+  EXPECT_TRUE(stack.empty());
+  const std::vector<std::string> expected = {
+      "build",         "scan",    "faults", "source:random",
+      "source:podem",  "compact", "cost"};
+  EXPECT_EQ(begins, expected);
+}
+
+// ---- error cases ---------------------------------------------------------
+
+TEST(Session, NoDesignThrows) {
+  SessionConfig cfg;
+  cfg.scheme(comb_sa_scheme());
+  EXPECT_THROW(Session(std::move(cfg)).run(), CheckError);
+}
+
+TEST(Session, EmptyNetlistThrows) {
+  SessionConfig cfg;
+  cfg.design([] { return Netlist("empty"); }).scheme(comb_sa_scheme());
+  EXPECT_THROW(Session(std::move(cfg)).run(), CheckError);
+}
+
+TEST(Session, SchemeWithZeroProceduresThrows) {
+  ClockingScheme s;
+  s.name = "hollow";
+  SessionConfig cfg;
+  cfg.design([] { return gen::make_c17(); }).scheme(s);
+  EXPECT_THROW(Session(std::move(cfg)).run(), CheckError);
+}
+
+TEST(Session, MissingSchemeThrows) {
+  SessionConfig cfg;
+  cfg.design([] { return gen::make_c17(); });
+  EXPECT_THROW(Session(std::move(cfg)).run(), CheckError);
+}
+
+TEST(Session, CompressionWithoutChainsThrows) {
+  SessionConfig cfg;
+  cfg.design([] { return gen::make_c17(); })
+      .scheme(comb_sa_scheme())
+      .compress(EdtConfig{});
+  EXPECT_THROW(Session(std::move(cfg)).run(), CheckError);
+}
+
+// ---- run_atpg parity -----------------------------------------------------
+
+TEST(Session, RunAtpgParity) {
+  Netlist nl = gen::make_counter(8);
+  insert_scan(nl, {.num_chains = 2});
+  const GateId se = nl.find("scan_en");
+  const ClockingScheme scheme = scheme_stuck_at_external(1);
+  AtpgOptions opts;
+  opts.seed = 20050307;
+  opts.random_rounds = 4;
+
+  const AtpgRunResult legacy = run_atpg(nl, scheme, se, opts);
+
+  for (size_t shards : {size_t{1}, size_t{3}}) {
+    SessionConfig cfg;
+    cfg.design_ref(nl).scan_en(se).scheme(scheme).atpg(opts)
+        .fsim_shards(shards);
+    const SessionResult r = Session(std::move(cfg)).run();
+    EXPECT_EQ(legacy.pattern_count(), r.pattern_count())
+        << "shards=" << shards;
+    EXPECT_DOUBLE_EQ(legacy.test_coverage(), r.test_coverage())
+        << "shards=" << shards;
+    EXPECT_DOUBLE_EQ(legacy.fault_coverage(), r.fault_coverage())
+        << "shards=" << shards;
+    EXPECT_EQ(legacy.random_patterns, r.atpg.random_patterns);
+    EXPECT_EQ(legacy.deterministic_patterns,
+              r.atpg.deterministic_patterns);
+    ASSERT_EQ(legacy.faults.size(), r.atpg.faults.size());
+    for (size_t i = 0; i < legacy.faults.size(); ++i) {
+      ASSERT_EQ(legacy.faults.status(i), r.atpg.faults.status(i))
+          << "fault " << i << " diverged with shards=" << shards;
+    }
+  }
+}
+
+// ---- sharded fault simulation -------------------------------------------
+
+TEST(ShardedFaultSim, BitIdenticalToSequential) {
+  Netlist nl = gen::make_counter(8);
+  insert_scan(nl, {.num_chains = 2});
+  const GateId se = nl.find("scan_en");
+  const ClockingScheme scheme = scheme_cpf_basic(1);
+  Rng rng(99);
+  PatternSet ps(scheme.name);
+  for (int i = 0; i < 64; ++i) {
+    TestPattern p;
+    p.ncp_index = 0;
+    p.pi_frames.assign(scheme.procedures[0].cycles.size(),
+                       std::vector<V3>(nl.inputs().size(), V3::kX));
+    p.load.assign(scan_cells(nl).size(), V3::kX);
+    p.random_fill(scheme.procedures[0], rng);
+    ps.add(std::move(p));
+  }
+  const PatternBatch b = pack_batch(ps, 0, 64, nl, scheme.procedures[0]);
+
+  FaultList seq = FaultList::build(nl, scheme.model);
+  NcpFaultSim ref(nl, scheme, se);
+  std::vector<std::pair<size_t, unsigned>> seq_dets;
+  const FsimStats seq_st = ref.run_batch(b, seq, &seq_dets);
+
+  for (size_t shards : {size_t{2}, size_t{4}}) {
+    FaultList par = FaultList::build(nl, scheme.model);
+    ShardedFaultSim sharded(nl, scheme, se, shards);
+    std::vector<std::pair<size_t, unsigned>> par_dets;
+    const FsimStats par_st = sharded.run_batch(b, par, &par_dets);
+
+    EXPECT_EQ(seq_st.faults_simulated, par_st.faults_simulated);
+    EXPECT_EQ(seq_st.newly_detected, par_st.newly_detected);
+    EXPECT_EQ(seq_st.newly_possibly, par_st.newly_possibly);
+    EXPECT_EQ(seq_st.gate_evals, par_st.gate_evals);
+    EXPECT_EQ(seq_dets, par_dets) << "shards=" << shards;
+    ASSERT_EQ(seq.size(), par.size());
+    for (size_t i = 0; i < seq.size(); ++i) {
+      ASSERT_EQ(seq.status(i), par.status(i)) << "fault " << i;
+    }
+  }
+}
+
+TEST(ShardedFaultSim, TransitionSessionIdenticalAcrossShards) {
+  // Whole-pipeline determinism on a two-domain circuit with a
+  // transition scheme (exercises NCP batching in compaction too).
+  Netlist nl = gen::make_two_domain_link(4);
+  insert_scan(nl, {.num_chains = 2});
+  const GateId se = nl.find("scan_en");
+  AtpgOptions opts;
+  opts.random_rounds = 4;
+
+  auto run_with = [&](size_t shards) {
+    SessionConfig cfg;
+    cfg.design_ref(nl).scan_en(se).scheme(scheme_cpf_enhanced(2, 3))
+        .atpg(opts).fsim_shards(shards);
+    return Session(std::move(cfg)).run();
+  };
+  const SessionResult r1 = run_with(1);
+  const SessionResult r4 = run_with(4);
+  EXPECT_EQ(r1.pattern_count(), r4.pattern_count());
+  EXPECT_EQ(r1.atpg.fsim.gate_evals, r4.atpg.fsim.gate_evals);
+  ASSERT_EQ(r1.atpg.faults.size(), r4.atpg.faults.size());
+  for (size_t i = 0; i < r1.atpg.faults.size(); ++i) {
+    ASSERT_EQ(r1.atpg.faults.status(i), r4.atpg.faults.status(i));
+  }
+}
+
+// ---- pluggable sources ---------------------------------------------------
+
+TEST(Session, ExternalCubeSourceGradesCubes) {
+  Netlist nl = gen::make_counter(8);
+  insert_scan(nl, {.num_chains = 2});
+  const GateId se = nl.find("scan_en");
+  const ClockingScheme scheme = scheme_stuck_at_external(1);
+
+  // First session produces cubes; second session re-grades them as an
+  // external source (no PODEM of its own).
+  AtpgOptions keep;
+  keep.keep_cubes = true;
+  SessionConfig produce;
+  produce.design_ref(nl).scan_en(se).scheme(scheme).atpg(keep);
+  const SessionResult first = Session(std::move(produce)).run();
+  ASSERT_GT(first.atpg.cubes.size(), 0u);
+
+  AtpgOptions nocompact;
+  nocompact.reverse_compaction = false;
+  SessionConfig regrade;
+  regrade.design_ref(nl).scan_en(se).scheme(scheme).atpg(nocompact)
+      .source(std::make_shared<ExternalCubeSource>(first.atpg.cubes));
+  const SessionResult second = Session(std::move(regrade)).run();
+  EXPECT_EQ(second.atpg.external_patterns, first.atpg.cubes.size());
+  EXPECT_EQ(second.pattern_count(), first.atpg.cubes.size());
+  // Filled deterministic cubes must re-detect a solid majority of what
+  // the original run detected (random fill of X bits only adds).
+  EXPECT_GT(second.fault_coverage(), 0.9 * first.fault_coverage());
+}
+
+TEST(Session, SinksReceiveFinishedResult) {
+  std::ostringstream summary;
+  SessionConfig cfg;
+  cfg.design([] { return gen::make_c17(); })
+      .scheme(comb_sa_scheme())
+      .sink(std::make_shared<SummarySink>(summary));
+  const SessionResult r = Session(std::move(cfg)).run();
+  EXPECT_EQ(summary.str(), r.summary());
+  EXPECT_NE(summary.str().find("comb_sa"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace occ

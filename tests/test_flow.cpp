@@ -32,6 +32,47 @@ TEST(PaperRef, AllRowsDefined) {
   EXPECT_THROW(flow::paper_reference('z'), CheckError);
 }
 
+TEST(Table1Rows, MissingRowFailsClearly) {
+  flow::Table1Result r;
+  EXPECT_FALSE(r.has_row('a'));
+  EXPECT_EQ(r.find_row('a'), nullptr);
+  try {
+    (void)r.row('a');
+    FAIL() << "row('a') on an empty result must throw";
+  } catch (const CheckError& e) {
+    const std::string w = e.what();
+    EXPECT_NE(w.find("(a)"), std::string::npos);
+    EXPECT_NE(w.find("<none>"), std::string::npos);
+  }
+
+  flow::ExperimentRow row_b;
+  row_b.id = "(b)";
+  r.rows.push_back(row_b);
+  EXPECT_TRUE(r.has_row('b'));
+  EXPECT_FALSE(r.has_row('c'));
+  try {
+    (void)r.row('c');
+    FAIL() << "row('c') must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("(b)"), std::string::npos)
+        << "error must name the rows that ARE present";
+  }
+}
+
+TEST(Table1Rows, CheckShapesOnPartialRunReportsMissing) {
+  flow::Table1Result r;
+  flow::ExperimentRow row_a;
+  row_a.id = "(a)";
+  r.rows.push_back(row_a);
+  r.checks = flow::check_shapes(r);
+  ASSERT_EQ(r.checks.size(), 1u);
+  EXPECT_FALSE(r.checks[0].pass);
+  EXPECT_NE(r.checks[0].detail.find("(b)"), std::string::npos);
+  EXPECT_EQ(r.checks[0].detail.find("(a)"), std::string::npos)
+      << "present rows are not missing";
+  EXPECT_FALSE(r.all_shapes_hold());
+}
+
 // The inter-domain program computed behaviorally must be realizable on
 // the gate-level enhanced CPF hardware: two instances, each programmed
 // per interdomain_program(), must emit single pulses in the predicted

@@ -1,12 +1,15 @@
-// Unit tests: RNG, BitVec, GF(2) linear algebra.
+// Unit tests: RNG (incl. split streams), thread pool, BitVec, GF(2)
+// linear algebra.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 
 #include "util/bitvec.h"
 #include "util/check.h"
 #include "util/gf2.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace occ {
 namespace {
@@ -65,6 +68,66 @@ TEST(Rng, UniformInUnitInterval) {
     sum += u;
   }
   EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(123), b(123);
+  Rng ca = a.split(7), cb = b.split(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng parent(5);
+  Rng c0 = parent.split(0), c1 = parent.split(1);
+  size_t same = 0;
+  for (int i = 0; i < 64; ++i) same += c0.next_u64() == c1.next_u64();
+  EXPECT_EQ(same, 0u) << "distinct stream ids must decorrelate";
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Rng a(9), b(9);
+  (void)a.split(3);
+  (void)a.split(4);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SplitDiffersFromParentStream) {
+  Rng parent(11);
+  Rng child = parent.split(0);
+  size_t same = 0;
+  Rng parent_copy(11);
+  for (int i = 0; i < 64; ++i) {
+    same += child.next_u64() == parent_copy.next_u64();
+  }
+  EXPECT_EQ(same, 0u);
+}
+
+TEST(ThreadPool, PropagatesShardExceptionsAndStaysUsable) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.run([](size_t s) {
+                 if (s == 2) OCC_CHECK(false, "boom in shard ", s);
+               }),
+               CheckError);
+  // Shard-0 (caller-thread) failures must also drain the workers first.
+  EXPECT_THROW(pool.run([](size_t s) {
+                 if (s == 0) OCC_CHECK(false, "boom in caller shard");
+               }),
+               CheckError);
+  std::vector<std::atomic<int>> hits(3);
+  pool.run([&](size_t s) { ++hits[s]; });
+  for (size_t s = 0; s < 3; ++s) EXPECT_EQ(hits[s].load(), 1);
+}
+
+TEST(ThreadPool, RunsEveryShardExactlyOnce) {
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    ThreadPool pool(shards);
+    EXPECT_EQ(pool.shards(), shards);
+    std::vector<std::atomic<int>> hits(shards);
+    for (int round = 0; round < 3; ++round) {
+      pool.run([&](size_t s) { ++hits[s]; });
+    }
+    for (size_t s = 0; s < shards; ++s) EXPECT_EQ(hits[s].load(), 3);
+  }
 }
 
 TEST(BitVec, SetGetFlip) {
