@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""CI glue for the occ-bench-v1 reports (see README "Benchmarking").
+
+Subcommands:
+  merge OUT IN...          Merge driver reports into one report; metric
+                           and meta keys are namespaced by driver name
+                           ("engines.fsim_tf.cone.gate_evals", ...).
+  compare BASELINE CURRENT Compare a merged report against the committed
+                           baseline. All metrics are lower-is-better.
+                           Deterministic work metrics (everything except
+                           wall clock) fail on a regression beyond
+                           --max-regress (default 25%). Wall-clock
+                           metrics (*.wall_ms / *.wall_s) are
+                           record-only by default -- the committed
+                           baseline was produced on a different machine
+                           and shared CI runners jitter far more than
+                           real regressions of the deterministic
+                           counters do. Pass --max-wall-regress R to
+                           gate them anyway (fail beyond R x baseline).
+  check-ratio REPORT A B --min-ratio R
+                           Assert metric A >= R * metric B (used to pin
+                           the exhaustive-vs-cone gate_evals reduction).
+
+Exit code 0 = OK, 1 = regression/assertion failure, 2 = usage error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "occ-bench-v1":
+        sys.exit(f"{path}: not an occ-bench-v1 report")
+    return doc
+
+
+def cmd_merge(args):
+    merged = {
+        "schema": "occ-bench-v1",
+        "driver": "merged",
+        "meta": {},
+        "metrics": {},
+    }
+    for path in args.inputs:
+        doc = load(path)
+        prefix = doc.get("driver", "unknown").removeprefix("bench_")
+        for section in ("meta", "metrics"):
+            for key, value in doc.get(section, {}).items():
+                merged[section][f"{prefix}.{key}"] = value
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(f"merged {len(args.inputs)} report(s) into {args.out}")
+    return 0
+
+
+def is_wall_metric(key):
+    return key.endswith(".wall_ms") or key.endswith(".wall_s")
+
+
+def cmd_compare(args):
+    base = load(args.baseline)["metrics"]
+    cur = load(args.current)["metrics"]
+    failures = []
+    print(f"{'metric':<44} {'baseline':>14} {'current':>14}  delta")
+    for key in sorted(set(base) | set(cur)):
+        if key not in base:
+            print(f"{key:<44} {'-':>14} {cur[key]:>14.6g}  (new)")
+            continue
+        if key not in cur:
+            failures.append(f"{key}: present in baseline but missing now")
+            continue
+        b, c = float(base[key]), float(cur[key])
+        ratio = c / b if b > 0 else (1.0 if c == 0 else float("inf"))
+        if is_wall_metric(key):
+            limit = args.max_wall_regress if args.max_wall_regress \
+                else float("inf")
+        else:
+            limit = 1.0 + args.max_regress
+        flag = ""
+        if ratio > limit:
+            flag = "  << REGRESSION"
+            failures.append(
+                f"{key}: {b:g} -> {c:g} ({ratio:.2f}x > {limit:.2f}x limit)")
+        print(f"{key:<44} {b:>14.6g} {c:>14.6g}  {ratio:.2f}x{flag}")
+    if failures:
+        print("\nFAIL: regressions vs", args.baseline, file=sys.stderr)
+        for f in failures:
+            print(" ", f, file=sys.stderr)
+        return 1
+    print("\nOK: no regressions beyond thresholds")
+    return 0
+
+
+def cmd_check_ratio(args):
+    metrics = load(args.report)["metrics"]
+    for key in (args.numerator, args.denominator):
+        if key not in metrics:
+            sys.exit(f"{args.report}: missing metric {key}")
+    num = float(metrics[args.numerator])
+    den = float(metrics[args.denominator])
+    ratio = num / den if den > 0 else float("inf")
+    ok = ratio >= args.min_ratio
+    print(f"{args.numerator} / {args.denominator} = {ratio:.2f}x "
+          f"(required >= {args.min_ratio}x): {'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    m = sub.add_parser("merge")
+    m.add_argument("out")
+    m.add_argument("inputs", nargs="+")
+    m.set_defaults(fn=cmd_merge)
+
+    c = sub.add_parser("compare")
+    c.add_argument("baseline")
+    c.add_argument("current")
+    c.add_argument("--max-regress", type=float, default=0.25,
+                   help="allowed fractional regression for work metrics")
+    c.add_argument("--max-wall-regress", type=float, default=None,
+                   help="gate wall-clock metrics at this ratio "
+                        "(default: record-only)")
+    c.set_defaults(fn=cmd_compare)
+
+    r = sub.add_parser("check-ratio")
+    r.add_argument("report")
+    r.add_argument("numerator")
+    r.add_argument("denominator")
+    r.add_argument("--min-ratio", type=float, required=True)
+    r.set_defaults(fn=cmd_check_ratio)
+
+    args = p.parse_args()
+    sys.exit(args.fn(args))
+
+
+if __name__ == "__main__":
+    main()

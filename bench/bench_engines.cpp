@@ -1,7 +1,20 @@
 // Engine micro-benchmarks (google-benchmark): cycle simulation, PPSFP
 // fault simulation (sequential and sharded), PODEM, unrolling, CPF event
 // simulation, and the full Session pipeline.
+//
+// `bench_engines --json <path>` skips the google-benchmark suite and
+// instead writes the machine-readable occ-bench-v1 report consumed by
+// the CI bench job (see README "Benchmarking"): deterministic work
+// counters (gate_evals, fault/pattern counts) plus wall-clock times for
+// the same engine workloads, including the exhaustive-vs-cone-limited
+// fault-propagation comparison.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <thread>
 
 #include "api/session.h"
 #include "atpg/podem.h"
@@ -13,6 +26,7 @@
 #include "fsim/sharded.h"
 #include "gen/socgen.h"
 #include "sim/cycle_sim.h"
+#include "util/json.h"
 #include "util/rng.h"
 
 namespace {
@@ -30,6 +44,23 @@ Netlist& bench_soc() {
     return n;
   }();
   return nl;
+}
+
+/// The fault-sim benchmark workload: one 64-pattern random batch bound
+/// to procedure 0 of `s` (identical to BM_FaultSimBatch).
+PatternBatch fsim_batch(const Netlist& nl, const ClockingScheme& s,
+                        PatternSet& ps, uint64_t seed) {
+  Rng rng(seed);
+  const size_t frames = s.procedures[0].cycles.size();
+  for (int i = 0; i < 64; ++i) {
+    TestPattern p;
+    p.ncp_index = 0;
+    p.pi_frames.assign(frames, std::vector<V3>(nl.inputs().size(), V3::kX));
+    p.load.assign(scan_cells(nl).size(), V3::kX);
+    p.random_fill(s.procedures[0], rng);
+    ps.add(std::move(p));
+  }
+  return pack_batch(ps, 0, 64, nl, s.procedures[0]);
 }
 
 void BM_CycleSimEval(benchmark::State& state) {
@@ -50,33 +81,33 @@ void BM_CycleSimEval(benchmark::State& state) {
 }
 BENCHMARK(BM_CycleSimEval);
 
+// Transition fault simulation of one 64-pattern batch, parameterized by
+// propagation mode (0 = cone-limited, 1 = exhaustive reference). The
+// two produce bit-identical detections; gate_evals shows the work cut.
 void BM_FaultSimBatch(benchmark::State& state) {
   Netlist& nl = bench_soc();
   const ClockingScheme s = scheme_cpf_basic(nl.num_domains());
   const GateId se = nl.find("scan_en");
-  Rng rng(2);
+  const FsimMode mode = state.range(0) == 0 ? FsimMode::kConeLimited
+                                            : FsimMode::kExhaustive;
   PatternSet ps("b");
-  for (int i = 0; i < 64; ++i) {
-    TestPattern p;
-    p.ncp_index = 0;
-    p.pi_frames.assign(2, std::vector<V3>(nl.inputs().size(), V3::kX));
-    p.load.assign(scan_cells(nl).size(), V3::kX);
-    p.random_fill(s.procedures[0], rng);
-    ps.add(std::move(p));
-  }
-  PatternBatch b = pack_batch(ps, 0, 64, nl, s.procedures[0]);
+  PatternBatch b = fsim_batch(nl, s, ps, 2);
   for (auto _ : state) {
     state.PauseTiming();
     FaultList fl = FaultList::build(nl, FaultModel::kTransition);
-    NcpFaultSim fsim(nl, s, se);
+    NcpFaultSim fsim(nl, s, se, mode);
     state.ResumeTiming();
     const FsimStats st = fsim.run_batch(b, fl);
     benchmark::DoNotOptimize(st.newly_detected);
     state.counters["faults"] = static_cast<double>(st.faults_simulated);
     state.counters["detected"] = static_cast<double>(st.newly_detected);
+    state.counters["gate_evals"] = static_cast<double>(st.gate_evals);
   }
 }
-BENCHMARK(BM_FaultSimBatch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FaultSimBatch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 // Sharded PPSFP: the same batch graded with the fault list fanned out
 // over N shards. Results are bit-identical for every N (asserted in
@@ -85,17 +116,8 @@ void BM_ShardedFaultSim(benchmark::State& state) {
   Netlist& nl = bench_soc();
   const ClockingScheme s = scheme_cpf_basic(nl.num_domains());
   const GateId se = nl.find("scan_en");
-  Rng rng(2);
   PatternSet ps("b");
-  for (int i = 0; i < 64; ++i) {
-    TestPattern p;
-    p.ncp_index = 0;
-    p.pi_frames.assign(2, std::vector<V3>(nl.inputs().size(), V3::kX));
-    p.load.assign(scan_cells(nl).size(), V3::kX);
-    p.random_fill(s.procedures[0], rng);
-    ps.add(std::move(p));
-  }
-  PatternBatch b = pack_batch(ps, 0, 64, nl, s.procedures[0]);
+  PatternBatch b = fsim_batch(nl, s, ps, 2);
   const size_t shards = static_cast<size_t>(state.range(0));
   ShardedFaultSim fsim(nl, s, se, shards);
   size_t detected = 0;
@@ -183,6 +205,102 @@ void BM_CpfProtocolEventSim(benchmark::State& state) {
 }
 BENCHMARK(BM_CpfProtocolEventSim)->Unit(benchmark::kMicrosecond);
 
+// ---- machine-readable report (--json) -----------------------------------
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One fault-sim measurement: grades a fresh fault list against the
+/// 64-pattern batch and reports deterministic work counters + wall time.
+void report_fsim(Json* metrics, Json* meta, const std::string& prefix,
+                 const ClockingScheme& s, FaultModel model, FsimMode mode) {
+  Netlist& nl = bench_soc();
+  const GateId se = nl.find("scan_en");
+  PatternSet ps("b");
+  PatternBatch b = fsim_batch(nl, s, ps, 2);
+  FaultList fl = FaultList::build(nl, model);
+  NcpFaultSim fsim(nl, s, se, mode);
+  const auto t0 = std::chrono::steady_clock::now();
+  const FsimStats st = fsim.run_batch(b, fl);
+  metrics->set(prefix + ".gate_evals", st.gate_evals);
+  metrics->set(prefix + ".wall_ms", ms_since(t0));
+  meta->set(prefix + ".faults", st.faults_simulated);
+  meta->set(prefix + ".detected", st.newly_detected);
+}
+
+int write_json_report(const std::string& path) {
+  Json metrics = Json::object();
+  Json meta = Json::object();
+
+  Netlist& nl = bench_soc();
+  meta.set("soc.gates", nl.size());
+  meta.set("soc.flops", nl.dffs().size());
+
+  // Fault simulation: cone-limited (production path) vs exhaustive
+  // (reference) on the identical batch -- detections are bit-identical,
+  // gate_evals records the work reduction the cone engine buys.
+  const ClockingScheme tf = scheme_cpf_basic(nl.num_domains());
+  report_fsim(&metrics, &meta, "fsim_tf.cone", tf, FaultModel::kTransition,
+              FsimMode::kConeLimited);
+  report_fsim(&metrics, &meta, "fsim_tf.exhaustive", tf,
+              FaultModel::kTransition, FsimMode::kExhaustive);
+  const ClockingScheme sa = scheme_stuck_at_external(nl.num_domains());
+  report_fsim(&metrics, &meta, "fsim_sa.cone", sa, FaultModel::kStuckAt,
+              FsimMode::kConeLimited);
+
+  // Sharded grading at hardware concurrency (wall clock only; the work
+  // counters are identical to the sequential run by construction).
+  {
+    const GateId se = nl.find("scan_en");
+    PatternSet ps("b");
+    PatternBatch b = fsim_batch(nl, tf, ps, 2);
+    FaultList fl = FaultList::build(nl, FaultModel::kTransition);
+    ShardedFaultSim fsim(nl, tf, se, 0);
+    const auto t0 = std::chrono::steady_clock::now();
+    const FsimStats st = fsim.run_batch(b, fl);
+    metrics.set("fsim_tf.sharded.wall_ms", ms_since(t0));
+    metrics.set("fsim_tf.sharded.gate_evals", st.gate_evals);
+    meta.set("fsim_tf.sharded.shards", fsim.shards());
+  }
+
+  // Full Session pipeline (deterministic pattern counts).
+  {
+    SessionConfig cfg;
+    cfg.design_ref(nl).scheme(scheme_cpf_basic(nl.num_domains()));
+    const auto t0 = std::chrono::steady_clock::now();
+    const SessionResult r = Session(std::move(cfg)).run();
+    metrics.set("session.wall_ms", ms_since(t0));
+    metrics.set("session.patterns", r.pattern_count());
+    metrics.set("session.gate_evals", r.atpg.fsim.gate_evals);
+    meta.set("session.test_coverage", r.test_coverage());
+  }
+
+  return write_bench_report(path, "bench_engines", std::move(meta),
+                            std::move(metrics))
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--json <path>`: write the CI bench report instead of running the
+  // google-benchmark suite (any other flags are passed through to it).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--json requires a path\n";
+        return 2;
+      }
+      return write_json_report(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,13 +6,20 @@
 // reference values, and evaluates the qualitative shape checks from
 // section 5.2 of the paper.
 //
-// Usage: bench_table1 [--quick|--full] [--shards N]
+// Usage: bench_table1 [--quick|--full] [--shards N] [--json PATH]
 //   default : mid-size SOC (~3 minutes) -- same orderings as full scale
 //   --quick : small SOC (~40 seconds)
 //   --full  : paper-scale shape run (~15-20 minutes); the EXPERIMENTS.md
 //             Table-1 numbers were produced at this scale
 //   --shards N : fault-simulation thread shards per experiment Session
-//                (0 = hardware concurrency; results are identical)
+//                (default and 0 = hardware concurrency; results are
+//                identical for every value)
+//   --json PATH : additionally write the machine-readable occ-bench-v1
+//                 report (per-experiment pattern counts, gate_evals,
+//                 wall time; see README "Benchmarking")
+//   --allow-shape-fail : exit 0 even when the qualitative shape checks
+//                 fail (they are only expected to hold at default/full
+//                 scale; CI's bench job runs --quick for the numbers)
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -20,16 +27,51 @@
 
 #include "flow/experiment.h"
 #include "flow/report.h"
+#include "fsim/sharded.h"
 #include "fsim/tfsim.h"
 #include "netlist/stats.h"
+#include "util/json.h"
+
+namespace {
+
+int write_json_report(const std::string& path,
+                      const occ::flow::Table1Result& r,
+                      const std::string& scale, size_t shards) {
+  using occ::Json;
+  Json metrics = Json::object();
+  Json meta = Json::object();
+  meta.set("scale", scale);
+  meta.set("shards", shards);
+  meta.set("shapes_hold", r.all_shapes_hold());
+  for (const auto& row : r.rows) {
+    // "(a)" -> "exp_a".
+    const std::string key = "exp_" + row.id.substr(1, 1);
+    metrics.set(key + ".patterns", row.result.pattern_count());
+    metrics.set(key + ".gate_evals", row.result.fsim.gate_evals);
+    metrics.set(key + ".tester_cycles", row.tester_cycles);
+    metrics.set(key + ".wall_s", row.result.seconds);
+    meta.set(key + ".test_coverage", row.result.test_coverage());
+    meta.set(key + ".scheme", row.result.scheme_name);
+  }
+  return occ::write_bench_report(path, "bench_table1", std::move(meta),
+                                 std::move(metrics))
+             ? 0
+             : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace occ;
-  bool quick = false, full = false;
-  size_t shards = 1;
+  bool quick = false, full = false, allow_shape_fail = false;
+  size_t shards = 0;  // 0 = hardware concurrency (resolved below)
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--allow-shape-fail") == 0) {
+      allow_shape_fail = true;
+    }
     if (std::strcmp(argv[i], "--shards") == 0) {
       if (i + 1 >= argc) {
         std::cerr << "--shards requires a value\n";
@@ -44,7 +86,15 @@ int main(int argc, char** argv) {
       }
       shards = static_cast<size_t>(v);
     }
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--json requires a path\n";
+        return 2;
+      }
+      json_path = argv[++i];
+    }
   }
+  shards = ShardedFaultSim::resolve_shards(shards);
 
   flow::Table1Config cfg;
   cfg.fsim_shards = shards;
@@ -75,7 +125,8 @@ int main(int argc, char** argv) {
                "(a)..(e) ===\n\n";
   std::cout << "building SOC (seed " << cfg.soc.seed << ", "
             << cfg.soc.flops << " flops, ~" << cfg.soc.gates
-            << " logic gates, 2 synchronous domains)...\n";
+            << " logic gates, 2 synchronous domains), " << shards
+            << " fsim shard(s) per experiment...\n";
 
   const flow::Table1Result r = flow::run_table1(cfg);
   std::cout << "device: " << NetlistStats::compute(r.netlist).to_string()
@@ -95,5 +146,9 @@ int main(int argc, char** argv) {
     md << flow::render_markdown(r);
     std::cout << "\nmarkdown written to table1_results.md\n";
   }
-  return r.all_shapes_hold() ? 0 : 1;
+  if (!json_path.empty()) {
+    const std::string scale = quick ? "quick" : (full ? "full" : "default");
+    if (write_json_report(json_path, r, scale, shards) != 0) return 2;
+  }
+  return (r.all_shapes_hold() || allow_shape_fail) ? 0 : 1;
 }

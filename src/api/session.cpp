@@ -84,6 +84,10 @@ SessionConfig& SessionConfig::fsim_shards(size_t n) {
   fsim_shards_ = n;
   return *this;
 }
+SessionConfig& SessionConfig::fsim_mode(FsimMode m) {
+  fsim_mode_ = m;
+  return *this;
+}
 SessionConfig& SessionConfig::compress(EdtConfig cfg) {
   edt_ = cfg;
   return *this;
@@ -196,7 +200,7 @@ SessionResult Session::run() {
     }
     Rng rng(opts.seed);
     ShardedFaultSim fsim(nl, result.scheme, result.scan_en,
-                         cfg_.fsim_shards_);
+                         cfg_.fsim_shards_, cfg_.fsim_mode_);
     PipelineContext ctx{nl,         result.scheme, result.scan_en, opts,
                         res.faults, fsim,          rng,            res,
                         obs};

@@ -119,6 +119,10 @@ class SessionConfig {
   /// Fault-simulation shards (thread pool size). 1 = sequential; 0 =
   /// hardware concurrency. Results are bit-identical for every value.
   SessionConfig& fsim_shards(size_t n);
+  /// Fault-propagation strategy (default: cone-limited). Results are
+  /// bit-identical for either mode; kExhaustive is the slower reference
+  /// path kept for parity checks and benchmarking.
+  SessionConfig& fsim_mode(FsimMode m);
 
   // ---- optional stages ---------------------------------------------------
   /// EDT-compress the deterministic cubes after ATPG (implies
@@ -147,6 +151,7 @@ class SessionConfig {
   std::vector<std::shared_ptr<ResultSink>> sinks_;
   ProgressObserver observer_;
   size_t fsim_shards_ = 1;
+  FsimMode fsim_mode_ = FsimMode::kConeLimited;
   std::optional<EdtConfig> edt_;
   bool on_chip_clocking_ = false;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "fault/order.h"
 #include "util/check.h"
 
 namespace occ {
@@ -16,15 +17,44 @@ uint64_t hard_diff(Val64 a, Val64 b) {
 /// Slots where exactly one of a, b is known (X-marginal disagreement).
 uint64_t possible_diff(Val64 a, Val64 b) { return a.x ^ b.x; }
 
+/// FNV-1a over the fault list's defining fields (order-cache key).
+uint64_t fault_list_hash(const FaultList& fl) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const Fault& f : fl.faults()) {
+    mix(f.gate);
+    mix((uint64_t{f.pin} << 8) | static_cast<uint64_t>(f.type));
+  }
+  return h;
+}
+
+std::vector<uint8_t> scan_observable_flags(const Netlist& nl) {
+  std::vector<int32_t> dff_pos(nl.size(), -1);
+  for (size_t i = 0; i < nl.dffs().size(); ++i) {
+    dff_pos[nl.dffs()[i]] = static_cast<int32_t>(i);
+  }
+  std::vector<uint8_t> so(nl.dffs().size(), 0);
+  for (GateId sc : scan_cells(nl)) {
+    so[static_cast<size_t>(dff_pos[sc])] = 1;
+  }
+  return so;
+}
+
 }  // namespace
 
 NcpFaultSim::NcpFaultSim(const Netlist& nl, const ClockingScheme& scheme,
-                         GateId scan_en_pi)
-    : nl_(&nl), scheme_(&scheme), scan_en_pi_(scan_en_pi), sim_(nl) {
+                         GateId scan_en_pi, FsimMode mode)
+    : nl_(&nl),
+      scheme_(&scheme),
+      scan_en_pi_(scan_en_pi),
+      mode_(mode),
+      sim_(nl),
+      cone_(nl, scan_observable_flags(nl)) {
   faulty_.assign(nl.size(), Val64{});
   stamp_.assign(nl.size(), 0);
-  queued_.assign(nl.size(), 0);
-  buckets_.resize(static_cast<size_t>(nl.max_level()) + 2);
 
   dff_pos_.assign(nl.size(), -1);
   for (size_t i = 0; i < nl.dffs().size(); ++i) {
@@ -48,6 +78,9 @@ void NcpFaultSim::simulate_good(const PatternBatch& batch) {
   OCC_CHECK(batch.ncp_index < scheme_->procedures.size(),
             "batch NCP out of range");
   cur_ncp_ = &scheme_->procedures[batch.ncp_index];
+  cur_obs_ = mode_ == FsimMode::kConeLimited
+                 ? &cone_.frame_obs(batch.ncp_index, *cur_ncp_)
+                 : nullptr;
   const size_t frames = cur_ncp_->cycles.size();
   const auto& dffs = nl_->dffs();
 
@@ -92,7 +125,35 @@ std::vector<V3> NcpFaultSim::expected_unload(unsigned slot) const {
   return out;
 }
 
-void NcpFaultSim::propagate_frame(const Fault& f, uint64_t inj_mask,
+bool NcpFaultSim::site_observable(const Fault& f, size_t frame) const {
+  const Gate& g = nl_->gate(f.gate);
+  if (g.type == GateType::kDff && f.pin == 0) {
+    // D-pin branch fault: takes effect only through this flop's capture.
+    const int32_t pos = dff_pos_[f.gate];
+    return cur_obs_->capture[frame][static_cast<size_t>(pos)] != 0;
+  }
+  // Stem and combinational branch faults corrupt f.gate's output net.
+  return cur_obs_->live[frame][f.gate] != 0;
+}
+
+uint64_t NcpFaultSim::transition_inj(const Fault& f, GateId site,
+                                     size_t frame,
+                                     uint64_t live_mask) const {
+  if (frame < 1 || !cur_ncp_->cycles[frame].at_speed) return 0;
+  // Launch condition: fault-free transition init -> final across the
+  // at-speed pair (frame-1, frame) at the fault site.
+  const Val64 prev = good_.frames[frame - 1][site];
+  const Val64 now = good_.frames[frame][site];
+  const bool init = fault_value(f.type);  // STR: site slow from 0
+  const uint64_t was_init = init ? prev.is1() : prev.is0();
+  const uint64_t is_final = init ? now.is0() : now.is1();
+  // STR (slow-to-rise): init=0, final=1; fault_value(kStr)=false, so
+  // was_init = prev.is0() and is_final = now.is1().
+  return was_init & is_final & live_mask;
+}
+
+void NcpFaultSim::propagate_frame(GateId site_gate, uint8_t site_pin,
+                                  uint64_t inj_mask, uint64_t forced_v,
                                   const std::vector<StateDiff>& in_state,
                                   std::vector<StateDiff>* out_state,
                                   uint64_t* hard_po, uint64_t* poss_po,
@@ -100,13 +161,16 @@ void NcpFaultSim::propagate_frame(const Fault& f, uint64_t inj_mask,
   ++epoch_;
   const auto& good_vals = good_.frames[cur_frame_];
   const CaptureCycle& cyc = cur_ncp_->cycles[cur_frame_];
+  const uint8_t* live =
+      cur_obs_ ? cur_obs_->live[cur_frame_].data() : nullptr;
   cand_dffs_.clear();
+  cone_.begin_frame();
 
+  // Cone limiting: a difference leaving the observability cone can never
+  // reach an observation point in the remaining frames, so it dies here.
   auto enqueue = [&](GateId g) {
-    if (queued_[g] == epoch_) return;
-    queued_[g] = epoch_;
-    const int32_t lvl = nl_->gate(g).level;
-    buckets_[static_cast<size_t>(lvl)].push_back(g);
+    if (live && !live[g]) return;
+    cone_.push(g);
   };
 
   auto add_candidates = [&](GateId g) {
@@ -134,79 +198,73 @@ void NcpFaultSim::propagate_frame(const Fault& f, uint64_t inj_mask,
 
   // Seed: fault injection site.
   if (inj_mask != 0) {
-    const bool fv = fault_value(f.type);
-    if (f.pin == kOutputPin) {
-      const Val64 g = faulty_value(f.gate);
+    if (site_pin == kOutputPin) {
+      const Val64 g = faulty_value(site_gate);
       Val64 forced;
-      forced.v = (g.v & ~inj_mask) | (fv ? inj_mask : 0);
+      forced.v = (g.v & ~inj_mask) | forced_v;
       forced.x = g.x & ~inj_mask;
-      faulty_[f.gate] = forced;
-      stamp_[f.gate] = epoch_;
-      if (hard_diff(forced, good_vals[f.gate]) |
-          possible_diff(forced, good_vals[f.gate])) {
-        for (GateId out : nl_->gate(f.gate).fanout) {
+      faulty_[site_gate] = forced;
+      stamp_[site_gate] = epoch_;
+      if (hard_diff(forced, good_vals[site_gate]) |
+          possible_diff(forced, good_vals[site_gate])) {
+        for (GateId out : nl_->gate(site_gate).fanout) {
           if (!is_sequential(nl_->gate(out).type)) enqueue(out);
         }
-        add_candidates(f.gate);
+        add_candidates(site_gate);
       }
-    } else if (!is_sequential(nl_->gate(f.gate).type)) {
+    } else if (!is_sequential(nl_->gate(site_gate).type)) {
       // Branch fault: re-evaluate only the faulted gate.
-      enqueue(f.gate);
-    } else if (nl_->gate(f.gate).type == GateType::kDff && f.pin == 0) {
+      enqueue(site_gate);
+    } else if (nl_->gate(site_gate).type == GateType::kDff &&
+               site_pin == 0) {
       // Branch fault on a flop's D pin: handled at capture below.
-      cand_stamp_[static_cast<size_t>(dff_pos_[f.gate])] = epoch_;
-      cand_dffs_.push_back(static_cast<uint32_t>(dff_pos_[f.gate]));
+      cand_stamp_[static_cast<size_t>(dff_pos_[site_gate])] = epoch_;
+      cand_dffs_.push_back(static_cast<uint32_t>(dff_pos_[site_gate]));
     }
   }
 
-  // Level-ordered single-fault propagation.
+  // Level-ordered single-fault propagation over the event queue.
   Val64 ins[8];
   std::vector<Val64> big;
-  for (auto& bucket : buckets_) {
-    for (size_t bi = 0; bi < bucket.size(); ++bi) {
-      const GateId g = bucket[bi];
-      const Gate& gate = nl_->gate(g);
-      const size_t n = gate.fanin.size();
-      Val64* iv = ins;
-      if (n > 8) {
-        big.resize(n);
-        iv = big.data();
-      }
-      for (size_t i = 0; i < n; ++i) iv[i] = faulty_value(gate.fanin[i]);
-      // Branch-fault override on this gate's faulted pin.
-      if (g == f.gate && f.pin != kOutputPin && inj_mask != 0) {
-        const bool fv = fault_value(f.type);
-        Val64& pv = iv[f.pin];
-        pv.v = (pv.v & ~inj_mask) | (fv ? inj_mask : 0);
-        pv.x = pv.x & ~inj_mask;
-      }
-      Val64 out = eval_gate_packed(gate.type, {iv, n});
-      // A stem fault on this gate keeps its output forced regardless of
-      // input corruption (re-evaluation must not wash out the injection).
-      if (g == f.gate && f.pin == kOutputPin && inj_mask != 0) {
-        const bool fv = fault_value(f.type);
-        out.v = (out.v & ~inj_mask) | (fv ? inj_mask : 0);
-        out.x = out.x & ~inj_mask;
-      }
-      ++*evals;
-      const Val64 prev = faulty_value(g);
-      if (out == prev && stamp_[g] == epoch_) continue;
-      faulty_[g] = out;
-      stamp_[g] = epoch_;
-      if (hard_diff(out, good_vals[g]) | possible_diff(out, good_vals[g])) {
-        for (GateId o : gate.fanout) {
-          if (!is_sequential(nl_->gate(o).type)) enqueue(o);
-        }
-        add_candidates(g);
-      }
-      // PO strobe observation.
-      if (gate.type == GateType::kOutput && cyc.po_strobe) {
-        *hard_po |= hard_diff(out, good_vals[g]);
-        *poss_po |= possible_diff(out, good_vals[g]);
-      }
+  cone_.drain([&](GateId g) {
+    const Gate& gate = nl_->gate(g);
+    const size_t n = gate.fanin.size();
+    Val64* iv = ins;
+    if (n > 8) {
+      big.resize(n);
+      iv = big.data();
     }
-    bucket.clear();
-  }
+    for (size_t i = 0; i < n; ++i) iv[i] = faulty_value(gate.fanin[i]);
+    // Branch-fault override on this gate's faulted pin.
+    if (g == site_gate && site_pin != kOutputPin && inj_mask != 0) {
+      Val64& pv = iv[site_pin];
+      pv.v = (pv.v & ~inj_mask) | forced_v;
+      pv.x = pv.x & ~inj_mask;
+    }
+    Val64 out = eval_gate_packed(gate.type, {iv, n});
+    // A stem fault on this gate keeps its output forced regardless of
+    // input corruption (re-evaluation must not wash out the injection).
+    if (g == site_gate && site_pin == kOutputPin && inj_mask != 0) {
+      out.v = (out.v & ~inj_mask) | forced_v;
+      out.x = out.x & ~inj_mask;
+    }
+    ++*evals;
+    const Val64 prev = faulty_value(g);
+    if (out == prev && stamp_[g] == epoch_) return;
+    faulty_[g] = out;
+    stamp_[g] = epoch_;
+    if (hard_diff(out, good_vals[g]) | possible_diff(out, good_vals[g])) {
+      for (GateId o : gate.fanout) {
+        if (!is_sequential(nl_->gate(o).type)) enqueue(o);
+      }
+      add_candidates(g);
+    }
+    // PO strobe observation.
+    if (gate.type == GateType::kOutput && cyc.po_strobe) {
+      *hard_po |= hard_diff(out, good_vals[g]);
+      *poss_po |= possible_diff(out, good_vals[g]);
+    }
+  });
 
   // Next-frame corrupted state: pulsed flops capture faulty D values;
   // un-pulsed flops carry their previous corruption forward.
@@ -224,9 +282,8 @@ void NcpFaultSim::propagate_frame(const Fault& f, uint64_t inj_mask,
     const GateId d = ff.fanin[0];
     Val64 fd = faulty_value(d);
     // Branch fault directly on this flop's D pin.
-    if (dffs[i] == f.gate && f.pin == 0 && inj_mask != 0) {
-      const bool fv = fault_value(f.type);
-      fd.v = (fd.v & ~inj_mask) | (fv ? inj_mask : 0);
+    if (dffs[i] == site_gate && site_pin == 0 && inj_mask != 0) {
+      fd.v = (fd.v & ~inj_mask) | forced_v;
       fd.x = fd.x & ~inj_mask;
     }
     if (hard_diff(fd, next_state[i]) | possible_diff(fd, next_state[i])) {
@@ -235,57 +292,185 @@ void NcpFaultSim::propagate_frame(const Fault& f, uint64_t inj_mask,
   }
 }
 
-std::pair<uint64_t, uint64_t> NcpFaultSim::simulate_fault(
-    const Fault& f, uint64_t live_mask, uint64_t* evals) {
+std::pair<NcpFaultSim::ProbeMasks, NcpFaultSim::ProbeMasks>
+NcpFaultSim::simulate_sites(const Fault& a, const Fault* b,
+                            uint64_t live_mask, uint64_t* evals) {
   const size_t frames = cur_ncp_->cycles.size();
-  const GateId site = fault_net(*nl_, f);
-  uint64_t hard = 0, poss = 0;
+  const GateId site = fault_net(*nl_, a);
 
-  std::vector<StateDiff> state_a, state_b;
-  std::vector<StateDiff>* cur = &state_a;
-  std::vector<StateDiff>* nxt = &state_b;
+  if (b != nullptr) {
+    OCC_DCHECK(b->gate == a.gate && b->pin == a.pin);
+    OCC_DCHECK(is_transition(a.type) && is_transition(b->type) &&
+               a.type != b->type);
+    // Pairing is exact only while the two faults' launch lanes stay
+    // disjoint over the whole procedure. A lane can launch at most one
+    // transition direction per at-speed pair, but a burst may toggle a
+    // site back and forth across *different* pairs; those (rare) faults
+    // fall back to two solo passes. A partner with no launch lanes at
+    // all also goes solo: its side of the overlay would be pure waste
+    // (the solo pass skips every frame at zero cost).
+    uint64_t union_a = 0, union_b = 0;
+    for (size_t k = 0; k < frames; ++k) {
+      union_a |= transition_inj(a, site, k, live_mask);
+      union_b |= transition_inj(*b, site, k, live_mask);
+    }
+    if ((union_a & union_b) || union_a == 0 || union_b == 0) {
+      const ProbeMasks ra = simulate_sites(a, nullptr, live_mask, evals).first;
+      const ProbeMasks rb =
+          simulate_sites(*b, nullptr, live_mask, evals).first;
+      return {ra, rb};
+    }
+  }
 
-  bool any_injection = false;
+  ProbeMasks ra, rb;
+  bool frozen_a = false;          // fault's verdict is final (detected)
+  bool frozen_b = (b == nullptr);
+  uint64_t seen_a = 0, seen_b = 0;  // lanes injected so far, per fault
+
+  std::vector<StateDiff> state_x, state_y;
+  std::vector<StateDiff>* cur = &state_x;
+  std::vector<StateDiff>* nxt = &state_y;
+
+  // Clears a frozen fault's lanes from the carried state corruption:
+  // its verdict is final, so only the live partner's lanes still need
+  // propagating (keeps a pair pass within the cost of two solo passes).
+  const auto purge_lanes = [this](std::vector<StateDiff>* state,
+                                  uint64_t lanes) {
+    const auto& gstate = good_.state[cur_frame_ + 1];
+    size_t w = 0;
+    for (StateDiff& sd : *state) {
+      const Val64 g = gstate[sd.dff_pos];
+      sd.faulty.v = (sd.faulty.v & ~lanes) | (g.v & lanes);
+      sd.faulty.x = (sd.faulty.x & ~lanes) | (g.x & lanes);
+      if (hard_diff(sd.faulty, g) | possible_diff(sd.faulty, g)) {
+        (*state)[w++] = sd;
+      }
+    }
+    state->resize(w);
+  };
+
   for (size_t k = 0; k < frames; ++k) {
     cur_frame_ = k;
-    uint64_t inj = 0;
-    if (!is_transition(f.type)) {
-      inj = live_mask;
-    } else if (k >= 1 && cur_ncp_->cycles[k].at_speed) {
-      // Launch condition: fault-free transition init -> final across the
-      // at-speed pair (k-1, k) at the fault site.
-      const Val64 prev = good_.frames[k - 1][site];
-      const Val64 now = good_.frames[k][site];
-      const bool init = fault_value(f.type);  // STR: site slow from 0
-      const uint64_t was_init = init ? prev.is1() : prev.is0();
-      const uint64_t is_final = init ? now.is0() : now.is1();
-      // STR (slow-to-rise): init=0, final=1; fault_value(kStr)=false, so
-      // was_init = prev.is0() and is_final = now.is1().
-      inj = was_init & is_final & live_mask;
-    }
-    if (inj == 0 && cur->empty()) {
-      // Nothing to do this frame; state diffs unchanged.
+    // A frozen fault stops injecting: its masks are final and its lanes
+    // cannot influence the partner's.
+    const uint64_t ia = frozen_a ? 0
+                        : is_transition(a.type)
+                            ? transition_inj(a, site, k, live_mask)
+                            : live_mask;
+    const uint64_t ib =
+        (b && !frozen_b) ? transition_inj(*b, site, k, live_mask) : 0;
+    const uint64_t inj = ia | ib;
+    // Fault dropping at the frame level: an injection whose site cannot
+    // reach any observation point in the remaining frames is dead on
+    // arrival -- with no carried state corruption either, the whole
+    // frame is skipped. A fault whose site is outside every frame's
+    // cone thus costs zero gate evaluations.
+    const bool effective =
+        inj != 0 && (cur_obs_ == nullptr || site_observable(a, k));
+    if (!effective && cur->empty()) {
+      // Nothing can change this frame; state diffs unchanged.
       continue;
     }
-    any_injection |= inj != 0;
+    seen_a |= ia;
+    seen_b |= ib;
+    // Both faults force the site to the same word: a stuck-at to its
+    // stuck value, transition launches to the complement of the good
+    // machine's settled value (the transition's initial value).
+    const uint64_t forced_v =
+        is_transition(a.type) ? ~good_.frames[k][site].v & inj
+                              : (fault_value(a.type) ? inj : 0);
     uint64_t hard_po = 0, poss_po = 0;
-    propagate_frame(f, inj, *cur, nxt, &hard_po, &poss_po, evals);
-    hard |= hard_po;
-    poss |= poss_po;
+    propagate_frame(a.gate, a.pin, inj, forced_v, *cur, nxt, &hard_po,
+                    &poss_po, evals);
+    // The 64 lanes are independent, so the frame's observation words
+    // split exactly by injected-lane ownership. A detected fault's
+    // masks freeze where a solo pass would have returned.
+    bool newly_frozen = false;
+    if (!frozen_a) {
+      ra.hard |= hard_po & seen_a;
+      ra.poss |= poss_po & seen_a;
+      if (ra.hard & live_mask) frozen_a = newly_frozen = true;
+    }
+    if (!frozen_b) {
+      rb.hard |= hard_po & seen_b;
+      rb.poss |= poss_po & seen_b;
+      if (rb.hard & live_mask) frozen_b = newly_frozen = true;
+    }
     std::swap(cur, nxt);
-    if (hard & live_mask) return {hard & live_mask, poss & live_mask};
+    if (frozen_a && frozen_b) break;
+    if (newly_frozen) purge_lanes(cur, frozen_a ? seen_a : seen_b);
   }
 
-  if (!any_injection && cur->empty()) return {0, 0};
-
-  // Unload: scan-cell final state is fully observable.
-  for (const StateDiff& sd : *cur) {
-    if (scan_pos_[sd.dff_pos] < 0) continue;  // non-scan: unobservable
-    const Val64 g = good_.final_state[sd.dff_pos];
-    hard |= hard_diff(sd.faulty, g);
-    poss |= possible_diff(sd.faulty, g);
+  // Unload: scan-cell final state is fully observable (only for faults
+  // that did not already detect at a PO strobe).
+  if (!frozen_a || !frozen_b) {
+    for (const StateDiff& sd : *cur) {
+      if (scan_pos_[sd.dff_pos] < 0) continue;  // non-scan: unobservable
+      const Val64 g = good_.final_state[sd.dff_pos];
+      const uint64_t h = hard_diff(sd.faulty, g);
+      const uint64_t p = possible_diff(sd.faulty, g);
+      if (!frozen_a) {
+        ra.hard |= h & seen_a;
+        ra.poss |= p & seen_a;
+      }
+      if (!frozen_b) {
+        rb.hard |= h & seen_b;
+        rb.poss |= p & seen_b;
+      }
+    }
   }
-  return {hard & live_mask, poss & live_mask};
+  ra.hard &= live_mask;
+  ra.poss &= live_mask;
+  rb.hard &= live_mask;
+  rb.poss &= live_mask;
+  return {ra, rb};
+}
+
+std::pair<NcpFaultSim::ProbeMasks, NcpFaultSim::ProbeMasks>
+NcpFaultSim::probe_fault_pair(const Fault& a, const Fault& b,
+                              uint64_t live_mask, uint64_t* evals) {
+  return simulate_sites(a, &b, live_mask, evals);
+}
+
+const std::vector<uint32_t>& NcpFaultSim::sim_order(const FaultList& fl) {
+  const uint64_t h = fault_list_hash(fl);
+  if (h != order_hash_ || fl.size() != order_size_) {
+    order_ = cone_sim_order(*nl_, fl);
+    partners_ = str_stf_partners(fl);
+    order_hash_ = h;
+    order_size_ = fl.size();
+  }
+  return order_;
+}
+
+const std::vector<uint32_t>& NcpFaultSim::sim_partners(
+    const FaultList& fl) {
+  sim_order(fl);  // shares the cache
+  return partners_;
+}
+
+FsimStats merge_fault_probes(
+    const std::vector<FaultProbe>& probes, FaultList& fl,
+    std::vector<std::pair<size_t, unsigned>>* detections) {
+  FsimStats st;
+  for (size_t i = 0; i < fl.size(); ++i) {
+    const FaultProbe& p = probes[i];
+    if (!p.simulated) continue;
+    ++st.faults_simulated;
+    const FaultStatus fs = fl.status(i);
+    if (p.hard) {
+      fl.set_status(i, FaultStatus::kDetected);
+      ++st.newly_detected;
+      if (detections) {
+        detections->emplace_back(
+            i, static_cast<unsigned>(std::countr_zero(p.hard)));
+      }
+    } else if (p.poss && fs == FaultStatus::kUndetected) {
+      fl.set_status(i, FaultStatus::kPossiblyDetected);
+      ++st.newly_possibly;
+    }
+  }
+  return st;
 }
 
 FsimStats NcpFaultSim::detect_faults(
@@ -293,33 +478,35 @@ FsimStats NcpFaultSim::detect_faults(
     std::vector<std::pair<size_t, unsigned>>* detections) {
   OCC_CHECK(cur_ncp_ == &scheme_->procedures[batch.ncp_index],
             "detect_faults: batch does not match last simulate_good");
-  FsimStats st;
   const uint64_t live = live_mask(batch);
 
-  for (size_t i = 0; i < fl.size(); ++i) {
-    const FaultStatus fs = fl.status(i);
-    // Aborted faults stay in the simulation: ATPG gave up on targeting
-    // them, but any later pattern may still detect them incidentally.
-    if (fs != FaultStatus::kUndetected &&
-        fs != FaultStatus::kPossiblyDetected &&
-        fs != FaultStatus::kAborted) {
-      continue;
-    }
-    ++st.faults_simulated;
-    auto [hard, poss] =
-        simulate_fault(fl.fault(i), live, &st.gate_evals);
-    if (hard) {
-      fl.set_status(i, FaultStatus::kDetected);
-      ++st.newly_detected;
-      if (detections) {
-        detections->emplace_back(
-            i, static_cast<unsigned>(std::countr_zero(hard)));
-      }
-    } else if (poss && fs == FaultStatus::kUndetected) {
-      fl.set_status(i, FaultStatus::kPossiblyDetected);
-      ++st.newly_possibly;
+  // Probe in cone-locality order (cache warmth), merge in fault-index
+  // order: the walk order is invisible in every output. In cone mode an
+  // STR/STF pair at the same site is probed in one overlay pass.
+  uint64_t evals = 0;
+  const std::vector<uint32_t>& order = sim_order(fl);
+  probes_.assign(fl.size(), FaultProbe{});
+  for (const uint32_t i : order) {
+    FaultProbe& p = probes_[i];
+    if (p.simulated) continue;
+    if (!fsim_wants_simulation(fl.status(i))) continue;
+    const uint32_t j =
+        mode_ == FsimMode::kConeLimited ? partners_[i] : kNoPartner;
+    if (j != kNoPartner && !probes_[j].simulated &&
+        fsim_wants_simulation(fl.status(j))) {
+      const auto [ma, mb] =
+          simulate_sites(fl.fault(i), &fl.fault(j), live, &evals);
+      p = {ma.hard, ma.poss, true};
+      probes_[j] = {mb.hard, mb.poss, true};
+    } else {
+      const ProbeMasks m =
+          simulate_sites(fl.fault(i), nullptr, live, &evals).first;
+      p = {m.hard, m.poss, true};
     }
   }
+
+  FsimStats st = merge_fault_probes(probes_, fl, detections);
+  st.gate_evals = evals;
   return st;
 }
 

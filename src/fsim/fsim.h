@@ -13,6 +13,25 @@
 // pulse) and primary outputs in frames whose CaptureCycle strobes them.
 // Detection requires a known good/faulty disagreement; a disagreement
 // involving X downgrades to "possibly detected".
+//
+// Propagation is event-driven and cone-limited (FsimMode::kConeLimited,
+// the default): differences against the stored good-machine frames are
+// drained through a levelized event queue, restricted to nets from which
+// an observation point is still structurally reachable in the remaining
+// frames (per-NCP masks precomputed by ConeSim). A fault whose injection
+// site is outside every frame's cone is dropped without propagating a
+// single gate. The masks over-approximate sensitization, so results are
+// bit-identical to FsimMode::kExhaustive -- the original full-fanout
+// event propagation, kept for parity tests and benchmarking.
+//
+// Cone-limited mode additionally propagates slow-to-rise/slow-to-fall
+// partners at the same site in ONE overlay pass: a pattern lane launches
+// at most one transition direction, so the two faults inject on disjoint
+// lane sets, and both force the site to the complement of its good value
+// on their lanes. The 64 PPSFP lanes never interact, so the combined
+// difference word splits exactly back into per-fault detection masks
+// (each fault's early-exit point is tracked per lane set). This roughly
+// halves transition fault-sim work on top of the cone limiting.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +40,7 @@
 #include "core/clock_scheme.h"
 #include "fault/fault_list.h"
 #include "fsim/pattern.h"
+#include "sim/cone_sim.h"
 #include "sim/cycle_sim.h"
 
 namespace occ {
@@ -43,16 +63,50 @@ struct FsimStats {
   uint64_t gate_evals = 0;
 };
 
+/// Propagation strategy; results are bit-identical, only the work done
+/// (gate_evals) differs.
+enum class FsimMode : uint8_t {
+  kConeLimited,  // observability-cone-limited event propagation (default)
+  kExhaustive,   // full-fanout event propagation (parity reference)
+};
+
+/// True for statuses the simulator still grades. Aborted faults stay in
+/// the simulation: ATPG gave up on targeting them, but any later pattern
+/// may still detect them incidentally.
+constexpr bool fsim_wants_simulation(FaultStatus fs) {
+  return fs == FaultStatus::kUndetected ||
+         fs == FaultStatus::kPossiblyDetected || fs == FaultStatus::kAborted;
+}
+
+/// Per-fault probe buffer entry (hard/possible detection masks).
+struct FaultProbe {
+  uint64_t hard = 0;
+  uint64_t poss = 0;
+  bool simulated = false;
+};
+
+/// Merges per-fault probe masks into the fault list in fault-index
+/// order -- the one canonical status/detections walk shared by the
+/// sequential and sharded engines (their bit-identical-results
+/// invariant lives here). `detections` gets (fault index,
+/// countr_zero(hard)) for each newly hard-detected fault. The returned
+/// stats carry no gate_evals; callers account work themselves.
+FsimStats merge_fault_probes(
+    const std::vector<FaultProbe>& probes, FaultList& fl,
+    std::vector<std::pair<size_t, unsigned>>* detections);
+
 class NcpFaultSim {
  public:
   /// `scan_en_pi` (optional): the scan-enable input; when the scheme
   /// freezes scan_en, that PI is forced to 0 in every capture frame
   /// regardless of pattern contents.
   NcpFaultSim(const Netlist& nl, const ClockingScheme& scheme,
-              GateId scan_en_pi = kNoGate);
+              GateId scan_en_pi = kNoGate,
+              FsimMode mode = FsimMode::kConeLimited);
 
   const Netlist& netlist() const { return *nl_; }
   const ClockingScheme& scheme() const { return *scheme_; }
+  FsimMode mode() const { return mode_; }
 
   /// Fault-free simulation of a packed batch.
   void simulate_good(const PatternBatch& batch);
@@ -64,12 +118,21 @@ class NcpFaultSim {
 
   /// Simulates all undetected faults of `fl` against the last
   /// simulate_good() batch; detected faults are marked (fault dropping).
+  /// Faults are walked in cone-locality order (fault/order.h) and the
+  /// results merged back in fault-index order, so statuses, stats and
+  /// `detections` are independent of the walk order.
   /// If `detections` is given, appends (fault index, detecting slot) for
   /// each newly hard-detected fault; the slot is the lowest-numbered live
   /// pattern that detects it (used for pattern-selection/compaction).
   FsimStats detect_faults(
       const PatternBatch& batch, FaultList& fl,
       std::vector<std::pair<size_t, unsigned>>* detections = nullptr);
+
+  /// Detection masks (hard, possible) of one fault over `live_mask`.
+  struct ProbeMasks {
+    uint64_t hard = 0;
+    uint64_t poss = 0;
+  };
 
   /// Simulates one fault against the last simulate_good() batch without
   /// touching any fault list: returns the (hard, possible) detection
@@ -79,8 +142,30 @@ class NcpFaultSim {
   std::pair<uint64_t, uint64_t> probe_fault(const Fault& f,
                                             uint64_t live_mask,
                                             uint64_t* evals) {
-    return simulate_fault(f, live_mask, evals);
+    const ProbeMasks m = simulate_sites(f, nullptr, live_mask, evals).first;
+    return {m.hard, m.poss};
   }
+
+  /// Probes an STR/STF pair at the same (gate, pin) site in one overlay
+  /// pass when their launch lanes are disjoint (automatic exact fallback
+  /// to two solo passes otherwise). Results are identical to two
+  /// probe_fault calls; only `evals` is smaller.
+  std::pair<ProbeMasks, ProbeMasks> probe_fault_pair(const Fault& a,
+                                                     const Fault& b,
+                                                     uint64_t live_mask,
+                                                     uint64_t* evals);
+
+  /// Cone-locality simulation order for `fl` (cached; rebuilt when the
+  /// fault list contents change). Shared with ShardedFaultSim so every
+  /// engine walks faults the same way.
+  const std::vector<uint32_t>& sim_order(const FaultList& fl);
+
+  /// No STR/STF partner exists for this fault.
+  static constexpr uint32_t kNoPartner = 0xFFFFFFFFu;
+
+  /// partner[i] = index of the complementary transition fault at the
+  /// same (gate, pin), or kNoPartner. Cached alongside sim_order().
+  const std::vector<uint32_t>& sim_partners(const FaultList& fl);
 
   /// Live-slot mask for a batch (count < 64 leaves the top slots dead).
   static uint64_t live_mask(const PatternBatch& batch) {
@@ -101,15 +186,28 @@ class NcpFaultSim {
     Val64 faulty;
   };
 
-  // Returns (hard detect mask, possible mask) for one fault.
-  std::pair<uint64_t, uint64_t> simulate_fault(const Fault& f,
-                                               uint64_t live_mask,
-                                               uint64_t* evals);
+  // Simulates fault `a` (and, when non-null, its complementary
+  // transition partner `b` at the same site) and returns both mask sets.
+  std::pair<ProbeMasks, ProbeMasks> simulate_sites(const Fault& a,
+                                                   const Fault* b,
+                                                   uint64_t live_mask,
+                                                   uint64_t* evals);
+
+  // Launch lanes of a transition fault in `frame` (0 for stuck-at or
+  // non-at-speed frames).
+  uint64_t transition_inj(const Fault& f, GateId site, size_t frame,
+                          uint64_t live_mask) const;
+
+  // Can injecting `f` in `frame` still reach an observation point?
+  bool site_observable(const Fault& f, size_t frame) const;
 
   Val64 faulty_value(GateId g) const {
     return stamp_[g] == epoch_ ? faulty_[g] : good_.frames[cur_frame_][g];
   }
-  void propagate_frame(const Fault& f, uint64_t inj_mask,
+  // `inj_mask`/`forced_v`: lanes where the site is overridden and the
+  // value bits forced there (forced_v must be a subset of inj_mask).
+  void propagate_frame(GateId site_gate, uint8_t site_pin,
+                       uint64_t inj_mask, uint64_t forced_v,
                        const std::vector<StateDiff>& in_state,
                        std::vector<StateDiff>* out_state,
                        uint64_t* hard_po, uint64_t* poss_po,
@@ -118,18 +216,18 @@ class NcpFaultSim {
   const Netlist* nl_;
   const ClockingScheme* scheme_;
   GateId scan_en_pi_;
+  FsimMode mode_;
   CycleSim sim_;
+  ConeSim cone_;
   GoodFrames good_;
   const NamedCaptureProcedure* cur_ncp_ = nullptr;
+  const FrameObs* cur_obs_ = nullptr;  // null in exhaustive mode
 
   // Per-fault scratch (epoch-stamped overlay).
   std::vector<Val64> faulty_;
   std::vector<uint32_t> stamp_;
   uint32_t epoch_ = 0;
   size_t cur_frame_ = 0;
-  // Level-bucketed worklist.
-  std::vector<std::vector<GateId>> buckets_;
-  std::vector<uint32_t> queued_;  // epoch-stamped "in bucket" marker
 
   // dff position lookup: gate id -> index in nl.dffs(), or -1.
   std::vector<int32_t> dff_pos_;
@@ -139,6 +237,15 @@ class NcpFaultSim {
   std::vector<std::vector<uint32_t>> d_feeds_;
   std::vector<uint32_t> cand_dffs_;       // capture candidates this frame
   std::vector<uint32_t> cand_stamp_;      // epoch-stamped dedup
+
+  // Cached cone-locality walk order and STR/STF partner map (keyed on
+  // the fault list contents).
+  std::vector<uint32_t> order_;
+  std::vector<uint32_t> partners_;
+  uint64_t order_hash_ = 0;
+  size_t order_size_ = static_cast<size_t>(-1);
+  // Per-fault probe buffer for the order-independent merge.
+  std::vector<FaultProbe> probes_;
 };
 
 }  // namespace occ

@@ -1,12 +1,12 @@
 #include "fsim/sharded.h"
 
+#include <algorithm>
 #include <bit>
 #include <thread>
 
 namespace occ {
-namespace {
 
-size_t resolve_shards(size_t shards) {
+size_t ShardedFaultSim::resolve_shards(size_t shards) {
   if (shards == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : hw;
@@ -14,22 +14,15 @@ size_t resolve_shards(size_t shards) {
   return shards;
 }
 
-bool wants_simulation(FaultStatus fs) {
-  // Aborted faults stay in the simulation: ATPG gave up on targeting
-  // them, but any later pattern may still detect them incidentally.
-  return fs == FaultStatus::kUndetected ||
-         fs == FaultStatus::kPossiblyDetected || fs == FaultStatus::kAborted;
-}
-
-}  // namespace
-
 ShardedFaultSim::ShardedFaultSim(const Netlist& nl,
                                  const ClockingScheme& scheme,
-                                 GateId scan_en_pi, size_t shards) {
+                                 GateId scan_en_pi, size_t shards,
+                                 FsimMode mode) {
   const size_t n = resolve_shards(shards);
   sims_.reserve(n);
   for (size_t s = 0; s < n; ++s) {
-    sims_.push_back(std::make_unique<NcpFaultSim>(nl, scheme, scan_en_pi));
+    sims_.push_back(
+        std::make_unique<NcpFaultSim>(nl, scheme, scan_en_pi, mode));
   }
   if (n > 1) pool_ = std::make_unique<ThreadPool>(n);
 }
@@ -41,45 +34,54 @@ FsimStats ShardedFaultSim::run_batch(
 
   const size_t n = sims_.size();
   const uint64_t live = NcpFaultSim::live_mask(batch);
-  probes_.assign(fl.size(), Probe{});
+  probes_.assign(fl.size(), FaultProbe{});
+  evals_.assign(fl.size(), 0);
 
-  // Fan out: shard s owns faults s, s+n, s+2n, ... (interleaved for load
-  // balance -- collapsed fault lists cluster equivalent-cost faults).
-  // Shards only read the fault list and write disjoint probe slots.
+  // Shared cone-locality walk order and STR/STF partner map (computed
+  // once, read-only for the workers; shard 0's cache is authoritative).
+  const std::vector<uint32_t>& order = sims_[0]->sim_order(fl);
+  const std::vector<uint32_t>& partners = sims_[0]->sim_partners(fl);
+  const bool pair_mode = mode() == FsimMode::kConeLimited;
+
+  // Fan out: faults are interleaved over the shards for load balance
+  // (collapsed fault lists cluster equivalent-cost faults), with an
+  // STR/STF pair always co-owned via its lower index so it can be
+  // probed in one overlay pass; each shard walks its subset in
+  // cone-locality order. Shards only read the fault list and write
+  // disjoint probe slots, so the merge below reproduces the sequential
+  // detect_faults result exactly.
+  const auto owner = [&](uint32_t i) {
+    const uint32_t j = partners[i];
+    const uint32_t group = j == NcpFaultSim::kNoPartner ? i : std::min(i, j);
+    return group % n;
+  };
   pool_->run([&](size_t s) {
     NcpFaultSim& sim = *sims_[s];
     sim.simulate_good(batch);
-    for (size_t i = s; i < fl.size(); i += n) {
-      if (!wants_simulation(fl.status(i))) continue;
-      Probe& p = probes_[i];
-      auto [hard, poss] = sim.probe_fault(fl.fault(i), live, &p.evals);
-      p.hard = hard;
-      p.poss = poss;
-      p.simulated = true;
+    for (const uint32_t i : order) {
+      if (owner(i) != s) continue;
+      FaultProbe& p = probes_[i];
+      if (p.simulated) continue;
+      if (!fsim_wants_simulation(fl.status(i))) continue;
+      const uint32_t j =
+          pair_mode ? partners[i] : NcpFaultSim::kNoPartner;
+      if (j != NcpFaultSim::kNoPartner && !probes_[j].simulated &&
+          fsim_wants_simulation(fl.status(j))) {
+        const auto [ma, mb] = sim.probe_fault_pair(fl.fault(i), fl.fault(j),
+                                                   live, &evals_[i]);
+        p = {ma.hard, ma.poss, true};
+        probes_[j] = {mb.hard, mb.poss, true};
+      } else {
+        auto [hard, poss] = sim.probe_fault(fl.fault(i), live, &evals_[i]);
+        p = {hard, poss, true};
+      }
     }
   });
 
-  // Merge in fault-index order: the exact sequential detect_faults walk,
-  // fed from the precomputed probes.
-  FsimStats st;
-  for (size_t i = 0; i < fl.size(); ++i) {
-    const Probe& p = probes_[i];
-    if (!p.simulated) continue;
-    ++st.faults_simulated;
-    st.gate_evals += p.evals;
-    const FaultStatus fs = fl.status(i);
-    if (p.hard) {
-      fl.set_status(i, FaultStatus::kDetected);
-      ++st.newly_detected;
-      if (detections) {
-        detections->emplace_back(
-            i, static_cast<unsigned>(std::countr_zero(p.hard)));
-      }
-    } else if (p.poss && fs == FaultStatus::kUndetected) {
-      fl.set_status(i, FaultStatus::kPossiblyDetected);
-      ++st.newly_possibly;
-    }
-  }
+  // Merge in fault-index order via the canonical walk shared with the
+  // sequential engine, fed from the precomputed probes.
+  FsimStats st = merge_fault_probes(probes_, fl, detections);
+  for (const uint64_t e : evals_) st.gate_evals += e;
   return st;
 }
 

@@ -7,9 +7,13 @@
 // only acts *between* batches -- so the merge reproduces the sequential
 // NcpFaultSim::detect_faults result bit for bit: identical statuses,
 // identical stats, identical (fault, first-detecting-slot) pairs, for
-// any shard count. That invariant is what lets run_atpg stay a thin
-// wrapper over occ::Session regardless of the session's thread setting
-// (tests/test_api.cpp locks it in).
+// any shard count and either propagation mode. That invariant is what
+// lets run_atpg stay a thin wrapper over occ::Session regardless of the
+// session's thread setting (tests/test_api.cpp locks it in).
+//
+// Each shard walks its interleaved fault subset in the shared
+// cone-locality order (fault/order.h), so consecutive probes inside a
+// shard touch overlapping fanout cones.
 #pragma once
 
 #include <memory>
@@ -25,10 +29,17 @@ class ShardedFaultSim {
   /// `shards` = number of concurrent fault partitions (1 = sequential,
   /// no pool, exact NcpFaultSim code path; 0 = hardware concurrency).
   ShardedFaultSim(const Netlist& nl, const ClockingScheme& scheme,
-                  GateId scan_en_pi, size_t shards = 1);
+                  GateId scan_en_pi, size_t shards = 1,
+                  FsimMode mode = FsimMode::kConeLimited);
 
   size_t shards() const { return sims_.size(); }
   const Netlist& netlist() const { return sims_[0]->netlist(); }
+  FsimMode mode() const { return sims_[0]->mode(); }
+
+  /// The shard count a `shards` argument resolves to (0 = hardware
+  /// concurrency, never less than 1). Exposed so drivers echoing the
+  /// value (bench_table1 --json) stay authoritative.
+  static size_t resolve_shards(size_t shards);
 
   /// Drop-in replacement for NcpFaultSim::run_batch (same contract, same
   /// results); faults fan out over the shard pool.
@@ -43,16 +54,11 @@ class ShardedFaultSim {
   }
 
  private:
-  struct Probe {
-    uint64_t hard = 0;
-    uint64_t poss = 0;
-    uint64_t evals = 0;
-    bool simulated = false;
-  };
-
   std::vector<std::unique_ptr<NcpFaultSim>> sims_;
   std::unique_ptr<ThreadPool> pool_;  // null when shards() == 1
-  std::vector<Probe> probes_;         // indexed by fault, reused per batch
+  // Indexed by fault, reused per batch; shards write disjoint slots.
+  std::vector<FaultProbe> probes_;
+  std::vector<uint64_t> evals_;
 };
 
 }  // namespace occ

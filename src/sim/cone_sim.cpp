@@ -1,0 +1,83 @@
+#include "sim/cone_sim.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace occ {
+
+ConeSim::ConeSim(const Netlist& nl, std::vector<uint8_t> scan_observable)
+    : nl_(&nl), scan_observable_(std::move(scan_observable)) {
+  OCC_CHECK(scan_observable_.size() == nl.dffs().size(),
+            "scan_observable must be indexed like nl.dffs()");
+  buckets_.resize(static_cast<size_t>(nl.max_level()) + 2);
+  queued_.assign(nl.size(), 0);
+}
+
+const FrameObs& ConeSim::frame_obs(size_t ncp_index,
+                                   const NamedCaptureProcedure& ncp) {
+  if (ncp_index >= obs_.size()) {
+    obs_.resize(ncp_index + 1);
+    obs_built_.resize(ncp_index + 1, 0);
+  }
+  if (!obs_built_[ncp_index]) {
+    obs_[ncp_index] = build_frame_obs(ncp);
+    obs_built_[ncp_index] = 1;
+  }
+  return obs_[ncp_index];
+}
+
+FrameObs ConeSim::build_frame_obs(const NamedCaptureProcedure& ncp) const {
+  const Netlist& nl = *nl_;
+  const auto& dffs = nl.dffs();
+  const size_t frames = ncp.cycles.size();
+
+  FrameObs fo;
+  fo.live.assign(frames, std::vector<uint8_t>(nl.size(), 0));
+  fo.capture.assign(frames, std::vector<uint8_t>(dffs.size(), 0));
+
+  // Union of live nets over all later frames: a flop whose output net is
+  // live later keeps its current-frame capture observable.
+  std::vector<uint8_t> future(nl.size(), 0);
+  std::vector<GateId> work;
+
+  for (size_t f = frames; f-- > 0;) {
+    const CaptureCycle& cyc = ncp.cycles[f];
+    auto& live = fo.live[f];
+    work.clear();
+    auto mark = [&](GateId g) {
+      if (!live[g]) {
+        live[g] = 1;
+        work.push_back(g);
+      }
+    };
+
+    // Observation points of this frame.
+    if (cyc.po_strobe) {
+      for (GateId po : nl.outputs()) mark(po);
+    }
+    for (size_t i = 0; i < dffs.size(); ++i) {
+      const Gate& ff = nl.gate(dffs[i]);
+      if (!(cyc.pulses & (DomainMask{1} << ff.domain))) continue;
+      if (scan_observable_[i] || future[dffs[i]]) {
+        fo.capture[f][i] = 1;
+        mark(ff.fanin[0]);
+      }
+    }
+
+    // Backward combinational closure (flop outputs terminate the cone:
+    // their corruption belongs to the frame that captured it).
+    while (!work.empty()) {
+      const GateId g = work.back();
+      work.pop_back();
+      const Gate& gate = nl.gate(g);
+      if (is_sequential(gate.type)) continue;
+      for (GateId in : gate.fanin) mark(in);
+    }
+
+    for (size_t g = 0; g < nl.size(); ++g) future[g] |= live[g];
+  }
+  return fo;
+}
+
+}  // namespace occ

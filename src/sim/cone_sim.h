@@ -1,0 +1,92 @@
+// Cone helper for event-driven fault propagation: per-frame structural
+// observability masks for a named capture procedure, plus the levelized
+// event queue the fault simulator drains.
+//
+// Observability is computed backwards over the NCP's frames. In frame f
+// a gate's output net is "live" iff corrupting it can still reach an
+// observation point:
+//   * a primary output strobed in frame f, or
+//   * the D pin of a flop pulsed in frame f whose captured value matters
+//     (the flop is scan-observable at unload, or its output net is live
+//     in some later frame).
+// The closure walks combinational fan-in only; flop outputs terminate a
+// frame's cone (their corruption is accounted in the earlier frame that
+// captured it). The masks are a structural over-approximation of fault
+// sensitization, so restricting event propagation to live nets is exact:
+// a difference outside the cone can never change a detection verdict.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ncp.h"
+#include "netlist/netlist.h"
+
+namespace occ {
+
+/// Per-frame observability for one NCP.
+struct FrameObs {
+  /// live[f][gate] != 0: corrupting `gate`'s output net in frame f can
+  /// still reach an observation point.
+  std::vector<std::vector<uint8_t>> live;
+  /// capture[f][dff_pos] != 0: a value captured by this flop in frame f
+  /// is observable (directly at unload or through later frames). Flops
+  /// not pulsed in frame f are always 0.
+  std::vector<std::vector<uint8_t>> capture;
+};
+
+/// Precomputed cone structures for one netlist; owns a lazily built
+/// FrameObs per named capture procedure (keyed by procedure index) and
+/// the levelized event queue used to drain fault-difference events.
+class ConeSim {
+ public:
+  /// `scan_observable[dff_pos]`: the flop's final state is unloaded
+  /// (scan cell), indexed like nl.dffs().
+  ConeSim(const Netlist& nl, std::vector<uint8_t> scan_observable);
+
+  /// Observability masks for `ncp` (built on first use, then cached;
+  /// `ncp_index` is the procedure's index within its scheme).
+  const FrameObs& frame_obs(size_t ncp_index,
+                            const NamedCaptureProcedure& ncp);
+
+  // ---- levelized event queue ---------------------------------------------
+  // Epoch-stamped dedup: push() ignores gates already queued since the
+  // last begin_frame(). drain() visits gates in non-decreasing level
+  // order; the visitor may push higher-level gates.
+
+  void begin_frame() {
+    ++qepoch_;
+    if (qepoch_ == 0) {  // wrapped: re-zero the stamps
+      std::fill(queued_.begin(), queued_.end(), 0);
+      qepoch_ = 1;
+    }
+  }
+
+  void push(GateId g) {
+    if (queued_[g] == qepoch_) return;
+    queued_[g] = qepoch_;
+    buckets_[static_cast<size_t>(nl_->gate(g).level)].push_back(g);
+  }
+
+  template <typename Visit>
+  void drain(Visit&& visit) {
+    for (auto& bucket : buckets_) {
+      for (size_t bi = 0; bi < bucket.size(); ++bi) visit(bucket[bi]);
+      bucket.clear();
+    }
+  }
+
+ private:
+  FrameObs build_frame_obs(const NamedCaptureProcedure& ncp) const;
+
+  const Netlist* nl_;
+  std::vector<uint8_t> scan_observable_;  // [dff_pos]
+  std::vector<FrameObs> obs_;             // [ncp_index], lazily filled
+  std::vector<uint8_t> obs_built_;        // [ncp_index]
+
+  std::vector<std::vector<GateId>> buckets_;
+  std::vector<uint32_t> queued_;
+  uint32_t qepoch_ = 0;
+};
+
+}  // namespace occ

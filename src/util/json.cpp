@@ -1,0 +1,138 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "util/check.h"
+
+namespace occ {
+namespace {
+
+void escape(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void indent(std::string* out, int depth) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+}  // namespace
+
+Json& Json::set(std::string key, Json val) {
+  OCC_CHECK(std::holds_alternative<Object>(v_), "Json::set on non-object");
+  auto& obj = std::get<Object>(v_);
+  for (auto& [k, v] : obj) {
+    if (k == key) {
+      v = std::move(val);
+      return *this;
+    }
+  }
+  obj.emplace_back(std::move(key), std::move(val));
+  return *this;
+}
+
+Json& Json::push(Json val) {
+  OCC_CHECK(std::holds_alternative<Array>(v_), "Json::push on non-array");
+  std::get<Array>(v_).push_back(std::move(val));
+  return *this;
+}
+
+void Json::write(std::string* out, int depth) const {
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::nullptr_t>) {
+          *out += "null";
+        } else if constexpr (std::is_same_v<T, bool>) {
+          *out += v ? "true" : "false";
+        } else if constexpr (std::is_same_v<T, int64_t> ||
+                             std::is_same_v<T, uint64_t>) {
+          char buf[32];
+          auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+          out->append(buf, p);
+        } else if constexpr (std::is_same_v<T, double>) {
+          char buf[40];
+          const int n = std::snprintf(buf, sizeof buf, "%.12g", v);
+          out->append(buf, static_cast<size_t>(n));
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          escape(v, out);
+        } else if constexpr (std::is_same_v<T, Object>) {
+          if (v.empty()) {
+            *out += "{}";
+            return;
+          }
+          *out += "{\n";
+          for (size_t i = 0; i < v.size(); ++i) {
+            indent(out, depth + 1);
+            escape(v[i].first, out);
+            *out += ": ";
+            v[i].second.write(out, depth + 1);
+            if (i + 1 < v.size()) *out += ",";
+            *out += "\n";
+          }
+          indent(out, depth);
+          *out += "}";
+        } else if constexpr (std::is_same_v<T, Array>) {
+          if (v.empty()) {
+            *out += "[]";
+            return;
+          }
+          *out += "[\n";
+          for (size_t i = 0; i < v.size(); ++i) {
+            indent(out, depth + 1);
+            v[i].write(out, depth + 1);
+            if (i + 1 < v.size()) *out += ",";
+            *out += "\n";
+          }
+          indent(out, depth);
+          *out += "]";
+        }
+      },
+      v_);
+}
+
+std::string Json::dump() const {
+  std::string out;
+  write(&out, 0);
+  out += "\n";
+  return out;
+}
+
+bool write_bench_report(const std::string& path, const std::string& driver,
+                        Json meta, Json metrics) {
+  Json root = Json::object();
+  root.set("schema", "occ-bench-v1");
+  root.set("driver", driver);
+  root.set("meta", std::move(meta));
+  root.set("metrics", std::move(metrics));
+  std::ofstream os(path);
+  if (!os.good()) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  os << root.dump();
+  std::cout << "bench report written to " << path << "\n";
+  return true;
+}
+
+}  // namespace occ

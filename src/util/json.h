@@ -1,0 +1,70 @@
+// Minimal ordered JSON value/writer for machine-readable bench reports
+// (the BENCH_*.json schema). Writing only -- parsing/validation lives in
+// bench/bench_ci.py. Object keys keep insertion order so reports diff
+// cleanly across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace occ {
+
+class Json {
+ public:
+  using Object = std::vector<std::pair<std::string, Json>>;
+  using Array = std::vector<Json>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  Json(T i) {
+    if constexpr (std::is_signed_v<T>) {
+      v_ = static_cast<int64_t>(i);
+    } else {
+      v_ = static_cast<uint64_t>(i);
+    }
+  }
+  Json(double d) : v_(d) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+
+  static Json object() {
+    Json j;
+    j.v_ = Object{};
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.v_ = Array{};
+    return j;
+  }
+
+  /// Appends (or replaces) a key in an object value.
+  Json& set(std::string key, Json val);
+  /// Appends an element to an array value.
+  Json& push(Json val);
+
+  /// Pretty-printed serialization (2-space indent, trailing newline).
+  std::string dump() const;
+
+ private:
+  void write(std::string* out, int depth) const;
+
+  std::variant<std::nullptr_t, bool, int64_t, uint64_t, double,
+               std::string, Object, Array>
+      v_;
+};
+
+/// Writes one occ-bench-v1 report (the shape bench/bench_ci.py consumes:
+/// {"schema", "driver", "meta", "metrics"}) to `path`. Returns false
+/// (after printing to stderr) when the file cannot be written.
+bool write_bench_report(const std::string& path, const std::string& driver,
+                        Json meta, Json metrics);
+
+}  // namespace occ

@@ -8,6 +8,7 @@
 #include "util/bitvec.h"
 #include "util/check.h"
 #include "util/gf2.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -245,6 +246,32 @@ TEST(Gf2Matrix, RankAndMultiply) {
   EXPECT_TRUE(y.get(0));
   EXPECT_FALSE(y.get(1));
   EXPECT_TRUE(y.get(2));
+}
+
+TEST(Json, DumpsOrderedObjectsAndEscapes) {
+  Json root = Json::object();
+  root.set("schema", "occ-bench-v1");
+  root.set("count", uint64_t{18446744073709551615ull});
+  root.set("neg", -3);
+  root.set("ratio", 2.25);
+  root.set("flag", true);
+  root.set("note", "a\"b\\c\nd");
+  Json arr = Json::array();
+  arr.push(1).push(2);
+  root.set("list", std::move(arr));
+  root.set("empty", Json::object());
+  const std::string s = root.dump();
+  // Keys keep insertion order; values round-trip textually.
+  EXPECT_NE(s.find("\"schema\": \"occ-bench-v1\""), std::string::npos);
+  EXPECT_NE(s.find("18446744073709551615"), std::string::npos);
+  EXPECT_NE(s.find("\"neg\": -3"), std::string::npos);
+  EXPECT_NE(s.find("\"ratio\": 2.25"), std::string::npos);
+  EXPECT_NE(s.find("\"note\": \"a\\\"b\\\\c\\nd\""), std::string::npos);
+  EXPECT_NE(s.find("\"empty\": {}"), std::string::npos);
+  EXPECT_LT(s.find("\"schema\""), s.find("\"count\""));
+  // Re-setting a key replaces in place.
+  root.set("schema", "v2");
+  EXPECT_EQ(root.dump().find("occ-bench-v1"), std::string::npos);
 }
 
 TEST(Check, ThrowsWithMessage) {
