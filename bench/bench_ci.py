@@ -49,7 +49,12 @@ def cmd_merge(args):
         prefix = doc.get("driver", "unknown").removeprefix("bench_")
         for section in ("meta", "metrics"):
             for key, value in doc.get(section, {}).items():
-                merged[section][f"{prefix}.{key}"] = value
+                namespaced = f"{prefix}.{key}"
+                if namespaced in merged[section]:
+                    sys.exit(f"{path}: duplicate {section} key "
+                             f"{namespaced} (two inputs share driver "
+                             f"'{doc.get('driver')}'?)")
+                merged[section][namespaced] = value
     with open(args.out, "w") as f:
         json.dump(merged, f, indent=2)
         f.write("\n")

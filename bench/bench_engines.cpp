@@ -7,14 +7,21 @@
 // the CI bench job (see README "Benchmarking"): deterministic work
 // counters (gate_evals, fault/pattern counts) plus wall-clock times for
 // the same engine workloads, including the exhaustive-vs-cone-limited
-// fault-propagation comparison.
+// fault-propagation comparison and a parse->simulate run over the
+// committed corpus circuit circuits/s1423c.bench.
+//
+// `--design <path.bench>` swaps the generated SOC workload for an
+// external extended-dialect circuit (scan-inserted with 4 chains);
+// `--corpus-dir <dir>` relocates the corpus the --json report reads.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <thread>
+#include <vector>
 
 #include "api/session.h"
 #include "atpg/podem.h"
@@ -25,7 +32,9 @@
 #include "fsim/fsim.h"
 #include "fsim/sharded.h"
 #include "gen/socgen.h"
+#include "netlist/bench_io.h"
 #include "sim/cycle_sim.h"
+#include "util/check.h"
 #include "util/json.h"
 #include "util/rng.h"
 
@@ -33,13 +42,23 @@ namespace {
 
 using namespace occ;
 
+/// `--design PATH`: replace the generated SOC workload with an external
+/// .bench circuit (scan-inserted the same way). Set before first use.
+std::string g_design_path;
+/// `--corpus-dir DIR`: where the committed corpus circuits live (the
+/// --json report's parse->simulate workload reads s1423c.bench here).
+std::string g_corpus_dir = "circuits";
+
 Netlist& bench_soc() {
   static Netlist nl = [] {
-    gen::SocParams prm;
-    prm.seed = 99;
-    prm.flops = 200;
-    prm.gates = 2000;
-    Netlist n = gen::generate_soc(prm);
+    Netlist n = [] {
+      if (!g_design_path.empty()) return read_bench_file(g_design_path);
+      gen::SocParams prm;
+      prm.seed = 99;
+      prm.flops = 200;
+      prm.gates = 2000;
+      return gen::generate_soc(prm);
+    }();
     insert_scan(n, {.num_chains = 4});
     return n;
   }();
@@ -232,6 +251,14 @@ void report_fsim(Json* metrics, Json* meta, const std::string& prefix,
 }
 
 int write_json_report(const std::string& path) {
+  // Fail fast if the corpus is unreachable rather than after the ~15s
+  // of generated-SOC workloads that precede the corpus section below.
+  {
+    std::ifstream probe(g_corpus_dir + "/s1423c.bench");
+    OCC_CHECK(probe.good(), "cannot open ", g_corpus_dir,
+              "/s1423c.bench");
+  }
+
   Json metrics = Json::object();
   Json meta = Json::object();
 
@@ -278,6 +305,31 @@ int write_json_report(const std::string& path) {
     meta.set("session.test_coverage", r.test_coverage());
   }
 
+  // External-design workload: parse the committed s1423-class corpus
+  // circuit and run the full Session on it through the design_file()
+  // front door, so the CI perf gate also covers the parse->simulate
+  // path (work counters are deterministic; parse time is wall-clock).
+  {
+    const std::string path = g_corpus_dir + "/s1423c.bench";
+    const auto tp0 = std::chrono::steady_clock::now();
+    const Netlist parsed = read_bench_file(path);
+    metrics.set("corpus_s1423c.parse.wall_ms", ms_since(tp0));
+    meta.set("corpus_s1423c.gates", parsed.size());
+    meta.set("corpus_s1423c.flops", parsed.dffs().size());
+
+    SessionConfig cfg;
+    cfg.design_file(path)
+        .scan({.num_chains = 4})
+        .scheme(scheme_cpf_basic(parsed.num_domains()));
+    const auto t0 = std::chrono::steady_clock::now();
+    const SessionResult r = Session(std::move(cfg)).run();
+    metrics.set("corpus_s1423c.session.wall_ms", ms_since(t0));
+    metrics.set("corpus_s1423c.session.patterns", r.pattern_count());
+    metrics.set("corpus_s1423c.session.gate_evals",
+                r.atpg.fsim.gate_evals);
+    meta.set("corpus_s1423c.session.test_coverage", r.test_coverage());
+  }
+
   return write_bench_report(path, "bench_engines", std::move(meta),
                             std::move(metrics))
              ? 0
@@ -288,16 +340,43 @@ int write_json_report(const std::string& path) {
 
 int main(int argc, char** argv) {
   // `--json <path>`: write the CI bench report instead of running the
-  // google-benchmark suite (any other flags are passed through to it).
+  // google-benchmark suite. `--design <path.bench>` swaps the generated
+  // SOC workload for an external design; `--corpus-dir <dir>` points the
+  // report's parse->simulate workload at the committed corpus. Any other
+  // flags are passed through to google-benchmark.
+  std::string json_path;
+  std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
+    auto take_value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        std::cerr << "--json requires a path\n";
-        return 2;
+        std::cerr << flag << " requires a value\n";
+        std::exit(2);
       }
-      return write_json_report(argv[i + 1]);
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = take_value("--json");
+    } else if (std::strcmp(argv[i], "--design") == 0) {
+      g_design_path = take_value("--design");
+    } else if (std::strcmp(argv[i], "--corpus-dir") == 0) {
+      g_corpus_dir = take_value("--corpus-dir");
+    } else {
+      passthrough.push_back(argv[i]);
     }
   }
+  if (!json_path.empty()) {
+    try {
+      return write_json_report(json_path);
+    } catch (const occ::CheckError& e) {
+      std::cerr << "error: " << e.what()
+                << "\n(the --json report reads " << g_corpus_dir
+                << "/s1423c.bench relative to the current directory; run "
+                   "from the repo root or pass --corpus-dir)\n";
+      return 1;
+    }
+  }
+  argc = static_cast<int>(passthrough.size());
+  argv = passthrough.data();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

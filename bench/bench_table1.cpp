@@ -6,11 +6,17 @@
 // reference values, and evaluates the qualitative shape checks from
 // section 5.2 of the paper.
 //
-// Usage: bench_table1 [--quick|--full] [--shards N] [--json PATH]
+// Usage: bench_table1 [--quick|--full] [--design PATH] [--shards N]
+//                     [--json PATH]
 //   default : mid-size SOC (~3 minutes) -- same orderings as full scale
 //   --quick : small SOC (~40 seconds)
 //   --full  : paper-scale shape run (~15-20 minutes); the EXPERIMENTS.md
 //             Table-1 numbers were produced at this scale
+//   --design PATH : run the five experiments on an external
+//             extended-dialect .bench circuit instead of the generated
+//             SOC (size flags are then ignored; shape checks only claim
+//             to hold on the paper-style SOC, so pair with
+//             --allow-shape-fail for arbitrary designs)
 //   --shards N : fault-simulation thread shards per experiment Session
 //                (default and 0 = hardware concurrency; results are
 //                identical for every value)
@@ -66,9 +72,17 @@ int main(int argc, char** argv) {
   bool quick = false, full = false, allow_shape_fail = false;
   size_t shards = 0;  // 0 = hardware concurrency (resolved below)
   std::string json_path;
+  std::string design_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--design") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--design requires a path\n";
+        return 2;
+      }
+      design_path = argv[++i];
+    }
     if (std::strcmp(argv[i], "--allow-shape-fail") == 0) {
       allow_shape_fail = true;
     }
@@ -99,7 +113,11 @@ int main(int argc, char** argv) {
   flow::Table1Config cfg;
   cfg.fsim_shards = shards;
   cfg.soc.seed = 20050307;  // DATE 2005, Munich
-  if (quick) {
+  if (!design_path.empty()) {
+    // External design: size flags really are ignored (they would
+    // otherwise leak scan_chains into the run); keep the Table1Config
+    // defaults so `--design X` is one reproducible configuration.
+  } else if (quick) {
     cfg.soc.flops = 120;
     cfg.soc.gates = 1200;
     cfg.soc.pis = 16;
@@ -120,13 +138,19 @@ int main(int argc, char** argv) {
   }
   cfg.max_pulses = 4;
   cfg.atpg.random_rounds = 12;
+  cfg.design_bench_path = design_path;
 
   std::cout << "=== Table 1: coverage / pattern count, experiments "
                "(a)..(e) ===\n\n";
-  std::cout << "building SOC (seed " << cfg.soc.seed << ", "
-            << cfg.soc.flops << " flops, ~" << cfg.soc.gates
-            << " logic gates, 2 synchronous domains), " << shards
-            << " fsim shard(s) per experiment...\n";
+  if (design_path.empty()) {
+    std::cout << "building SOC (seed " << cfg.soc.seed << ", "
+              << cfg.soc.flops << " flops, ~" << cfg.soc.gates
+              << " logic gates, 2 synchronous domains), " << shards
+              << " fsim shard(s) per experiment...\n";
+  } else {
+    std::cout << "parsing external design " << design_path << ", "
+              << shards << " fsim shard(s) per experiment...\n";
+  }
 
   const flow::Table1Result r = flow::run_table1(cfg);
   std::cout << "device: " << NetlistStats::compute(r.netlist).to_string()
@@ -147,7 +171,10 @@ int main(int argc, char** argv) {
     std::cout << "\nmarkdown written to table1_results.md\n";
   }
   if (!json_path.empty()) {
-    const std::string scale = quick ? "quick" : (full ? "full" : "default");
+    const std::string scale =
+        !design_path.empty()
+            ? "design:" + design_path
+            : (quick ? "quick" : (full ? "full" : "default"));
     if (write_json_report(json_path, r, scale, shards) != 0) return 2;
   }
   return (r.all_shapes_hold() || allow_shape_fail) ? 0 : 1;

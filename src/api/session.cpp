@@ -6,6 +6,7 @@
 
 #include "dft/protocol.h"
 #include "fsim/tfsim.h"
+#include "netlist/bench_io.h"
 #include "util/check.h"
 
 namespace occ {
@@ -42,6 +43,22 @@ SessionConfig& SessionConfig::design(std::function<Netlist()> builder) {
 }
 SessionConfig& SessionConfig::design_ref(const Netlist& nl) {
   design_ref_ = &nl;
+  return *this;
+}
+SessionConfig& SessionConfig::design_file(std::string bench_path) {
+  design_path_ = std::move(bench_path);
+  return *this;
+}
+SessionConfig& SessionConfig::design_bench(std::istream& is,
+                                           std::string name) {
+  // Slurp now so the config owns its source and the session stays
+  // re-runnable after the caller's stream is gone.
+  std::ostringstream text;
+  text << is.rdbuf();
+  OCC_CHECK(!is.bad(), "session: failed reading .bench stream '", name,
+            "'");
+  design_text_ = text.str();
+  design_text_name_ = std::move(name);
   return *this;
 }
 SessionConfig& SessionConfig::scan(ScanConfig cfg) {
@@ -134,12 +151,21 @@ SessionResult Session::run() {
     StageScope scope(obs, "build");
     const int sources_set = (cfg_.owned_design_ ? 1 : 0) +
                             (cfg_.design_builder_ ? 1 : 0) +
-                            (cfg_.design_ref_ != nullptr ? 1 : 0);
+                            (cfg_.design_ref_ != nullptr ? 1 : 0) +
+                            (!cfg_.design_path_.empty() ? 1 : 0) +
+                            (cfg_.design_text_ ? 1 : 0);
     OCC_CHECK(sources_set == 1,
               "session: configure exactly one design source (design/"
-              "design_ref), got ", sources_set);
+              "design_ref/design_file/design_bench), got ", sources_set);
     if (cfg_.design_builder_) {
       result.netlist = std::make_shared<Netlist>(cfg_.design_builder_());
+    } else if (!cfg_.design_path_.empty()) {
+      result.netlist =
+          std::make_shared<Netlist>(read_bench_file(cfg_.design_path_));
+    } else if (cfg_.design_text_) {
+      std::istringstream is(*cfg_.design_text_);
+      result.netlist = std::make_shared<Netlist>(
+          read_bench(is, cfg_.design_text_name_));
     } else if (cfg_.owned_design_) {
       // Copy so the session stays re-runnable (scan insertion mutates).
       result.netlist = std::make_shared<Netlist>(*cfg_.owned_design_);

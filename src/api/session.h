@@ -1,32 +1,36 @@
-// occ::Session -- the unified entry point to the whole pipeline:
-//
-//   design source -> scan insertion -> clocking scheme -> ATPG
-//   (pluggable PatternSources over a sharded fault simulator) ->
-//   reverse-order compaction -> fault classification -> tester-cycle
-//   cost -> optional EDT compression -> ResultSinks.
-//
-// One SessionConfig describes the scenario; Session::run() executes it
-// and returns a SessionResult aggregating coverage, pattern counts,
-// compression statistics and ATE cost. Every example, bench driver and
-// the Table-1 harness are one Session each; the legacy run_atpg() is a
-// thin wrapper over a minimal session (see atpg/engine.cpp) and stays
-// bit-identical for any fsim_shards setting.
-//
-// Quickstart:
-//
-//   auto result = occ::Session(
-//       occ::SessionConfig()
-//           .design([] { return occ::gen::make_counter(8); })
-//           .scan({.num_chains = 2})
-//           .scheme(occ::scheme_stuck_at_external(1))
-//           .fsim_shards(4))
-//       .run();
-//   std::cout << result.summary();
+/// \file
+/// occ::Session -- the unified entry point to the whole pipeline:
+///
+///   design source -> scan insertion -> clocking scheme -> ATPG
+///   (pluggable PatternSources over a sharded fault simulator) ->
+///   reverse-order compaction -> fault classification -> tester-cycle
+///   cost -> optional EDT compression -> ResultSinks.
+///
+/// One SessionConfig describes the scenario; Session::run() executes it
+/// and returns a SessionResult aggregating coverage, pattern counts,
+/// compression statistics and ATE cost. Every example, bench driver and
+/// the Table-1 harness are one Session each; the legacy run_atpg() is a
+/// thin wrapper over a minimal session (see atpg/engine.cpp) and stays
+/// bit-identical for any fsim_shards setting.
+///
+/// Quickstart:
+/// \code
+///   auto result = occ::Session(
+///       occ::SessionConfig()
+///           .design([] { return occ::gen::make_counter(8); })
+///           .scan({.num_chains = 2})
+///           .scheme(occ::scheme_stuck_at_external(1))
+///           .fsim_shards(4))
+///       .run();
+///   std::cout << result.summary();
+/// \endcode
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "api/stages.h"
@@ -37,13 +41,15 @@ namespace occ {
 
 /// EDT encode statistics for the session's deterministic cubes.
 struct CompressionStats {
-  bool enabled = false;
-  size_t cubes_total = 0;
-  size_t encoded = 0;        // cubes with a consistent GF(2) encoding
-  size_t roundtrip_ok = 0;   // encoded cubes verified via decompress()
-  size_t uncompressed_bits = 0;
-  size_t compressed_bits = 0;
+  bool enabled = false;       ///< true when the compress stage ran
+  size_t cubes_total = 0;     ///< deterministic cubes offered for encoding
+  size_t encoded = 0;         ///< cubes with a consistent GF(2) encoding
+  size_t roundtrip_ok = 0;    ///< encoded cubes verified via decompress()
+  size_t uncompressed_bits = 0;  ///< chain-load bits of the encoded cubes
+  size_t compressed_bits = 0;    ///< channel stimulus bits after encoding
 
+  /// Volume ratio uncompressed/compressed over the encoded cubes
+  /// (0 when nothing was encoded).
   double ratio() const {
     return compressed_bits == 0
                ? 0.0
@@ -58,19 +64,22 @@ struct SessionResult {
   /// session built or copied it; aliases the caller's netlist after
   /// design_ref() without scan insertion).
   std::shared_ptr<const Netlist> netlist;
-  ClockingScheme scheme;
-  ScanChains chains;
-  bool has_scan_chains = false;
-  GateId scan_en = kNoGate;
+  ClockingScheme scheme;  ///< the validated scheme the run used
+  ScanChains chains;      ///< scan chains (inserted or adopted)
+  bool has_scan_chains = false;  ///< true when `chains` is meaningful
+  GateId scan_en = kNoGate;      ///< resolved scan-enable input, if any
 
-  AtpgRunResult atpg;
+  AtpgRunResult atpg;  ///< pattern sets, fault list, per-stage counters
   /// ATE vector-memory cost of the final pattern set (0 without chains).
   size_t tester_cycles = 0;
-  CompressionStats compression;
-  double seconds = 0.0;  // whole session wall clock
+  CompressionStats compression;  ///< EDT stage outcome (see `enabled`)
+  double seconds = 0.0;          ///< whole session wall clock
 
+  /// Detected / detectable faults (excludes proven-untestable).
   double test_coverage() const { return atpg.test_coverage(); }
+  /// Detected / total faults.
   double fault_coverage() const { return atpg.fault_coverage(); }
+  /// Final pattern count (after compaction when enabled).
   size_t pattern_count() const { return atpg.pattern_count(); }
 
   /// Multi-line human-readable report.
@@ -90,6 +99,14 @@ class SessionConfig {
   /// Borrows the caller's netlist; it must outlive run(). If scan
   /// insertion is requested the session copies it first.
   SessionConfig& design_ref(const Netlist& nl);
+  /// Parses an extended-dialect `.bench` file (see docs/BENCH_FORMAT.md)
+  /// during run(). Parse errors surface from run() as CheckError with
+  /// the offending line number.
+  SessionConfig& design_file(std::string bench_path);
+  /// Reads `.bench` text from `is` immediately (the stream need not
+  /// outlive the call) and parses it during run(). `name` becomes the
+  /// netlist name reported in summaries and errors.
+  SessionConfig& design_bench(std::istream& is, std::string name = "bench");
 
   // ---- DFT ---------------------------------------------------------------
   /// Insert scan during run(); with design_ref() the session copies the
@@ -102,7 +119,9 @@ class SessionConfig {
   SessionConfig& scan_en(GateId pi);
 
   // ---- clocking & ATPG ---------------------------------------------------
+  /// The clocking scheme (capture procedures + constraints); required.
   SessionConfig& scheme(ClockingScheme s);
+  /// ATPG options (seed, backtrack limits, compaction, ...).
   SessionConfig& atpg(AtpgOptions o);
   /// Pins the ATPG seed; wins over AtpgOptions::seed regardless of the
   /// order seed() and atpg() were called in.
@@ -112,7 +131,9 @@ class SessionConfig {
   /// Appends a pattern source; with none registered the session runs the
   /// classic random + PODEM pipeline.
   SessionConfig& source(std::shared_ptr<PatternSource> s);
+  /// Appends a result sink, run after all pipeline stages complete.
   SessionConfig& sink(std::shared_ptr<ResultSink> s);
+  /// Installs the progress callback for stage and long-run events.
   SessionConfig& observer(ProgressObserver cb);
 
   // ---- scale -------------------------------------------------------------
@@ -140,6 +161,9 @@ class SessionConfig {
   std::optional<Netlist> owned_design_;
   std::function<Netlist()> design_builder_;
   const Netlist* design_ref_ = nullptr;
+  std::string design_path_;                 // .bench file, parsed in run()
+  std::optional<std::string> design_text_;  // slurped .bench stream
+  std::string design_text_name_;
 
   std::optional<ScanConfig> scan_;
   std::optional<ScanChains> chains_;
@@ -162,8 +186,10 @@ class SessionConfig {
 /// the configured seed.
 class Session {
  public:
+  /// Captures the configuration; no work happens until run().
   explicit Session(SessionConfig cfg) : cfg_(std::move(cfg)) {}
 
+  /// The configuration this session executes.
   const SessionConfig& config() const { return cfg_; }
 
   /// Runs the full pipeline. Throws CheckError on configuration errors

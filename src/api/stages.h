@@ -1,17 +1,18 @@
-// Pluggable pipeline stages for occ::Session.
-//
-// A session turns a design into a graded pattern set by running an
-// ordered list of PatternSources over one shared PipelineContext (fault
-// list, sharded fault simulator, RNG, result accumulators), then hands
-// the finished SessionResult to every registered ResultSink. Progress on
-// long runs is surfaced through a ProgressObserver callback.
-//
-// Built-in sources reproduce the classic run_atpg() flow:
-//   RandomPatternSource  -- 64-wide random rounds, first-detector keep;
-//   PodemPatternSource   -- deterministic PODEM with fault dropping,
-//                           static cube merging and abort retry;
-//   ExternalCubeSource   -- grades cubes produced elsewhere (a previous
-//                           session, a file, a diagnostic tool).
+/// \file
+/// Pluggable pipeline stages for occ::Session.
+///
+/// A session turns a design into a graded pattern set by running an
+/// ordered list of PatternSources over one shared PipelineContext (fault
+/// list, sharded fault simulator, RNG, result accumulators), then hands
+/// the finished SessionResult to every registered ResultSink. Progress on
+/// long runs is surfaced through a ProgressObserver callback.
+///
+/// Built-in sources reproduce the classic run_atpg() flow:
+///   RandomPatternSource  -- 64-wide random rounds, first-detector keep;
+///   PodemPatternSource   -- deterministic PODEM with fault dropping,
+///                           static cube merging and abort retry;
+///   ExternalCubeSource   -- grades cubes produced elsewhere (a previous
+///                           session, a file, a diagnostic tool).
 #pragma once
 
 #include <functional>
@@ -32,33 +33,41 @@ struct SessionResult;
 /// session emits them in deterministic order; kProgress events carry a
 /// done/total pair for long-running stages (deterministic PODEM).
 struct ProgressEvent {
-  enum class Kind { kStageBegin, kStageEnd, kProgress };
-  Kind kind = Kind::kStageBegin;
-  std::string stage;
-  size_t done = 0;
-  size_t total = 0;
+  /// What happened.
+  enum class Kind {
+    kStageBegin,  ///< a named stage started
+    kStageEnd,    ///< the matching stage finished
+    kProgress     ///< done/total progress inside a long stage
+  };
+  Kind kind = Kind::kStageBegin;  ///< event discriminator
+  std::string stage;              ///< stage name ("build", "source:podem", ...)
+  size_t done = 0;                ///< work finished (kProgress only)
+  size_t total = 0;               ///< total work (kProgress only)
 };
 
+/// Callback receiving a session's ProgressEvents (may be empty).
 using ProgressObserver = std::function<void(const ProgressEvent&)>;
 
 /// Shared state every PatternSource works against. The fault simulator
 /// is the session's sharded instance: sources written against this
 /// context parallelize across the session's thread pool for free.
 struct PipelineContext {
-  const Netlist& nl;
-  const ClockingScheme& scheme;
-  GateId scan_en;
-  const AtpgOptions& opts;
-  FaultList& faults;
-  ShardedFaultSim& fsim;
-  Rng& rng;
-  AtpgRunResult& res;  // pattern/cube accumulators and counters
-  const ProgressObserver* observer;  // may be null
+  const Netlist& nl;             ///< the (scan-inserted) design under test
+  const ClockingScheme& scheme;  ///< active clocking scheme
+  GateId scan_en;                ///< scan-enable input (kNoGate = none)
+  const AtpgOptions& opts;       ///< session ATPG options
+  FaultList& faults;             ///< shared fault statuses (updated live)
+  ShardedFaultSim& fsim;         ///< the session's sharded simulator
+  Rng& rng;                      ///< session random stream
+  AtpgRunResult& res;  ///< pattern/cube accumulators and counters
+  const ProgressObserver* observer;  ///< may be null
 
+  /// Forwards one event to the observer, if any.
   void emit(ProgressEvent::Kind kind, const std::string& stage,
             size_t done = 0, size_t total = 0) const {
     if (observer && *observer) (*observer)({kind, stage, done, total});
   }
+  /// Emits a kProgress event for `stage`.
   void progress(const std::string& stage, size_t done, size_t total) const {
     emit(ProgressEvent::Kind::kProgress, stage, done, total);
   }
@@ -68,8 +77,10 @@ struct PipelineContext {
 /// updates fault statuses through ctx.fsim / ctx.faults.
 class PatternSource {
  public:
-  virtual ~PatternSource() = default;
+  virtual ~PatternSource() = default;  ///< virtual for owning containers
+  /// Stable stage name (used in progress events: "source:<name>").
   virtual std::string name() const = 0;
+  /// Appends patterns / updates fault statuses through `ctx`.
   virtual void generate(PipelineContext& ctx) = 0;
 };
 
@@ -79,7 +90,9 @@ class PatternSource {
 /// stage for that capture procedure.
 class RandomPatternSource : public PatternSource {
  public:
+  /// Rounds and yield floor from the session's AtpgOptions.
   RandomPatternSource() = default;
+  /// Explicit rounds / yield floor (overrides AtpgOptions).
   RandomPatternSource(size_t rounds, size_t min_yield)
       : rounds_(rounds), min_yield_(min_yield) {}
   std::string name() const override { return "random"; }
@@ -106,6 +119,7 @@ class PodemPatternSource : public PatternSource {
 /// session's scheme (ncp_index) and netlist geometry.
 class ExternalCubeSource : public PatternSource {
  public:
+  /// Takes the cubes to grade (ncp_index/geometry must match the session).
   explicit ExternalCubeSource(PatternSet cubes) : cubes_(std::move(cubes)) {}
   std::string name() const override { return "external"; }
   void generate(PipelineContext& ctx) override;
@@ -118,7 +132,8 @@ class ExternalCubeSource : public PatternSource {
 /// (including compaction/compression) completed, in registration order.
 class ResultSink {
  public:
-  virtual ~ResultSink() = default;
+  virtual ~ResultSink() = default;  ///< virtual for owning containers
+  /// Consumes the finished result (called once per run, in order).
   virtual void write(const SessionResult& result) = 0;
 };
 
@@ -126,6 +141,7 @@ class ResultSink {
 /// tester-cycle lines when those stages ran) to a stream.
 class SummarySink : public ResultSink {
  public:
+  /// Writes to `os` (borrowed; must outlive the sink).
   explicit SummarySink(std::ostream& os) : os_(&os) {}
   void write(const SessionResult& result) override;
 
@@ -136,6 +152,7 @@ class SummarySink : public ResultSink {
 /// Dumps the final pattern set in the STIL-flavored text format.
 class PatternTextSink : public ResultSink {
  public:
+  /// Writes to `os` (borrowed; must outlive the sink).
   explicit PatternTextSink(std::ostream& os) : os_(&os) {}
   void write(const SessionResult& result) override;
 
@@ -148,9 +165,11 @@ class PatternTextSink : public ResultSink {
 /// and writes it. Requires the session to have scan chains.
 class AteProgramSink : public ResultSink {
  public:
+  /// Writes to `os`; `on_chip_clocking` selects the capture flavor.
   AteProgramSink(std::ostream& os, bool on_chip_clocking)
       : os_(&os), on_chip_(on_chip_clocking) {}
   void write(const SessionResult& result) override;
+  /// Tester cycles of the most recently written program.
   size_t last_program_cycles() const { return last_cycles_; }
 
  private:

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "api/session.h"
+#include "netlist/bench_io.h"
 #include "util/check.h"
 
 namespace occ {
@@ -31,7 +32,9 @@ bool Table1Result::all_shapes_hold() const {
 }
 
 Table1Result run_table1(const Table1Config& cfg) {
-  Table1Result out{.netlist = gen::generate_soc(cfg.soc)};
+  Table1Result out{.netlist = cfg.design_bench_path.empty()
+                       ? gen::generate_soc(cfg.soc)
+                       : read_bench_file(cfg.design_bench_path)};
   out.chains = insert_scan(out.netlist, {.num_chains = cfg.scan_chains});
   const Netlist& nl = out.netlist;
   const size_t nd = nl.num_domains();

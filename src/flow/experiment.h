@@ -15,6 +15,10 @@ namespace flow {
 
 struct Table1Config {
   gen::SocParams soc;
+  /// When non-empty, the experiments run on this parsed extended-dialect
+  /// `.bench` design instead of the generated SOC (`soc` is then
+  /// ignored); scan insertion and the five schemes apply identically.
+  std::string design_bench_path;
   size_t scan_chains = 8;
   size_t max_pulses = 4;
   AtpgOptions atpg;

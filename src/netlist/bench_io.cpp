@@ -26,6 +26,24 @@ std::string trim(std::string_view s) {
   return std::string(s.substr(b, e - b));
 }
 
+// Strict `domain=<N>` value parser: digits only, bounded by the width of
+// DomainMask (32 domains). std::stoi would accept trailing junk and throw
+// std::invalid_argument (not CheckError, and without the line) on garbage.
+DomainId parse_domain(const std::string& value, int lineno) {
+  OCC_CHECK(!value.empty(), "bench line ", lineno,
+            ": domain= needs a value");
+  int v = 0;
+  for (char c : value) {
+    OCC_CHECK(std::isdigit(static_cast<unsigned char>(c)), "bench line ",
+              lineno, ": bad domain= value '", value,
+              "' (expected a decimal integer)");
+    v = v * 10 + (c - '0');
+    OCC_CHECK(v < 32, "bench line ", lineno, ": domain= value '", value,
+              "' out of range (0..31)");
+  }
+  return static_cast<DomainId>(v);
+}
+
 }  // namespace
 
 void write_bench(const Netlist& nl, std::ostream& os) {
@@ -98,8 +116,13 @@ void write_bench_file(const Netlist& nl, const std::string& path) {
 
 Netlist read_bench(std::istream& is, std::string netlist_name) {
   Netlist nl(std::move(netlist_name));
-  std::vector<std::string> output_nets;
+  struct OutputRef {
+    std::string net;
+    int line;
+  };
+  std::vector<OutputRef> output_nets;
   std::vector<PendingGate> pending;
+  std::map<std::string, int> input_lines;  // name -> defining line
   std::string line;
   int lineno = 0;
 
@@ -131,9 +154,18 @@ Netlist read_bench(std::istream& is, std::string netlist_name) {
     if (eq == std::string::npos) {
       const std::string kw = trim(s.substr(0, lp));
       if (kw == "INPUT") {
-        nl.add_input(trim(inside));
+        const std::string name = trim(inside);
+        OCC_CHECK(!name.empty(), "bench line ", lineno,
+                  ": INPUT needs a name");
+        const auto [it, inserted] = input_lines.emplace(name, lineno);
+        OCC_CHECK(inserted, "bench line ", lineno, ": duplicate INPUT ",
+                  name, " (first defined at line ", it->second, ")");
+        nl.add_input(name);
       } else if (kw == "OUTPUT") {
-        output_nets.push_back(trim(inside));
+        const std::string net = trim(inside);
+        OCC_CHECK(!net.empty(), "bench line ", lineno,
+                  ": OUTPUT needs a net");
+        output_nets.push_back({net, lineno});
       } else {
         OCC_CHECK(false, "bench line ", lineno, ": unknown directive ", kw);
       }
@@ -173,7 +205,7 @@ Netlist read_bench(std::istream& is, std::string netlist_name) {
       for (size_t i = 1; i < pg.args.size(); ++i) {
         const std::string& a = pg.args[i];
         if (a.rfind("domain=", 0) == 0) {
-          domain = static_cast<DomainId>(std::stoi(a.substr(7)));
+          domain = parse_domain(a.substr(7), pg.line);
         } else if (a == "noscan") {
           flags |= kFlagNoScan;
         } else if (a == "scan") {
@@ -188,10 +220,14 @@ Netlist read_bench(std::istream& is, std::string netlist_name) {
       continue;
     }
     if (f == "TIE0" || f == "TIE1") {
+      OCC_CHECK(pg.args.empty(), "bench line ", pg.line, ": ", f,
+                " takes no arguments");
       net[pg.name] = nl.add_tie(f == "TIE1", pg.name);
       continue;
     }
     if (f == "XSRC") {
+      OCC_CHECK(pg.args.empty(), "bench line ", pg.line,
+                ": XSRC takes no arguments");
       net[pg.name] = nl.add_x_source(pg.name);
       continue;
     }
@@ -208,6 +244,21 @@ Netlist read_bench(std::istream& is, std::string netlist_name) {
     else if (f == "DLATL") type = GateType::kDlatL;
     else if (f == "DLATH") type = GateType::kDlatH;
     else OCC_CHECK(false, "bench line ", pg.line, ": unknown cell ", f);
+
+    // Validate arity here so the error carries the line number
+    // (Netlist::add_gate would reject the pin count without one).
+    if (type != GateType::kDffC && type != GateType::kDlatL &&
+        type != GateType::kDlatH) {
+      const int want = expected_fanin(type);
+      if (want >= 0) {
+        OCC_CHECK(pg.args.size() == static_cast<size_t>(want),
+                  "bench line ", pg.line, ": ", f, " expects ", want,
+                  " fanin(s), got ", pg.args.size());
+      } else {
+        OCC_CHECK(pg.args.size() >= 2, "bench line ", pg.line, ": ", f,
+                  " expects >= 2 fanins, got ", pg.args.size());
+      }
+    }
 
     // Create with placeholder fanins resolved in pass 2.  We cannot call
     // add_gate with dangling ids, so create via DFF-style deferred fixups:
@@ -241,9 +292,10 @@ Netlist read_bench(std::istream& is, std::string netlist_name) {
       nl.replace_fanin(u.gate, pin, it->second);
     }
   }
-  for (const std::string& o : output_nets) {
+  for (const auto& [o, oline] : output_nets) {
     auto it = net.find(o);
-    OCC_CHECK(it != net.end(), "OUTPUT references undefined net ", o);
+    OCC_CHECK(it != net.end(), "bench line ", oline,
+              ": OUTPUT references undefined net ", o);
     nl.add_output(it->second, "out_" + o);
   }
   nl.finalize();

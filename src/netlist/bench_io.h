@@ -1,20 +1,24 @@
-// Text serialization of netlists in an extended ISCAS .bench dialect.
-//
-// Grammar (one statement per line, '#' comments):
-//   INPUT(name)
-//   OUTPUT(net)                       # declares an observation of `net`
-//   name = AND(a, b, ...)             # also NAND/OR/NOR/XOR/XNOR
-//   name = NOT(a)     name = BUF(a)
-//   name = MUX(sel, d0, d1)
-//   name = TIE0()     name = TIE1()   name = XSRC()
-//   name = DFF(d)                     # domain 0
-//   name = DFF(d, domain=2)           # clock domain annotation
-//   name = DFF(d, domain=1, noscan)   # excluded from scan insertion
-//   name = DFFC(d, clk)  name = DFFC(d, clk, rstn)
-//   name = DLATL(d, en)  name = DLATH(d, en)
-//
-// Forward references are allowed (two-pass resolve), so feedback through
-// flops round-trips.
+/// \file
+/// Text serialization of netlists in an extended ISCAS .bench dialect.
+///
+/// The dialect is specified in docs/BENCH_FORMAT.md. Summary (one
+/// statement per line, '#' comments):
+/// \code
+///   INPUT(name)
+///   OUTPUT(net)                       # declares an observation of `net`
+///   name = AND(a, b, ...)             # also NAND/OR/NOR/XOR/XNOR
+///   name = NOT(a)     name = BUF(a)
+///   name = MUX(sel, d0, d1)
+///   name = TIE0()     name = TIE1()   name = XSRC()
+///   name = DFF(d)                     # domain 0
+///   name = DFF(d, domain=2)           # clock domain annotation (0..31)
+///   name = DFF(d, domain=1, noscan)   # excluded from scan insertion
+///   name = DFFC(d, clk)  name = DFFC(d, clk, rstn)
+///   name = DLATL(d, en)  name = DLATH(d, en)
+/// \endcode
+///
+/// Forward references are allowed (two-pass resolve), so feedback through
+/// flops round-trips.
 #pragma once
 
 #include <iosfwd>
@@ -26,11 +30,13 @@ namespace occ {
 
 /// Writes `nl` (names auto-assigned if missing). Throws on I/O failure.
 void write_bench(const Netlist& nl, std::ostream& os);
+/// write_bench to a file created/truncated at `path`.
 void write_bench_file(const Netlist& nl, const std::string& path);
 
 /// Parses a netlist; the result is finalized. Throws CheckError with a
 /// line number on syntax errors or unresolved nets.
 Netlist read_bench(std::istream& is, std::string netlist_name = "bench");
+/// read_bench from `path`; the file's path becomes the netlist name.
 Netlist read_bench_file(const std::string& path);
 
 }  // namespace occ

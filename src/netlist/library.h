@@ -1,7 +1,8 @@
-// Scalar 3-valued logic and cell-function metadata.
-//
-// V3 is the scalar truth value used by PODEM and the event simulator;
-// the packed 64-pattern representation lives in sim/value.h.
+/// \file
+/// Scalar 3-valued logic and cell-function metadata.
+///
+/// V3 is the scalar truth value used by PODEM and the event simulator;
+/// the packed 64-pattern representation lives in sim/value.h.
 #pragma once
 
 #include <span>
@@ -11,16 +12,26 @@
 namespace occ {
 
 /// Scalar ternary logic value.
-enum class V3 : uint8_t { k0 = 0, k1 = 1, kX = 2 };
+enum class V3 : uint8_t {
+  k0 = 0,  ///< logic 0
+  k1 = 1,  ///< logic 1
+  kX = 2   ///< unknown / unassigned
+};
 
+/// Printable character for a V3 value ('0', '1' or 'X').
 inline char v3_char(V3 v) { return v == V3::k0 ? '0' : v == V3::k1 ? '1' : 'X'; }
+/// Ternary NOT (X stays X).
 inline V3 v3_not(V3 v) {
   return v == V3::k0 ? V3::k1 : v == V3::k1 ? V3::k0 : V3::kX;
 }
+/// Lifts a bool to the corresponding definite V3 value.
 inline V3 v3_from_bool(bool b) { return b ? V3::k1 : V3::k0; }
 
+/// Ternary AND (0 dominates X).
 V3 v3_and(V3 a, V3 b);
+/// Ternary OR (1 dominates X).
 V3 v3_or(V3 a, V3 b);
+/// Ternary XOR (any X input yields X).
 V3 v3_xor(V3 a, V3 b);
 
 /// Evaluates a combinational gate over scalar ternary inputs.

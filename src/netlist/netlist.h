@@ -1,9 +1,10 @@
-// Gate-level netlist graph: construction API, validation, levelization.
-//
-// A Netlist is built incrementally (add_input / add_gate / add_dff /
-// add_output), then finalize() computes fanout lists and combinational
-// levels and validates structure.  Most engines (simulators, fault tools,
-// ATPG) require a finalized netlist.
+/// \file
+/// Gate-level netlist graph: construction API, validation, levelization.
+///
+/// A Netlist is built incrementally (add_input / add_gate / add_dff /
+/// add_output), then finalize() computes fanout lists and combinational
+/// levels and validates structure.  Most engines (simulators, fault tools,
+/// ATPG) require a finalized netlist.
 #pragma once
 
 #include <span>
@@ -17,22 +18,26 @@ namespace occ {
 
 /// One gate instance. The gate's output net is identified by the gate id.
 struct Gate {
-  GateType type = GateType::kBuf;
-  DomainId domain = 0;  // clock domain (meaningful for kDff)
-  uint16_t flags = 0;
-  int32_t level = -1;  // combinational level; sources/FF outputs = 0
-  std::vector<GateId> fanin;
-  std::vector<GateId> fanout;
-  std::string name;
+  GateType type = GateType::kBuf;  ///< cell function
+  DomainId domain = 0;             ///< clock domain (meaningful for kDff)
+  uint16_t flags = 0;              ///< GateFlags bits
+  int32_t level = -1;  ///< combinational level; sources/FF outputs = 0
+  std::vector<GateId> fanin;   ///< driving nets, pin order per GateType
+  std::vector<GateId> fanout;  ///< reader gates (filled by finalize())
+  std::string name;            ///< unique net name (may be empty)
 };
 
 /// Gate-level netlist with single-output gates.
 class Netlist {
  public:
+  /// Creates an empty, unnamed netlist.
   Netlist() = default;
+  /// Creates an empty netlist named `name`.
   explicit Netlist(std::string name) : name_(std::move(name)) {}
 
+  /// The netlist's name (used in reports and serialization).
   const std::string& name() const { return name_; }
+  /// Renames the netlist.
   void set_name(std::string n) { name_ = std::move(n); }
 
   // ---- construction -----------------------------------------------------
@@ -50,9 +55,11 @@ class Netlist {
   GateId add_gate(GateType type, std::span<const GateId> fanin,
                   std::string name = {});
 
-  /// Convenience overloads for 1/2/3-input gates.
+  /// Convenience overload of add_gate for 1-input gates.
   GateId add_gate1(GateType type, GateId a, std::string name = {});
+  /// Convenience overload of add_gate for 2-input gates.
   GateId add_gate2(GateType type, GateId a, GateId b, std::string name = {});
+  /// Convenience overload of add_gate for a 2:1 mux (sel, d0, d1).
   GateId add_mux2(GateId sel, GateId d0, GateId d1, std::string name = {});
 
   /// Adds a cycle-semantics DFF (D connected later via connect_dff_d if
@@ -83,15 +90,21 @@ class Netlist {
   /// combinational core. Throws CheckError on malformed structure.
   void finalize();
 
+  /// True once finalize() has succeeded (required by most engines).
   bool finalized() const { return finalized_; }
 
   // ---- queries ------------------------------------------------------------
 
+  /// Total gate count (every GateType, including sources and outputs).
   size_t size() const { return gates_.size(); }
+  /// Read access to gate `id` (which is also its output net id).
   const Gate& gate(GateId id) const { return gates_[id]; }
+  /// Mutable access to gate `id`; invalidates the lazy name index.
   Gate& mutable_gate(GateId id);
 
+  /// Primary inputs, in creation order.
   const std::vector<GateId>& inputs() const { return inputs_; }
+  /// Primary-output marker gates, in creation order.
   const std::vector<GateId>& outputs() const { return outputs_; }
   /// All sequential cells (kDff/kDffC/kDlat*), in creation order.
   const std::vector<GateId>& seqs() const { return seqs_; }
@@ -132,7 +145,8 @@ class Netlist {
   mutable bool name_index_valid_ = false;
 };
 
-/// Expected fanin count for a gate type; returns -1 for variadic (>= 2).
+/// Expected fanin count for a gate type; returns -1 for variadic (>= 2)
+/// and -2 for kDffC (2 pins, or 3 with the optional reset).
 int expected_fanin(GateType t);
 
 }  // namespace occ

@@ -1,4 +1,5 @@
-// Netlist statistics: per-type counts, depth, domain population.
+/// \file
+/// Netlist statistics: per-type counts, depth, domain population.
 #pragma once
 
 #include <array>
@@ -12,24 +13,26 @@ namespace occ {
 
 /// Summary counters over a netlist, computed once.
 struct NetlistStats {
-  size_t total_gates = 0;
-  size_t logic_gates = 0;  // combinational cells (excl. sources/outputs)
-  size_t inputs = 0;
-  size_t outputs = 0;
-  size_t flops = 0;
-  size_t scan_flops = 0;
-  size_t nonscan_flops = 0;
-  size_t latches = 0;
-  int32_t max_level = 0;
-  std::array<size_t, 18> per_type{};        // indexed by GateType
-  std::vector<size_t> flops_per_domain;     // indexed by DomainId
+  size_t total_gates = 0;    ///< every gate, including sources/outputs
+  size_t logic_gates = 0;    ///< combinational cells (excl. sources/outputs)
+  size_t inputs = 0;         ///< primary inputs
+  size_t outputs = 0;        ///< primary outputs
+  size_t flops = 0;          ///< cycle-semantics DFFs
+  size_t scan_flops = 0;     ///< flops carrying kFlagScan
+  size_t nonscan_flops = 0;  ///< flops without kFlagScan
+  size_t latches = 0;        ///< level-sensitive latches (kDlat*)
+  int32_t max_level = 0;     ///< maximum combinational level
+  std::array<size_t, 18> per_type{};     ///< gate counts indexed by GateType
+  std::vector<size_t> flops_per_domain;  ///< flop counts indexed by DomainId
 
+  /// Computes the counters for `nl` in one pass.
   static NetlistStats compute(const Netlist& nl);
 
   /// Human-readable multi-line report.
   std::string to_string() const;
 };
 
+/// Streams to_string().
 std::ostream& operator<<(std::ostream& os, const NetlistStats& s);
 
 }  // namespace occ

@@ -1,9 +1,12 @@
-// Fundamental identifiers and enums for gate-level netlists.
+/// \file
+/// Fundamental identifiers and enums for gate-level netlists.
 #pragma once
 
 #include <cstdint>
 #include <string_view>
 
+/// All occtest public API: netlist core, simulators, fault tools, ATPG,
+/// DFT models and the occ::Session pipeline facade.
 namespace occ {
 
 /// Index of a gate inside its Netlist. A gate's single output net shares
@@ -19,32 +22,35 @@ using DomainId = uint8_t;
 /// Bitmask over clock domains (bit d set = domain d selected/pulsed).
 using DomainMask = uint32_t;
 
+/// DomainMask selecting every clock domain.
 inline constexpr DomainMask kAllDomains = ~DomainMask{0};
 
 /// Cell library. Single-output primitives only; complex functions are
 /// composed from these during generation/insertion.
+///
+/// kDff is the cycle-based flop: fanin[0]=D, clocking is implicit via
+/// Gate::domain (used by CycleSim / ATPG). The explicit-pin sequential
+/// variants (kDffC, kDlat*) are for the event-driven timing simulator
+/// (CPF modeling).
 enum class GateType : uint8_t {
-  kInput,    // primary input (no fanin)
-  kOutput,   // primary output marker (fanin[0] = driven net)
-  kTie0,     // constant 0
-  kTie1,     // constant 1
-  kXSource,  // always-X source (uncontrollable state, unrolled non-scan FF)
-  kBuf,      // fanin[0]
-  kNot,      // fanin[0]
-  kAnd,      // fanin[0..n-1], n >= 2
-  kNand,
-  kOr,
-  kNor,
-  kXor,
-  kXnor,
-  kMux2,  // fanin[0]=select, fanin[1]=d0 (sel=0), fanin[2]=d1 (sel=1)
-  // Sequential cells. kDff is the cycle-based flop: fanin[0]=D, clocking
-  // is implicit via `domain` (used by CycleSim / ATPG).  The explicit-pin
-  // variants are for the event-driven timing simulator (CPF modeling):
-  kDff,    // fanin[0]=D; clocked by its domain's clock in cycle semantics
-  kDffC,   // fanin[0]=D, fanin[1]=CLK (posedge), optional fanin[2]=RSTN
-  kDlatL,  // fanin[0]=D, fanin[1]=EN; transparent while EN==0 (active-low)
-  kDlatH,  // fanin[0]=D, fanin[1]=EN; transparent while EN==1
+  kInput,    ///< primary input (no fanin)
+  kOutput,   ///< primary output marker (fanin[0] = driven net)
+  kTie0,     ///< constant 0
+  kTie1,     ///< constant 1
+  kXSource,  ///< always-X source (uncontrollable state, unrolled non-scan FF)
+  kBuf,      ///< buffer: fanin[0]
+  kNot,      ///< inverter: fanin[0]
+  kAnd,      ///< fanin[0..n-1], n >= 2
+  kNand,     ///< fanin[0..n-1], n >= 2
+  kOr,       ///< fanin[0..n-1], n >= 2
+  kNor,      ///< fanin[0..n-1], n >= 2
+  kXor,      ///< fanin[0..n-1], n >= 2
+  kXnor,     ///< fanin[0..n-1], n >= 2
+  kMux2,     ///< fanin[0]=select, fanin[1]=d0 (sel=0), fanin[2]=d1 (sel=1)
+  kDff,      ///< fanin[0]=D; clocked by its domain's clock in cycle semantics
+  kDffC,     ///< fanin[0]=D, fanin[1]=CLK (posedge), optional fanin[2]=RSTN
+  kDlatL,    ///< fanin[0]=D, fanin[1]=EN; transparent while EN==0 (active-low)
+  kDlatH,    ///< fanin[0]=D, fanin[1]=EN; transparent while EN==1
 };
 
 /// True for cells whose output holds state across evaluation.
@@ -64,11 +70,11 @@ std::string_view gate_type_name(GateType t);
 
 /// Gate flags (bitwise OR'ed into Gate::flags).
 enum GateFlags : uint16_t {
-  kFlagScan = 1u << 0,      // DFF is a scan cell (set by ScanInserter)
-  kFlagNoScan = 1u << 1,    // DFF must be excluded from scan insertion
-  kFlagScanMux = 1u << 2,   // mux inserted by ScanInserter in front of a D pin
-  kFlagOccGate = 1u << 3,   // gate belongs to an inserted CPF/OCC block
-  kFlagClockNet = 1u << 4,  // gate drives a clock distribution net
+  kFlagScan = 1u << 0,      ///< DFF is a scan cell (set by ScanInserter)
+  kFlagNoScan = 1u << 1,    ///< DFF must be excluded from scan insertion
+  kFlagScanMux = 1u << 2,   ///< mux inserted by ScanInserter before a D pin
+  kFlagOccGate = 1u << 3,   ///< gate belongs to an inserted CPF/OCC block
+  kFlagClockNet = 1u << 4,  ///< gate drives a clock distribution net
 };
 
 }  // namespace occ

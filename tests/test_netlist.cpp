@@ -155,6 +155,112 @@ TEST(BenchIo, DuplicateNetRejected) {
   EXPECT_THROW(read_bench(is, "dup"), CheckError);
 }
 
+/// Parses `text` expecting failure; returns the CheckError message.
+std::string parse_error(const std::string& text) {
+  std::istringstream is(text);
+  try {
+    read_bench(is, "err");
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected CheckError for:\n" << text;
+  return {};
+}
+
+TEST(BenchIoErrors, UnknownCellCarriesLineNumber) {
+  const std::string msg = parse_error("INPUT(a)\n\nx = FROB(a)\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("FROB"), std::string::npos) << msg;
+}
+
+TEST(BenchIoErrors, UnknownDirectiveCarriesLineNumber) {
+  const std::string msg = parse_error("INPUT(a)\nWIBBLE(a)\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(BenchIoErrors, DuplicateDefinitionCarriesLineNumber) {
+  const std::string msg =
+      parse_error("INPUT(a)\nx = NOT(a)\nx = BUF(a)\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duplicate"), std::string::npos) << msg;
+}
+
+TEST(BenchIoErrors, DuplicateInputCarriesBothLineNumbers) {
+  const std::string msg = parse_error("INPUT(a)\n\nINPUT(a)\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+}
+
+TEST(BenchIoErrors, GateShadowingInputCarriesLineNumber) {
+  const std::string msg = parse_error("INPUT(a)\na = NOT(a)\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(BenchIoErrors, UnresolvedFaninCarriesDefiningLine) {
+  // The undefined reference is on line 4 (the gate that names it).
+  const std::string msg =
+      parse_error("INPUT(a)\n\n\nx = AND(a, ghost)\nOUTPUT(x)\n");
+  EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("ghost"), std::string::npos) << msg;
+}
+
+TEST(BenchIoErrors, UnresolvedOutputCarriesLineNumber) {
+  const std::string msg = parse_error("INPUT(a)\nx = NOT(a)\nOUTPUT(y)\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("y"), std::string::npos) << msg;
+}
+
+TEST(BenchIoErrors, BadDomainValueCarriesLineNumber) {
+  for (const char* bad : {"domain=", "domain=x", "domain=2x", "domain=-1",
+                          "domain=99"}) {
+    SCOPED_TRACE(bad);
+    const std::string msg = parse_error(
+        std::string("INPUT(a)\nf = DFF(a, ") + bad + ")\nOUTPUT(f)\n");
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  }
+}
+
+TEST(BenchIoErrors, BadDffOptionCarriesLineNumber) {
+  const std::string msg =
+      parse_error("INPUT(a)\nf = DFF(a, wobbly)\nOUTPUT(f)\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("wobbly"), std::string::npos) << msg;
+}
+
+TEST(BenchIoErrors, MissingParenthesesCarriesLineNumber) {
+  const std::string msg = parse_error("INPUT(a)\nx = NOT a\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(BenchIoErrors, ArityErrorsCarryLineNumber) {
+  EXPECT_NE(parse_error("INPUT(a)\nf = DFF()\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(parse_error("INPUT(a)\nf = DFFC(a)\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(parse_error("INPUT(a)\nl = DLATL(a)\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(parse_error("INPUT(a)\nm = MUX(a, a)\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(parse_error("INPUT(a)\nx = AND(a)\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(parse_error("INPUT(a)\nn = NOT(a, a)\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(parse_error("INPUT(a)\nt = TIE0(a)\n").find("line 2"),
+            std::string::npos);
+}
+
+TEST(BenchIoErrors, DomainRoundTripAtDialectBound) {
+  // domain=31 is the highest the 32-bit DomainMask supports; it must
+  // parse and round-trip, 32 must not.
+  std::istringstream ok("INPUT(a)\nf = DFF(a, domain=31)\nOUTPUT(f)\n");
+  const Netlist nl = read_bench(ok, "edge");
+  EXPECT_EQ(nl.num_domains(), 32u);
+  EXPECT_NE(
+      parse_error("INPUT(a)\nf = DFF(a, domain=32)\nOUTPUT(f)\n")
+          .find("line 2"),
+      std::string::npos);
+}
+
 TEST(Stats, CountsMatchHandBuiltCircuit) {
   Netlist nl = gen::make_counter(4);
   const NetlistStats s = NetlistStats::compute(nl);

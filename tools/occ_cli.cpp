@@ -1,0 +1,343 @@
+// `occ` -- command-line front door for external designs.
+//
+// Runs the full Session pipeline (scan insertion, clocking scheme, ATPG,
+// compaction, tester-cycle cost, optional EDT compression) on any
+// extended-dialect `.bench` circuit (docs/BENCH_FORMAT.md), prints the
+// human summary, and optionally emits the machine-readable occ-bench-v1
+// report that bench/bench_ci.py consumes.
+//
+// Usage:
+//   occ run --design circuits/s344c.bench [--scheme ncp] [--chains N]
+//           [--shards N] [--mode cone|exhaustive] [--seed N]
+//           [--random-rounds N] [--edt CHANNELS] [--json PATH] [--quiet]
+//   occ stats --design circuits/s344c.bench
+//   occ corpus [--dir circuits]
+//
+// Schemes (same capability set as the Table-1 experiments):
+//   stuck_at | a       stuck-at, external clock
+//   external | b       transition, ideal external at-speed clock
+//   ncp | cpf | c      transition, basic per-domain CPF (default)
+//   enhanced | d       transition, enhanced CPF (bursts + inter-domain)
+//   constrained | e    transition, external clock + CPF constraints
+//
+// Exit codes: 0 success, 1 pipeline/parse failure, 2 usage error.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "api/session.h"
+#include "core/clock_scheme.h"
+#include "fsim/sharded.h"
+#include "gen/socgen.h"
+#include "netlist/bench_io.h"
+#include "netlist/stats.h"
+#include "util/check.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace occ;
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage:\n"
+      << "  " << argv0
+      << " run --design PATH [--scheme NAME] [--chains N] [--shards N]\n"
+      << "      [--mode cone|exhaustive] [--seed N] [--random-rounds N]\n"
+      << "      [--edt CHANNELS] [--json PATH] [--quiet]\n"
+      << "  " << argv0 << " stats --design PATH\n"
+      << "  " << argv0 << " corpus [--dir DIR]\n"
+      << "schemes: stuck_at|a external|b ncp|cpf|c (default) enhanced|d "
+         "constrained|e\n";
+  return 2;
+}
+
+/// Resolves a scheme name to the clocking capability + whether the
+/// tester-cycle model should use on-chip clocking (arm-and-wait capture).
+struct SchemeChoice {
+  ClockingScheme scheme;
+  bool on_chip = false;
+};
+
+std::optional<SchemeChoice> make_scheme(const std::string& name,
+                                        size_t num_domains) {
+  constexpr size_t kMaxPulses = 4;
+  if (name == "stuck_at" || name == "a") {
+    return SchemeChoice{scheme_stuck_at_external(num_domains), false};
+  }
+  if (name == "external" || name == "b") {
+    return SchemeChoice{scheme_external_full(num_domains, kMaxPulses),
+                        false};
+  }
+  if (name == "ncp" || name == "cpf" || name == "c") {
+    return SchemeChoice{scheme_cpf_basic(num_domains), true};
+  }
+  if (name == "enhanced" || name == "d") {
+    return SchemeChoice{scheme_cpf_enhanced(num_domains, kMaxPulses), true};
+  }
+  if (name == "constrained" || name == "e") {
+    return SchemeChoice{scheme_external_constrained(num_domains,
+                                                    kMaxPulses),
+                        false};
+  }
+  return std::nullopt;
+}
+
+struct RunArgs {
+  std::string design;
+  std::string scheme = "ncp";
+  std::string json_path;
+  size_t chains = 2;
+  size_t shards = 1;
+  FsimMode mode = FsimMode::kConeLimited;
+  std::optional<uint64_t> seed;
+  size_t random_rounds = 0;
+  size_t edt_channels = 0;
+  bool quiet = false;
+};
+
+/// Parses `--flag value` pairs shared by run/stats; returns false (after
+/// a message) on malformed flags. `i` points at the flag on entry.
+bool parse_size(const char* flag, const char* value, size_t* out) {
+  if (value == nullptr) {
+    std::cerr << flag << " requires a value\n";
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::cerr << flag << " expects a non-negative integer, got '" << value
+              << "'\n";
+    return false;
+  }
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+int cmd_run(const RunArgs& a) {
+  // Parse once up front: scheme construction needs the domain count (and
+  // `occ run` reports parse errors before any pipeline work starts).
+  const Netlist parsed = read_bench_file(a.design);
+  const NetlistStats stats = NetlistStats::compute(parsed);
+  const auto choice = make_scheme(a.scheme, parsed.num_domains());
+  if (!choice) {
+    std::cerr << "unknown scheme '" << a.scheme << "'\n";
+    return 2;
+  }
+
+  SessionConfig cfg;
+  cfg.design_file(a.design)  // the session re-parses through its front door
+      .scheme(choice->scheme)
+      .on_chip_clocking(choice->on_chip)
+      .fsim_shards(a.shards)
+      .fsim_mode(a.mode);
+  if (a.chains > 0) cfg.scan({.num_chains = a.chains});
+  AtpgOptions opts;
+  opts.random_rounds = a.random_rounds;
+  cfg.atpg(opts);
+  if (a.seed) cfg.seed(*a.seed);
+  if (a.edt_channels > 0) cfg.compress({.channels = a.edt_channels});
+
+  const SessionResult r = Session(std::move(cfg)).run();
+
+  if (!a.quiet) {
+    std::cout << "design: " << a.design << "\n"
+              << stats.to_string() << "\n"
+              << "scheme: " << r.scheme.name << ", "
+              << ShardedFaultSim::resolve_shards(a.shards)
+              << " fsim shard(s)\n\n"
+              << r.summary();
+  }
+
+  if (!a.json_path.empty()) {
+    // Namespace the report by design so bench_ci.py merge can combine
+    // several `occ run` reports without key collisions ("occ_run_s344c").
+    std::string stem = a.design;
+    if (const size_t slash = stem.find_last_of('/');
+        slash != std::string::npos) {
+      stem = stem.substr(slash + 1);
+    }
+    if (const size_t dot = stem.rfind('.'); dot != std::string::npos) {
+      stem = stem.substr(0, dot);
+    }
+    Json meta = Json::object();
+    meta.set("design", a.design);
+    meta.set("netlist", r.netlist->name());
+    meta.set("gates", r.netlist->size());
+    meta.set("flops", r.netlist->dffs().size());
+    meta.set("domains", r.netlist->num_domains());
+    meta.set("scheme", r.scheme.name);
+    meta.set("shards", ShardedFaultSim::resolve_shards(a.shards));
+    meta.set("mode", a.mode == FsimMode::kConeLimited ? "cone"
+                                                      : "exhaustive");
+    meta.set("test_coverage", r.test_coverage());
+    meta.set("fault_coverage", r.fault_coverage());
+    Json metrics = Json::object();
+    metrics.set("patterns", r.pattern_count());
+    metrics.set("gate_evals", r.atpg.fsim.gate_evals);
+    metrics.set("tester_cycles", r.tester_cycles);
+    metrics.set("wall_s", r.seconds);
+    if (r.compression.enabled) {
+      meta.set("edt.encoded", r.compression.encoded);
+      meta.set("edt.ratio", r.compression.ratio());
+    }
+    if (!write_bench_report(a.json_path, "occ_run_" + stem,
+                            std::move(meta), std::move(metrics))) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_stats(const std::string& design) {
+  const Netlist nl = read_bench_file(design);
+  std::cout << "design: " << design << "\n"
+            << NetlistStats::compute(nl).to_string() << "\n";
+  return 0;
+}
+
+/// Writes one generated corpus circuit with a provenance header. The
+/// parameters are committed here so `occ corpus` is reproducible
+/// bit-for-bit (see circuits/README.md).
+void write_corpus_circuit(const std::string& dir, const std::string& name,
+                          const std::string& klass,
+                          const gen::SocParams& prm) {
+  Netlist nl = gen::generate_soc(prm);
+  nl.set_name(name);
+  const std::string path = dir + "/" + name + ".bench";
+  std::ofstream os(path);
+  OCC_CHECK(os.good(), "cannot open ", path, " for writing");
+  os << "# " << name << ": " << klass << " synthetic circuit, generated\n"
+     << "# by `occ corpus` (gen::generate_soc, seed " << prm.seed
+     << "). Not an ISCAS'89 netlist; see circuits/README.md.\n";
+  write_bench(nl, os);
+  OCC_CHECK(os.good(), "write failure on ", path);
+  std::cout << "wrote " << path << " ("
+            << NetlistStats::compute(nl).to_string() << ")\n";
+}
+
+int cmd_corpus(const std::string& dir) {
+  // s344-class: single domain, the shape of ISCAS'89 s344
+  // (9 PI / 11 PO / 15 DFF / ~160 gates).
+  gen::SocParams s344c;
+  s344c.seed = 344;
+  s344c.domains = 1;
+  s344c.domain_share = {1.0};
+  s344c.flops = 15;
+  s344c.gates = 160;
+  s344c.pis = 9;
+  s344c.pos = 11;
+  s344c.nonscan_fraction = 0.0;
+  s344c.cross_domain_fraction = 0.0;
+  write_corpus_circuit(dir, "s344c", "s344-class", s344c);
+
+  // s1423-class: two domains, non-scan flops, cross-domain paths -- the
+  // shape of ISCAS'89 s1423 (17 PI / 5 PO / 74 DFF / ~660 gates) with
+  // the extended-dialect annotations the single-clock original lacks.
+  gen::SocParams s1423c;
+  s1423c.seed = 1423;
+  s1423c.domains = 2;
+  s1423c.domain_share = {0.4, 0.6};
+  s1423c.flops = 74;
+  s1423c.gates = 660;
+  s1423c.pis = 17;
+  s1423c.pos = 5;
+  s1423c.nonscan_fraction = 0.05;
+  s1423c.cross_domain_fraction = 0.06;
+  write_corpus_circuit(dir, "s1423c", "s1423-class", s1423c);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    usage(argv[0]);
+    return 0;
+  }
+
+  try {
+    if (cmd == "run") {
+      RunArgs a;
+      for (int i = 2; i < argc; ++i) {
+        const char* flag = argv[i];
+        const char* val = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (std::strcmp(flag, "--quiet") == 0) {
+          a.quiet = true;
+        } else if (std::strcmp(flag, "--design") == 0 && val) {
+          a.design = val;
+          ++i;
+        } else if (std::strcmp(flag, "--scheme") == 0 && val) {
+          a.scheme = val;
+          ++i;
+        } else if (std::strcmp(flag, "--json") == 0 && val) {
+          a.json_path = val;
+          ++i;
+        } else if (std::strcmp(flag, "--mode") == 0 && val) {
+          if (std::strcmp(val, "cone") == 0) {
+            a.mode = FsimMode::kConeLimited;
+          } else if (std::strcmp(val, "exhaustive") == 0) {
+            a.mode = FsimMode::kExhaustive;
+          } else {
+            std::cerr << "--mode expects cone or exhaustive\n";
+            return 2;
+          }
+          ++i;
+        } else if (std::strcmp(flag, "--chains") == 0) {
+          if (!parse_size(flag, val, &a.chains)) return 2;
+          ++i;
+        } else if (std::strcmp(flag, "--shards") == 0) {
+          if (!parse_size(flag, val, &a.shards)) return 2;
+          ++i;
+        } else if (std::strcmp(flag, "--random-rounds") == 0) {
+          if (!parse_size(flag, val, &a.random_rounds)) return 2;
+          ++i;
+        } else if (std::strcmp(flag, "--edt") == 0) {
+          if (!parse_size(flag, val, &a.edt_channels)) return 2;
+          ++i;
+        } else if (std::strcmp(flag, "--seed") == 0) {
+          size_t s = 0;
+          if (!parse_size(flag, val, &s)) return 2;
+          a.seed = s;
+          ++i;
+        } else {
+          std::cerr << "unknown or incomplete flag '" << flag
+                    << "' for run\n";
+          return usage(argv[0]);
+        }
+      }
+      if (a.design.empty()) {
+        std::cerr << "run requires --design PATH\n";
+        return usage(argv[0]);
+      }
+      return cmd_run(a);
+    }
+    if (cmd == "stats") {
+      std::string design;
+      for (int i = 2; i + 1 < argc; i += 2) {
+        if (std::strcmp(argv[i], "--design") == 0) design = argv[i + 1];
+      }
+      if (design.empty()) {
+        std::cerr << "stats requires --design PATH\n";
+        return usage(argv[0]);
+      }
+      return cmd_stats(design);
+    }
+    if (cmd == "corpus") {
+      std::string dir = "circuits";
+      for (int i = 2; i + 1 < argc; i += 2) {
+        if (std::strcmp(argv[i], "--dir") == 0) dir = argv[i + 1];
+      }
+      return cmd_corpus(dir);
+    }
+  } catch (const CheckError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown command '" << cmd << "'\n";
+  return usage(argv[0]);
+}
