@@ -7,7 +7,7 @@
 // section 5.2 of the paper.
 //
 // Usage: bench_table1 [--quick|--full] [--design PATH] [--shards N]
-//                     [--json PATH]
+//                     [--repeat N] [--json PATH]
 //   default : mid-size SOC (~3 minutes) -- same orderings as full scale
 //   --quick : small SOC (~40 seconds)
 //   --full  : paper-scale shape run (~15-20 minutes); the EXPERIMENTS.md
@@ -20,16 +20,22 @@
 //   --shards N : fault-simulation thread shards per experiment Session
 //                (default and 0 = hardware concurrency; results are
 //                identical for every value)
+//   --repeat N : run the experiment suite N times (default 1) and
+//                 report the median wall per experiment in the --json
+//                 report; work counters are asserted identical across
+//                 runs, so only the wall numbers firm up
 //   --json PATH : additionally write the machine-readable occ-bench-v1
 //                 report (per-experiment pattern counts, gate_evals,
 //                 wall time; see README "Benchmarking")
 //   --allow-shape-fail : exit 0 even when the qualitative shape checks
 //                 fail (they are only expected to hold at default/full
 //                 scale; CI's bench job runs --quick for the numbers)
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "flow/experiment.h"
 #include "flow/report.h"
@@ -40,22 +46,37 @@
 
 namespace {
 
+/// Median-of-runs wall seconds per experiment row; `walls[rep][row]`.
+double median_wall(const std::vector<std::vector<double>>& walls,
+                   size_t row) {
+  std::vector<double> v;
+  v.reserve(walls.size());
+  for (const auto& rep : walls) v.push_back(rep[row]);
+  return occ::repeat_median(std::move(v));
+}
+
 int write_json_report(const std::string& path,
                       const occ::flow::Table1Result& r,
-                      const std::string& scale, size_t shards) {
+                      const std::vector<std::vector<double>>& walls,
+                      const std::string& scale, size_t shards,
+                      size_t repeat) {
   using occ::Json;
   Json metrics = Json::object();
   Json meta = Json::object();
   meta.set("scale", scale);
   meta.set("shards", shards);
+  meta.set("repeat", repeat);
   meta.set("shapes_hold", r.all_shapes_hold());
-  for (const auto& row : r.rows) {
+  for (size_t i = 0; i < r.rows.size(); ++i) {
+    const auto& row = r.rows[i];
     // "(a)" -> "exp_a".
     const std::string key = "exp_" + row.id.substr(1, 1);
     metrics.set(key + ".patterns", row.result.pattern_count());
     metrics.set(key + ".gate_evals", row.result.fsim.gate_evals);
+    metrics.set(key + ".events_processed",
+                row.result.fsim.events_processed);
     metrics.set(key + ".tester_cycles", row.tester_cycles);
-    metrics.set(key + ".wall_s", row.result.seconds);
+    metrics.set(key + ".wall_s", median_wall(walls, i));
     meta.set(key + ".test_coverage", row.result.test_coverage());
     meta.set(key + ".scheme", row.result.scheme_name);
   }
@@ -71,11 +92,26 @@ int main(int argc, char** argv) {
   using namespace occ;
   bool quick = false, full = false, allow_shape_fail = false;
   size_t shards = 0;  // 0 = hardware concurrency (resolved below)
+  size_t repeat = 1;
   std::string json_path;
   std::string design_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--repeat") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--repeat requires a value\n";
+        return 2;
+      }
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || v < 1) {
+        std::cerr << "--repeat expects a positive integer, got '"
+                  << argv[i] << "'\n";
+        return 2;
+      }
+      repeat = static_cast<size_t>(v);
+    }
     if (std::strcmp(argv[i], "--design") == 0) {
       if (i + 1 >= argc) {
         std::cerr << "--design requires a path\n";
@@ -153,6 +189,28 @@ int main(int argc, char** argv) {
   }
 
   const flow::Table1Result r = flow::run_table1(cfg);
+  // `--repeat`: extra suite runs to firm up the wall numbers; every
+  // deterministic counter must reproduce exactly.
+  std::vector<std::vector<double>> walls(1);
+  for (const auto& row : r.rows) walls[0].push_back(row.result.seconds);
+  for (size_t rep = 1; rep < repeat; ++rep) {
+    std::cout << "repeat " << rep + 1 << "/" << repeat << "...\n";
+    const flow::Table1Result again = flow::run_table1(cfg);
+    walls.emplace_back();
+    for (size_t i = 0; i < again.rows.size(); ++i) {
+      if (again.rows[i].result.pattern_count() !=
+              r.rows[i].result.pattern_count() ||
+          again.rows[i].result.fsim.gate_evals !=
+              r.rows[i].result.fsim.gate_evals ||
+          again.rows[i].result.fsim.events_processed !=
+              r.rows[i].result.fsim.events_processed) {
+        std::cerr << "ERROR: experiment " << r.rows[i].id
+                  << " drifted across --repeat runs\n";
+        return 2;
+      }
+      walls.back().push_back(again.rows[i].result.seconds);
+    }
+  }
   std::cout << "device: " << NetlistStats::compute(r.netlist).to_string()
             << "\n\n";
   std::cout << flow::render_table1(r) << "\n";
@@ -175,7 +233,10 @@ int main(int argc, char** argv) {
         !design_path.empty()
             ? "design:" + design_path
             : (quick ? "quick" : (full ? "full" : "default"));
-    if (write_json_report(json_path, r, scale, shards) != 0) return 2;
+    if (write_json_report(json_path, r, walls, scale, shards, repeat) !=
+        0) {
+      return 2;
+    }
   }
   return (r.all_shapes_hold() || allow_shape_fail) ? 0 : 1;
 }

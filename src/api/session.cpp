@@ -281,6 +281,7 @@ SessionResult Session::run() {
         std::vector<std::pair<size_t, unsigned>> dets;
         const FsimStats st = fsim2.run_batch(b, fl2, &dets);
         res.fsim.gate_evals += st.gate_evals;
+        res.fsim.events_processed += st.events_processed;
         for (const auto& [fault, slot] : dets) {
           keep[group_idx[slot]] = true;
         }

@@ -140,9 +140,10 @@ class SessionConfig {
   /// Fault-simulation shards (thread pool size). 1 = sequential; 0 =
   /// hardware concurrency. Results are bit-identical for every value.
   SessionConfig& fsim_shards(size_t n);
-  /// Fault-propagation strategy (default: cone-limited). Results are
-  /// bit-identical for either mode; kExhaustive is the slower reference
-  /// path kept for parity checks and benchmarking.
+  /// Fault-propagation strategy (default: compiled cone replay
+  /// programs). Results are bit-identical for every mode; kConeLimited
+  /// (interpreted cone engine) and kExhaustive are the slower reference
+  /// paths kept for parity checks and benchmarking.
   SessionConfig& fsim_mode(FsimMode m);
 
   // ---- optional stages ---------------------------------------------------
@@ -175,7 +176,7 @@ class SessionConfig {
   std::vector<std::shared_ptr<ResultSink>> sinks_;
   ProgressObserver observer_;
   size_t fsim_shards_ = 1;
-  FsimMode fsim_mode_ = FsimMode::kConeLimited;
+  FsimMode fsim_mode_ = FsimMode::kCompiled;
   std::optional<EdtConfig> edt_;
   bool on_chip_clocking_ = false;
 };

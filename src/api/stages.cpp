@@ -87,6 +87,7 @@ void accumulate(FsimStats& into, const FsimStats& st) {
   into.newly_detected += st.newly_detected;
   into.newly_possibly += st.newly_possibly;
   into.gate_evals += st.gate_evals;
+  into.events_processed += st.events_processed;
 }
 
 }  // namespace

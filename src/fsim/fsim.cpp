@@ -67,18 +67,35 @@ NcpFaultSim::NcpFaultSim(const Netlist& nl, const ClockingScheme& scheme,
         static_cast<int32_t>(i);
   }
   d_feeds_.assign(nl.size(), {});
+  dff_d_.resize(nl.dffs().size());
   for (size_t i = 0; i < nl.dffs().size(); ++i) {
-    d_feeds_[nl.gate(nl.dffs()[i]).fanin[0]].push_back(
-        static_cast<uint32_t>(i));
+    const GateId d = nl.gate(nl.dffs()[i]).fanin[0];
+    d_feeds_[d].push_back(static_cast<uint32_t>(i));
+    dff_d_[i] = d;
   }
   cand_stamp_.assign(nl.dffs().size(), 0);
+}
+
+const ConeProgram& NcpFaultSim::cone_program(size_t ncp_index) {
+  OCC_CHECK(ncp_index < scheme_->procedures.size(), "NCP out of range");
+  if (ncp_index >= progs_.size()) {
+    progs_.resize(ncp_index + 1);
+    prog_built_.resize(ncp_index + 1, 0);
+  }
+  if (!prog_built_[ncp_index]) {
+    const NamedCaptureProcedure& ncp = scheme_->procedures[ncp_index];
+    progs_[ncp_index] =
+        compile_cone_program(*nl_, ncp, cone_.frame_obs(ncp_index, ncp));
+    prog_built_[ncp_index] = 1;
+  }
+  return progs_[ncp_index];
 }
 
 void NcpFaultSim::simulate_good(const PatternBatch& batch) {
   OCC_CHECK(batch.ncp_index < scheme_->procedures.size(),
             "batch NCP out of range");
   cur_ncp_ = &scheme_->procedures[batch.ncp_index];
-  cur_obs_ = mode_ == FsimMode::kConeLimited
+  cur_obs_ = mode_ != FsimMode::kExhaustive
                  ? &cone_.frame_obs(batch.ncp_index, *cur_ncp_)
                  : nullptr;
   const size_t frames = cur_ncp_->cycles.size();
@@ -113,6 +130,31 @@ void NcpFaultSim::simulate_good(const PatternBatch& batch) {
     }
   }
   good_.final_state = good_.state[frames];
+
+  cur_prog_ = nullptr;
+  if (mode_ == FsimMode::kCompiled) {
+    cur_prog_ = &cone_program(batch.ncp_index);
+    // Size the bitset scratch for the NCP's largest frame cone (never
+    // shrinks: one engine may alternate between procedures).
+    if (scratch_.active.size() < (cur_prog_->max_nodes + 63) / 64) {
+      scratch_.active.resize((cur_prog_->max_nodes + 63) / 64, 0);
+    }
+    // Pack the good-machine frames into dense-id order and prime the
+    // per-frame write-through arenas with them. Once per batch,
+    // amortized over every fault probed against it.
+    scratch_.good_dense.resize(frames);
+    scratch_.frame_vals.resize(frames);
+    for (size_t f = 0; f < frames; ++f) {
+      const FrameProgram& fp = cur_prog_->frames[f];
+      auto& gd = scratch_.good_dense[f];
+      gd.resize(fp.num_nodes);
+      const std::vector<Val64>& frame = good_.frames[f];
+      for (uint32_t n = 0; n < fp.num_nodes; ++n) {
+        gd[n] = frame[fp.gate_of[n]];
+      }
+      scratch_.frame_vals[f] = gd;
+    }
+  }
 }
 
 std::vector<V3> NcpFaultSim::expected_unload(unsigned slot) const {
@@ -125,31 +167,15 @@ std::vector<V3> NcpFaultSim::expected_unload(unsigned slot) const {
   return out;
 }
 
-bool NcpFaultSim::site_observable(const Fault& f, size_t frame) const {
-  const Gate& g = nl_->gate(f.gate);
-  if (g.type == GateType::kDff && f.pin == 0) {
-    // D-pin branch fault: takes effect only through this flop's capture.
-    const int32_t pos = dff_pos_[f.gate];
-    return cur_obs_->capture[frame][static_cast<size_t>(pos)] != 0;
+Val64 NcpFaultSim::off_cone_value(
+    GateId g, const std::vector<StateDiff>& in_state) const {
+  const int32_t pos = dff_pos_[g];
+  if (pos >= 0) {
+    for (const StateDiff& sd : in_state) {
+      if (sd.dff_pos == static_cast<uint32_t>(pos)) return sd.faulty;
+    }
   }
-  // Stem and combinational branch faults corrupt f.gate's output net.
-  return cur_obs_->live[frame][f.gate] != 0;
-}
-
-uint64_t NcpFaultSim::transition_inj(const Fault& f, GateId site,
-                                     size_t frame,
-                                     uint64_t live_mask) const {
-  if (frame < 1 || !cur_ncp_->cycles[frame].at_speed) return 0;
-  // Launch condition: fault-free transition init -> final across the
-  // at-speed pair (frame-1, frame) at the fault site.
-  const Val64 prev = good_.frames[frame - 1][site];
-  const Val64 now = good_.frames[frame][site];
-  const bool init = fault_value(f.type);  // STR: site slow from 0
-  const uint64_t was_init = init ? prev.is1() : prev.is0();
-  const uint64_t is_final = init ? now.is0() : now.is1();
-  // STR (slow-to-rise): init=0, final=1; fault_value(kStr)=false, so
-  // was_init = prev.is0() and is_final = now.is1().
-  return was_init & is_final & live_mask;
+  return good_.frames[cur_frame_][g];
 }
 
 void NcpFaultSim::propagate_frame(GateId site_gate, uint8_t site_pin,
@@ -157,7 +183,7 @@ void NcpFaultSim::propagate_frame(GateId site_gate, uint8_t site_pin,
                                   const std::vector<StateDiff>& in_state,
                                   std::vector<StateDiff>* out_state,
                                   uint64_t* hard_po, uint64_t* poss_po,
-                                  uint64_t* evals) {
+                                  FsimWork* work) {
   ++epoch_;
   const auto& good_vals = good_.frames[cur_frame_];
   const CaptureCycle& cyc = cur_ncp_->cycles[cur_frame_];
@@ -170,6 +196,7 @@ void NcpFaultSim::propagate_frame(GateId site_gate, uint8_t site_pin,
   // reach an observation point in the remaining frames, so it dies here.
   auto enqueue = [&](GateId g) {
     if (live && !live[g]) return;
+    ++work->events_processed;
     cone_.push(g);
   };
 
@@ -217,22 +244,28 @@ void NcpFaultSim::propagate_frame(GateId site_gate, uint8_t site_pin,
       enqueue(site_gate);
     } else if (nl_->gate(site_gate).type == GateType::kDff &&
                site_pin == 0) {
-      // Branch fault on a flop's D pin: handled at capture below.
-      cand_stamp_[static_cast<size_t>(dff_pos_[site_gate])] = epoch_;
-      cand_dffs_.push_back(static_cast<uint32_t>(dff_pos_[site_gate]));
+      // Branch fault on a flop's D pin: handled at capture below. Dedup
+      // against the in_state seeds -- when the faulted flop's D net is
+      // itself a corrupted flop, its position is already a candidate,
+      // and a duplicate would double-count next-frame activation events
+      // (and diverge from the compiled engine's counters).
+      const uint32_t pos = static_cast<uint32_t>(dff_pos_[site_gate]);
+      if (cand_stamp_[pos] != epoch_) {
+        cand_stamp_[pos] = epoch_;
+        cand_dffs_.push_back(pos);
+      }
     }
   }
 
   // Level-ordered single-fault propagation over the event queue.
   Val64 ins[8];
-  std::vector<Val64> big;
   cone_.drain([&](GateId g) {
     const Gate& gate = nl_->gate(g);
     const size_t n = gate.fanin.size();
     Val64* iv = ins;
     if (n > 8) {
-      big.resize(n);
-      iv = big.data();
+      scratch_.wide_ins.resize(n);
+      iv = scratch_.wide_ins.data();
     }
     for (size_t i = 0; i < n; ++i) iv[i] = faulty_value(gate.fanin[i]);
     // Branch-fault override on this gate's faulted pin.
@@ -248,7 +281,7 @@ void NcpFaultSim::propagate_frame(GateId site_gate, uint8_t site_pin,
       out.v = (out.v & ~inj_mask) | forced_v;
       out.x = out.x & ~inj_mask;
     }
-    ++*evals;
+    ++work->gate_evals;
     const Val64 prev = faulty_value(g);
     if (out == prev && stamp_[g] == epoch_) return;
     faulty_[g] = out;
@@ -292,11 +325,300 @@ void NcpFaultSim::propagate_frame(GateId site_gate, uint8_t site_pin,
   }
 }
 
+void NcpFaultSim::propagate_frame_compiled(
+    GateId site_gate, uint8_t site_pin, uint64_t inj_mask,
+    uint64_t forced_v, const std::vector<StateDiff>& in_state,
+    std::vector<StateDiff>* out_state, uint64_t* hard_po,
+    uint64_t* poss_po, FsimWork* work) {
+  ++epoch_;
+  const uint32_t ep = epoch_;
+  const FrameProgram& fp = cur_prog_->frames[cur_frame_];
+  const Val64* goodd = scratch_.good_dense[cur_frame_].data();
+  Val64* vals = scratch_.frame_vals[cur_frame_].data();
+  const ConeNode* nodes = fp.nodes.data();
+  uint64_t* active = scratch_.active.data();
+  const auto& dffs = nl_->dffs();
+  auto& touched = scratch_.touched;
+  cand_dffs_.clear();
+
+  // The arena holds the frame's good values between passes; every write
+  // records its node so the pass can restore them on the way out
+  // (duplicate entries are fine -- restoring twice is idempotent). This
+  // is what makes the operand gather below one contiguous load and
+  // `new == previous` an exact skip condition, with no epoch stamps.
+  auto write_val = [&](uint32_t node, Val64 v) {
+    vals[node] = v;
+    touched.push_back(node);
+  };
+
+  // A stem injection at an off-cone site still corrupts captured flop
+  // state (the carried corruption rides along, observable or not --
+  // exactly like the interpreter, which stamps the global overlay).
+  // The forced word is kept here for the capture pass's reads.
+  Val64 off_cone_site{};
+  bool site_stem_off_cone = false;
+
+  // Replay-program equivalents of the interpreted engine's enqueue /
+  // add_candidates: fanout and dfeed lists are pre-filtered, so the
+  // liveness, sequential and pulse checks are compiled away. The sweep
+  // only visits the bitset word range activations actually touched.
+  uint32_t wlo = 0xFFFFFFFFu, whi = 0;
+  auto activate = [&](uint32_t node) {
+    ++work->events_processed;
+    const uint32_t word = node >> 6;
+    active[word] |= 1ull << (node & 63);
+    wlo = std::min(wlo, word);
+    whi = std::max(whi, word);
+  };
+  auto activate_fanouts = [&](uint32_t node) {
+    for (uint32_t k = nodes[node].fanout_begin;
+         k < nodes[node + 1].fanout_begin; ++k) {
+      activate(fp.fanout[k]);
+    }
+  };
+  auto add_cands = [&](uint32_t node) {
+    for (uint32_t k = nodes[node].dfeed_begin;
+         k < nodes[node + 1].dfeed_begin; ++k) {
+      const uint32_t pos = fp.dfeed[k];
+      if (cand_stamp_[pos] != ep) {
+        cand_stamp_[pos] = ep;
+        cand_dffs_.push_back(pos);
+      }
+    }
+  };
+  auto add_cands_off_cone = [&](GateId g) {
+    for (uint32_t pos : d_feeds_[g]) {
+      if (!fp.dff_pulsed[pos]) continue;
+      if (cand_stamp_[pos] != ep) {
+        cand_stamp_[pos] = ep;
+        cand_dffs_.push_back(pos);
+      }
+    }
+  };
+
+  // Seeds: corrupted flop outputs from the previous pulse.
+  for (const StateDiff& sd : in_state) {
+    const GateId ff = dffs[sd.dff_pos];
+    const Val64 gv = good_.frames[cur_frame_][ff];
+    const bool differs =
+        (hard_diff(sd.faulty, gv) | possible_diff(sd.faulty, gv)) != 0;
+    const int32_t dn = fp.dense_of[ff];
+    if (dn >= 0) {
+      write_val(static_cast<uint32_t>(dn), sd.faulty);
+      if (differs) {
+        activate_fanouts(static_cast<uint32_t>(dn));
+        add_cands(static_cast<uint32_t>(dn));
+      }
+    } else if (differs) {
+      add_cands_off_cone(ff);
+    }
+  }
+
+  // Seed: fault injection site.
+  int32_t site_dense = -1;
+  if (inj_mask != 0) {
+    if (site_pin == kOutputPin) {
+      site_dense = fp.dense_of[site_gate];
+      const Val64 g = site_dense >= 0
+                          ? vals[site_dense]
+                          : off_cone_value(site_gate, in_state);
+      Val64 forced;
+      forced.v = (g.v & ~inj_mask) | forced_v;
+      forced.x = g.x & ~inj_mask;
+      const Val64 gv = good_.frames[cur_frame_][site_gate];
+      const bool differs =
+          (hard_diff(forced, gv) | possible_diff(forced, gv)) != 0;
+      if (site_dense >= 0) {
+        write_val(static_cast<uint32_t>(site_dense), forced);
+        if (differs) {
+          activate_fanouts(static_cast<uint32_t>(site_dense));
+          add_cands(static_cast<uint32_t>(site_dense));
+        }
+      } else {
+        off_cone_site = forced;
+        site_stem_off_cone = true;
+        if (differs) add_cands_off_cone(site_gate);
+      }
+    } else if (!is_sequential(nl_->gate(site_gate).type)) {
+      // Branch fault: re-evaluate only the faulted gate (if in-cone).
+      site_dense = fp.dense_of[site_gate];
+      if (site_dense >= 0) activate(static_cast<uint32_t>(site_dense));
+    } else if (nl_->gate(site_gate).type == GateType::kDff &&
+               site_pin == 0) {
+      // Branch fault on a flop's D pin: the captured value is computed
+      // at the capture pass below (forced from the D net's final value).
+      const uint32_t pos = static_cast<uint32_t>(dff_pos_[site_gate]);
+      if (cand_stamp_[pos] != ep) {
+        cand_stamp_[pos] = ep;
+        cand_dffs_.push_back(pos);
+      }
+    }
+  }
+
+  // Linear sweep: dense ids are level-ordered, and an evaluation only
+  // activates strictly higher ids, so one ascending pass over the
+  // bitset words visits every event in level order (the inner loop
+  // re-reads its word to pick up same-word activations, and the word
+  // bound `whi` grows as activations land past it).
+  Val64 ins[2];
+  for (uint32_t wi = wlo; wi <= whi; ++wi) {
+    while (uint64_t w = active[wi]) {
+      const uint32_t bit = static_cast<uint32_t>(std::countr_zero(w));
+      active[wi] = w & (w - 1);
+      const uint32_t node = (wi << 6) | bit;
+      ++work->gate_evals;
+
+      const ConeNode rec = nodes[node];
+      // Gather: inline operands for the dominant <= 2-input gates (the
+      // record itself carries them), pool indirection for the rest.
+      Val64* iv;
+      if (rec.nf <= 2) {
+        ins[0] = vals[rec.in0];
+        ins[1] = vals[rec.in1];  // unused for nf < 2 (in1 == 0 is safe)
+        iv = ins;
+      } else {
+        scratch_.wide_ins.resize(rec.nf);
+        for (uint32_t i = 0; i < rec.nf; ++i) {
+          scratch_.wide_ins[i] = vals[fp.fanin_pool[rec.in0 + i]];
+        }
+        iv = scratch_.wide_ins.data();
+      }
+      const bool is_site =
+          static_cast<int32_t>(node) == site_dense && inj_mask != 0;
+      if (is_site && site_pin != kOutputPin) [[unlikely]] {
+        Val64& pv = iv[site_pin];
+        pv.v = (pv.v & ~inj_mask) | forced_v;
+        pv.x = pv.x & ~inj_mask;
+      }
+      // Mask-driven evaluation classes (lowered at compile time): the
+      // dominant 2-input cells evaluate branch-free, side-stepping the
+      // per-event opcode mispredicts a GateType switch pays. The masks
+      // sign-extend from 0x00/0xFF without a branch.
+      Val64 out;
+      switch (rec.cls) {
+        case ConeOpClass::kAnd2: {
+          const uint64_t mi = static_cast<uint64_t>(
+              static_cast<int64_t>(static_cast<int8_t>(rec.inv_in)));
+          const uint64_t mo = static_cast<uint64_t>(
+              static_cast<int64_t>(static_cast<int8_t>(rec.inv_out)));
+          const Val64 a{(iv[0].v ^ mi) & ~iv[0].x, iv[0].x};
+          const Val64 b{(iv[1].v ^ mi) & ~iv[1].x, iv[1].x};
+          const Val64 r = v_and(a, b);
+          out = {(r.v ^ mo) & ~r.x, r.x};
+          break;
+        }
+        case ConeOpClass::kXor2: {
+          const uint64_t mo = static_cast<uint64_t>(
+              static_cast<int64_t>(static_cast<int8_t>(rec.inv_out)));
+          const Val64 r = v_xor(iv[0], iv[1]);
+          out = {(r.v ^ mo) & ~r.x, r.x};
+          break;
+        }
+        case ConeOpClass::kUnary: {
+          const uint64_t mo = static_cast<uint64_t>(
+              static_cast<int64_t>(static_cast<int8_t>(rec.inv_out)));
+          out = {(iv[0].v ^ mo) & ~iv[0].x, iv[0].x};
+          break;
+        }
+        default:
+          out = eval_gate_packed(static_cast<GateType>(rec.op),
+                                 {iv, rec.nf});
+          break;
+      }
+      if (is_site && site_pin == kOutputPin) [[unlikely]] {
+        out.v = (out.v & ~inj_mask) | forced_v;
+        out.x = out.x & ~inj_mask;
+      }
+      // Write-through arena: the node holds its previous value (good if
+      // untouched), so an unchanged result is exactly the interpreted
+      // engine's early return.
+      const Val64 prev = vals[node];
+      if (out == prev) continue;
+      write_val(node, out);
+      const Val64 gv = goodd[node];
+      if (hard_diff(out, gv) | possible_diff(out, gv)) {
+        activate_fanouts(node);
+        add_cands(node);
+      }
+      if (rec.po_probe) {
+        *hard_po |= hard_diff(out, gv);
+        *poss_po |= possible_diff(out, gv);
+      }
+    }
+  }
+
+  // Next-frame corrupted state: pulsed flops capture faulty D values
+  // (the probe-slot candidates above); un-pulsed flops carry their
+  // previous corruption forward. D values are read at end-of-frame like
+  // the interpreter (a stem site can be re-evaluated mid-sweep, so a
+  // value snapshotted at candidate time could be stale).
+  out_state->clear();
+  const auto& next_state = good_.state[cur_frame_ + 1];
+  for (const StateDiff& sd : in_state) {
+    if (!fp.dff_pulsed[sd.dff_pos]) out_state->push_back(sd);
+  }
+  for (const uint32_t pos : cand_dffs_) {
+    // Only the D-pin-branch seed can name an un-pulsed flop; the feed
+    // lists are pulse-filtered at compile time.
+    if (!fp.dff_pulsed[pos]) continue;
+    const GateId d = dff_d_[pos];
+    const int32_t dn = fp.dense_of[d];
+    Val64 fd;
+    if (dn >= 0) {
+      fd = vals[dn];
+    } else if (site_stem_off_cone && d == site_gate) {
+      fd = off_cone_site;
+    } else {
+      fd = off_cone_value(d, in_state);
+    }
+    // Branch fault directly on this flop's D pin.
+    if (dffs[pos] == site_gate && site_pin == 0 && inj_mask != 0) {
+      fd.v = (fd.v & ~inj_mask) | forced_v;
+      fd.x = fd.x & ~inj_mask;
+    }
+    if (hard_diff(fd, next_state[pos]) | possible_diff(fd, next_state[pos])) {
+      out_state->push_back({pos, fd});
+    }
+  }
+
+  // Restore the arena to the frame's good values for the next pass.
+  for (const uint32_t node : touched) vals[node] = goodd[node];
+  touched.clear();
+}
+
 std::pair<NcpFaultSim::ProbeMasks, NcpFaultSim::ProbeMasks>
 NcpFaultSim::simulate_sites(const Fault& a, const Fault* b,
-                            uint64_t live_mask, uint64_t* evals) {
+                            uint64_t live_mask, FsimWork* work) {
   const size_t frames = cur_ncp_->cycles.size();
   const GateId site = fault_net(*nl_, a);
+
+  // One pass over the good frames computes every frame's launch lanes
+  // for the fault and (when paired) its partner. Launch condition for a
+  // transition fault in frame k: the fault-free machine drives the site
+  // init -> final across the at-speed pulse pair (k-1, k); STR (slow-
+  // to-rise) launches on 0->1, STF on 1->0 -- the two partners read the
+  // same pair of good words, so both mask sets fall out of one pass.
+  auto& inj_a = scratch_.inj_a;
+  auto& inj_b = scratch_.inj_b;
+  inj_a.assign(frames, 0);
+  inj_b.assign(frames, 0);
+  uint64_t union_a = 0, union_b = 0;
+  if (is_transition(a.type)) {
+    const bool a_is_str = !fault_value(a.type);  // STR: slow from 0
+    for (size_t k = 1; k < frames; ++k) {
+      if (!cur_ncp_->cycles[k].at_speed) continue;
+      const Val64 prev = good_.frames[k - 1][site];
+      const Val64 now = good_.frames[k][site];
+      const uint64_t str = prev.is0() & now.is1() & live_mask;
+      const uint64_t stf = prev.is1() & now.is0() & live_mask;
+      inj_a[k] = a_is_str ? str : stf;
+      inj_b[k] = a_is_str ? stf : str;
+      union_a |= inj_a[k];
+      union_b |= inj_b[k];
+    }
+  } else {
+    for (size_t k = 0; k < frames; ++k) inj_a[k] = live_mask;
+  }
 
   if (b != nullptr) {
     OCC_DCHECK(b->gate == a.gate && b->pin == a.pin);
@@ -309,15 +631,10 @@ NcpFaultSim::simulate_sites(const Fault& a, const Fault* b,
     // fall back to two solo passes. A partner with no launch lanes at
     // all also goes solo: its side of the overlay would be pure waste
     // (the solo pass skips every frame at zero cost).
-    uint64_t union_a = 0, union_b = 0;
-    for (size_t k = 0; k < frames; ++k) {
-      union_a |= transition_inj(a, site, k, live_mask);
-      union_b |= transition_inj(*b, site, k, live_mask);
-    }
     if ((union_a & union_b) || union_a == 0 || union_b == 0) {
-      const ProbeMasks ra = simulate_sites(a, nullptr, live_mask, evals).first;
+      const ProbeMasks ra = simulate_sites(a, nullptr, live_mask, work).first;
       const ProbeMasks rb =
-          simulate_sites(*b, nullptr, live_mask, evals).first;
+          simulate_sites(*b, nullptr, live_mask, work).first;
       return {ra, rb};
     }
   }
@@ -327,9 +644,10 @@ NcpFaultSim::simulate_sites(const Fault& a, const Fault* b,
   bool frozen_b = (b == nullptr);
   uint64_t seen_a = 0, seen_b = 0;  // lanes injected so far, per fault
 
-  std::vector<StateDiff> state_x, state_y;
-  std::vector<StateDiff>* cur = &state_x;
-  std::vector<StateDiff>* nxt = &state_y;
+  scratch_.state_a.clear();
+  scratch_.state_b.clear();
+  std::vector<StateDiff>* cur = &scratch_.state_a;
+  std::vector<StateDiff>* nxt = &scratch_.state_b;
 
   // Clears a frozen fault's lanes from the carried state corruption:
   // its verdict is final, so only the live partner's lanes still need
@@ -349,16 +667,20 @@ NcpFaultSim::simulate_sites(const Fault& a, const Fault* b,
     state->resize(w);
   };
 
+  // Hoist the per-frame observability lookup: which mask row it reads
+  // depends only on the fault's shape, not the frame.
+  const Gate& site_gate_rec = nl_->gate(a.gate);
+  const bool dpin_fault =
+      site_gate_rec.type == GateType::kDff && a.pin == 0;
+  const size_t dpin_pos =
+      dpin_fault ? static_cast<size_t>(dff_pos_[a.gate]) : 0;
+
   for (size_t k = 0; k < frames; ++k) {
     cur_frame_ = k;
     // A frozen fault stops injecting: its masks are final and its lanes
     // cannot influence the partner's.
-    const uint64_t ia = frozen_a ? 0
-                        : is_transition(a.type)
-                            ? transition_inj(a, site, k, live_mask)
-                            : live_mask;
-    const uint64_t ib =
-        (b && !frozen_b) ? transition_inj(*b, site, k, live_mask) : 0;
+    const uint64_t ia = frozen_a ? 0 : inj_a[k];
+    const uint64_t ib = (b && !frozen_b) ? inj_b[k] : 0;
     const uint64_t inj = ia | ib;
     // Fault dropping at the frame level: an injection whose site cannot
     // reach any observation point in the remaining frames is dead on
@@ -366,7 +688,10 @@ NcpFaultSim::simulate_sites(const Fault& a, const Fault* b,
     // frame is skipped. A fault whose site is outside every frame's
     // cone thus costs zero gate evaluations.
     const bool effective =
-        inj != 0 && (cur_obs_ == nullptr || site_observable(a, k));
+        inj != 0 &&
+        (cur_obs_ == nullptr ||
+         (dpin_fault ? cur_obs_->capture[k][dpin_pos] != 0
+                     : cur_obs_->live[k][a.gate] != 0));
     if (!effective && cur->empty()) {
       // Nothing can change this frame; state diffs unchanged.
       continue;
@@ -380,8 +705,13 @@ NcpFaultSim::simulate_sites(const Fault& a, const Fault* b,
         is_transition(a.type) ? ~good_.frames[k][site].v & inj
                               : (fault_value(a.type) ? inj : 0);
     uint64_t hard_po = 0, poss_po = 0;
-    propagate_frame(a.gate, a.pin, inj, forced_v, *cur, nxt, &hard_po,
-                    &poss_po, evals);
+    if (mode_ == FsimMode::kCompiled) {
+      propagate_frame_compiled(a.gate, a.pin, inj, forced_v, *cur, nxt,
+                               &hard_po, &poss_po, work);
+    } else {
+      propagate_frame(a.gate, a.pin, inj, forced_v, *cur, nxt, &hard_po,
+                      &poss_po, work);
+    }
     // The 64 lanes are independent, so the frame's observation words
     // split exactly by injected-lane ownership. A detected fault's
     // masks freeze where a solo pass would have returned.
@@ -428,8 +758,8 @@ NcpFaultSim::simulate_sites(const Fault& a, const Fault* b,
 
 std::pair<NcpFaultSim::ProbeMasks, NcpFaultSim::ProbeMasks>
 NcpFaultSim::probe_fault_pair(const Fault& a, const Fault& b,
-                              uint64_t live_mask, uint64_t* evals) {
-  return simulate_sites(a, &b, live_mask, evals);
+                              uint64_t live_mask, FsimWork* work) {
+  return simulate_sites(a, &b, live_mask, work);
 }
 
 const std::vector<uint32_t>& NcpFaultSim::sim_order(const FaultList& fl) {
@@ -481,32 +811,33 @@ FsimStats NcpFaultSim::detect_faults(
   const uint64_t live = live_mask(batch);
 
   // Probe in cone-locality order (cache warmth), merge in fault-index
-  // order: the walk order is invisible in every output. In cone mode an
+  // order: the walk order is invisible in every output. In cone modes an
   // STR/STF pair at the same site is probed in one overlay pass.
-  uint64_t evals = 0;
+  FsimWork work;
   const std::vector<uint32_t>& order = sim_order(fl);
+  const bool pair_mode = mode_ != FsimMode::kExhaustive;
   probes_.assign(fl.size(), FaultProbe{});
   for (const uint32_t i : order) {
     FaultProbe& p = probes_[i];
     if (p.simulated) continue;
     if (!fsim_wants_simulation(fl.status(i))) continue;
-    const uint32_t j =
-        mode_ == FsimMode::kConeLimited ? partners_[i] : kNoPartner;
+    const uint32_t j = pair_mode ? partners_[i] : kNoPartner;
     if (j != kNoPartner && !probes_[j].simulated &&
         fsim_wants_simulation(fl.status(j))) {
       const auto [ma, mb] =
-          simulate_sites(fl.fault(i), &fl.fault(j), live, &evals);
+          simulate_sites(fl.fault(i), &fl.fault(j), live, &work);
       p = {ma.hard, ma.poss, true};
       probes_[j] = {mb.hard, mb.poss, true};
     } else {
       const ProbeMasks m =
-          simulate_sites(fl.fault(i), nullptr, live, &evals).first;
+          simulate_sites(fl.fault(i), nullptr, live, &work).first;
       p = {m.hard, m.poss, true};
     }
   }
 
   FsimStats st = merge_fault_probes(probes_, fl, detections);
-  st.gate_evals = evals;
+  st.gate_evals = work.gate_evals;
+  st.events_processed = work.events_processed;
   return st;
 }
 

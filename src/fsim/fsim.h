@@ -14,32 +14,53 @@
 // Detection requires a known good/faulty disagreement; a disagreement
 // involving X downgrades to "possibly detected".
 //
-// Propagation is event-driven and cone-limited (FsimMode::kConeLimited,
-// the default): differences against the stored good-machine frames are
-// drained through a levelized event queue, restricted to nets from which
-// an observation point is still structurally reachable in the remaining
+// Propagation is event-driven and cone-limited: differences against the
+// stored good-machine frames propagate only through nets from which an
+// observation point is still structurally reachable in the remaining
 // frames (per-NCP masks precomputed by ConeSim). A fault whose injection
 // site is outside every frame's cone is dropped without propagating a
 // single gate. The masks over-approximate sensitization, so results are
-// bit-identical to FsimMode::kExhaustive -- the original full-fanout
-// event propagation, kept for parity tests and benchmarking.
+// bit-identical across all three execution strategies (FsimMode):
 //
-// Cone-limited mode additionally propagates slow-to-rise/slow-to-fall
-// partners at the same site in ONE overlay pass: a pattern lane launches
-// at most one transition direction, so the two faults inject on disjoint
-// lane sets, and both force the site to the complement of its good value
-// on their lanes. The 64 PPSFP lanes never interact, so the combined
+//   * kCompiled (default): each frame's cone is lowered once per NCP
+//     into a dense SoA replay program (sim/cone_program.h); the overlay
+//     pass sweeps a per-level active bitset over cone-local dense ids
+//     and a compact scratch arena, never touching the global netlist.
+//     Work counters (gate_evals, events_processed) are bit-identical to
+//     the interpreted cone engine -- only wall time and cache traffic
+//     change.
+//   * kConeLimited: the interpreted cone engine (levelized event queue
+//     over the global netlist); kept as the parity reference for the
+//     compiled path.
+//   * kExhaustive: full-fanout event propagation without cone masks;
+//     the original reference path, kept for parity tests and the
+//     work-reduction benchmark.
+//
+// Cone modes additionally propagate slow-to-rise/slow-to-fall partners
+// at the same site in ONE overlay pass: a pattern lane launches at most
+// one transition direction, so the two faults inject on disjoint lane
+// sets, and both force the site to the complement of its good value on
+// their lanes. The 64 PPSFP lanes never interact, so the combined
 // difference word splits exactly back into per-fault detection masks
 // (each fault's early-exit point is tracked per lane set). This roughly
 // halves transition fault-sim work on top of the cone limiting.
+//
+// After warm-up (first batch of an NCP), detect_faults performs zero
+// heap allocations in the compiled default mode: all per-fault buffers
+// live in a reusable per-worker FsimScratch owned by this instance
+// (each ShardedFaultSim worker owns its own engine and therefore its
+// own scratch). tests/test_cone_program.cpp pins this with a global
+// allocation counter.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/clock_scheme.h"
 #include "fault/fault_list.h"
 #include "fsim/pattern.h"
+#include "sim/cone_program.h"
 #include "sim/cone_sim.h"
 #include "sim/cycle_sim.h"
 
@@ -55,18 +76,37 @@ struct GoodFrames {
   std::vector<Val64> final_state;
 };
 
+/// Deterministic work done by fault propagation. Both counters are
+/// independent of shard count, walk order and execution strategy
+/// (compiled vs interpreted cone): gate_evals counts gates evaluated
+/// under the single-fault overlay, events_processed counts difference
+/// events offered to the schedule (fanout activation attempts,
+/// pre-dedup) -- the quantity the compiled replay programs make cheap.
+struct FsimWork {
+  uint64_t gate_evals = 0;
+  uint64_t events_processed = 0;
+
+  FsimWork& operator+=(const FsimWork& o) {
+    gate_evals += o.gate_evals;
+    events_processed += o.events_processed;
+    return *this;
+  }
+};
+
 /// Statistics from one fault-sim invocation.
 struct FsimStats {
   size_t faults_simulated = 0;
   size_t newly_detected = 0;
   size_t newly_possibly = 0;
   uint64_t gate_evals = 0;
+  uint64_t events_processed = 0;
 };
 
 /// Propagation strategy; results are bit-identical, only the work done
-/// (gate_evals) differs.
+/// and the memory layout it runs over differ. See the file comment.
 enum class FsimMode : uint8_t {
-  kConeLimited,  // observability-cone-limited event propagation (default)
+  kCompiled,     // dense cone replay programs (default)
+  kConeLimited,  // interpreted cone-limited event propagation
   kExhaustive,   // full-fanout event propagation (parity reference)
 };
 
@@ -90,7 +130,7 @@ struct FaultProbe {
 /// sequential and sharded engines (their bit-identical-results
 /// invariant lives here). `detections` gets (fault index,
 /// countr_zero(hard)) for each newly hard-detected fault. The returned
-/// stats carry no gate_evals; callers account work themselves.
+/// stats carry no work counters; callers account work themselves.
 FsimStats merge_fault_probes(
     const std::vector<FaultProbe>& probes, FaultList& fl,
     std::vector<std::pair<size_t, unsigned>>* detections);
@@ -102,13 +142,15 @@ class NcpFaultSim {
   /// regardless of pattern contents.
   NcpFaultSim(const Netlist& nl, const ClockingScheme& scheme,
               GateId scan_en_pi = kNoGate,
-              FsimMode mode = FsimMode::kConeLimited);
+              FsimMode mode = FsimMode::kCompiled);
 
   const Netlist& netlist() const { return *nl_; }
   const ClockingScheme& scheme() const { return *scheme_; }
   FsimMode mode() const { return mode_; }
 
-  /// Fault-free simulation of a packed batch.
+  /// Fault-free simulation of a packed batch. In compiled mode this
+  /// also (lazily) lowers the batch's NCP cones into replay programs
+  /// and packs the good-machine frames into the dense arena layout.
   void simulate_good(const PatternBatch& batch);
   const GoodFrames& good() const { return good_; }
 
@@ -136,24 +178,24 @@ class NcpFaultSim {
 
   /// Simulates one fault against the last simulate_good() batch without
   /// touching any fault list: returns the (hard, possible) detection
-  /// masks over `live_mask` slots and accumulates gate evaluations into
-  /// `evals`. This is the shard-safe primitive behind ShardedFaultSim --
+  /// masks over `live_mask` slots and accumulates work counters into
+  /// `work`. This is the shard-safe primitive behind ShardedFaultSim --
   /// it only mutates this instance's private scratch.
   std::pair<uint64_t, uint64_t> probe_fault(const Fault& f,
                                             uint64_t live_mask,
-                                            uint64_t* evals) {
-    const ProbeMasks m = simulate_sites(f, nullptr, live_mask, evals).first;
+                                            FsimWork* work) {
+    const ProbeMasks m = simulate_sites(f, nullptr, live_mask, work).first;
     return {m.hard, m.poss};
   }
 
   /// Probes an STR/STF pair at the same (gate, pin) site in one overlay
   /// pass when their launch lanes are disjoint (automatic exact fallback
   /// to two solo passes otherwise). Results are identical to two
-  /// probe_fault calls; only `evals` is smaller.
+  /// probe_fault calls; only the work counters are smaller.
   std::pair<ProbeMasks, ProbeMasks> probe_fault_pair(const Fault& a,
                                                      const Fault& b,
                                                      uint64_t live_mask,
-                                                     uint64_t* evals);
+                                                     FsimWork* work);
 
   /// Cone-locality simulation order for `fl` (cached; rebuilt when the
   /// fault list contents change). Shared with ShardedFaultSim so every
@@ -166,6 +208,10 @@ class NcpFaultSim {
   /// partner[i] = index of the complementary transition fault at the
   /// same (gate, pin), or kNoPartner. Cached alongside sim_order().
   const std::vector<uint32_t>& sim_partners(const FaultList& fl);
+
+  /// Compiled replay program for procedure `ncp_index` (built on first
+  /// use in compiled mode; exposed for structural tests).
+  const ConeProgram& cone_program(size_t ncp_index);
 
   /// Live-slot mask for a batch (count < 64 leaves the top slots dead).
   static uint64_t live_mask(const PatternBatch& batch) {
@@ -186,32 +232,70 @@ class NcpFaultSim {
     Val64 faulty;
   };
 
+  /// Reusable per-worker buffers: everything a single fault overlay
+  /// pass writes lives here (epoch-stamped, so nothing is cleared
+  /// between faults). Sized at simulate_good time; after the first
+  /// batch of an NCP the steady-state detect_faults loop allocates
+  /// nothing.
+  struct FsimScratch {
+    // Good-machine frame values packed into dense-id order (rebuilt per
+    // simulate_good; read-only during overlay passes).
+    std::vector<std::vector<Val64>> good_dense;
+    // Write-through overlay arena, one per frame: initialized to the
+    // frame's good values at simulate_good, temporarily corrupted
+    // during a fault pass, restored via `touched` afterwards. Keeping
+    // the arena always-good between passes makes the operand gather a
+    // single contiguous load (no stamp check, no good fallback), and
+    // makes `new == previous` an exact skip condition -- the compiled
+    // path needs no epoch stamps at all.
+    std::vector<std::vector<Val64>> frame_vals;
+    std::vector<uint32_t> touched;  // dense ids to restore (dups fine)
+    std::vector<uint64_t> active;   // per-level active bitset words
+    // Carried state corruption double-buffer.
+    std::vector<StateDiff> state_a, state_b;
+    // Operand gather spill for gates with more than 8 fanins.
+    std::vector<Val64> wide_ins;
+    // Per-frame injection lane masks of the fault (and its partner),
+    // computed in one pass over the good frames per simulate_sites call
+    // -- the launch condition reads the same two good words for both
+    // partners and for the union pre-check, so computing them once
+    // halves the per-fault fixed cost.
+    std::vector<uint64_t> inj_a, inj_b;
+  };
+
   // Simulates fault `a` (and, when non-null, its complementary
   // transition partner `b` at the same site) and returns both mask sets.
   std::pair<ProbeMasks, ProbeMasks> simulate_sites(const Fault& a,
                                                    const Fault* b,
                                                    uint64_t live_mask,
-                                                   uint64_t* evals);
-
-  // Launch lanes of a transition fault in `frame` (0 for stuck-at or
-  // non-at-speed frames).
-  uint64_t transition_inj(const Fault& f, GateId site, size_t frame,
-                          uint64_t live_mask) const;
-
-  // Can injecting `f` in `frame` still reach an observation point?
-  bool site_observable(const Fault& f, size_t frame) const;
+                                                   FsimWork* work);
 
   Val64 faulty_value(GateId g) const {
     return stamp_[g] == epoch_ ? faulty_[g] : good_.frames[cur_frame_][g];
   }
   // `inj_mask`/`forced_v`: lanes where the site is overridden and the
   // value bits forced there (forced_v must be a subset of inj_mask).
+  // Interpreted engine: levelized event queue over the global netlist.
   void propagate_frame(GateId site_gate, uint8_t site_pin,
                        uint64_t inj_mask, uint64_t forced_v,
                        const std::vector<StateDiff>& in_state,
                        std::vector<StateDiff>* out_state,
                        uint64_t* hard_po, uint64_t* poss_po,
-                       uint64_t* evals);
+                       FsimWork* work);
+  // Compiled engine: linear bitset sweep over the frame's replay
+  // program. Bit-identical results and work counters by construction
+  // (same activation conditions over the same pre-filtered edges).
+  void propagate_frame_compiled(GateId site_gate, uint8_t site_pin,
+                                uint64_t inj_mask, uint64_t forced_v,
+                                const std::vector<StateDiff>& in_state,
+                                std::vector<StateDiff>* out_state,
+                                uint64_t* hard_po, uint64_t* poss_po,
+                                FsimWork* work);
+  // Faulty value of a net with no dense id this frame: only carried
+  // flop corruption (or a stem injection, handled by the caller) can
+  // make it differ from good.
+  Val64 off_cone_value(GateId g,
+                       const std::vector<StateDiff>& in_state) const;
 
   const Netlist* nl_;
   const ClockingScheme* scheme_;
@@ -221,13 +305,20 @@ class NcpFaultSim {
   ConeSim cone_;
   GoodFrames good_;
   const NamedCaptureProcedure* cur_ncp_ = nullptr;
-  const FrameObs* cur_obs_ = nullptr;  // null in exhaustive mode
+  const FrameObs* cur_obs_ = nullptr;      // null in exhaustive mode
+  const ConeProgram* cur_prog_ = nullptr;  // set in compiled mode
 
-  // Per-fault scratch (epoch-stamped overlay).
+  // Compiled replay programs, cached per NCP index.
+  std::vector<ConeProgram> progs_;
+  std::vector<uint8_t> prog_built_;
+
+  // Per-fault scratch (epoch-stamped overlay), interpreted engine.
   std::vector<Val64> faulty_;
   std::vector<uint32_t> stamp_;
   uint32_t epoch_ = 0;
   size_t cur_frame_ = 0;
+
+  FsimScratch scratch_;
 
   // dff position lookup: gate id -> index in nl.dffs(), or -1.
   std::vector<int32_t> dff_pos_;
@@ -235,6 +326,7 @@ class NcpFaultSim {
   std::vector<int32_t> scan_pos_;  // dff position -> scan position or -1
   // For capture-diff tracking: gate -> dff positions whose D pin it drives.
   std::vector<std::vector<uint32_t>> d_feeds_;
+  std::vector<GateId> dff_d_;             // dff position -> D net
   std::vector<uint32_t> cand_dffs_;       // capture candidates this frame
   std::vector<uint32_t> cand_stamp_;      // epoch-stamped dedup
 

@@ -35,13 +35,13 @@ FsimStats ShardedFaultSim::run_batch(
   const size_t n = sims_.size();
   const uint64_t live = NcpFaultSim::live_mask(batch);
   probes_.assign(fl.size(), FaultProbe{});
-  evals_.assign(fl.size(), 0);
+  work_.assign(fl.size(), FsimWork{});
 
   // Shared cone-locality walk order and STR/STF partner map (computed
   // once, read-only for the workers; shard 0's cache is authoritative).
   const std::vector<uint32_t>& order = sims_[0]->sim_order(fl);
   const std::vector<uint32_t>& partners = sims_[0]->sim_partners(fl);
-  const bool pair_mode = mode() == FsimMode::kConeLimited;
+  const bool pair_mode = mode() != FsimMode::kExhaustive;
 
   // Fan out: faults are interleaved over the shards for load balance
   // (collapsed fault lists cluster equivalent-cost faults), with an
@@ -68,11 +68,11 @@ FsimStats ShardedFaultSim::run_batch(
       if (j != NcpFaultSim::kNoPartner && !probes_[j].simulated &&
           fsim_wants_simulation(fl.status(j))) {
         const auto [ma, mb] = sim.probe_fault_pair(fl.fault(i), fl.fault(j),
-                                                   live, &evals_[i]);
+                                                   live, &work_[i]);
         p = {ma.hard, ma.poss, true};
         probes_[j] = {mb.hard, mb.poss, true};
       } else {
-        auto [hard, poss] = sim.probe_fault(fl.fault(i), live, &evals_[i]);
+        auto [hard, poss] = sim.probe_fault(fl.fault(i), live, &work_[i]);
         p = {hard, poss, true};
       }
     }
@@ -81,7 +81,10 @@ FsimStats ShardedFaultSim::run_batch(
   // Merge in fault-index order via the canonical walk shared with the
   // sequential engine, fed from the precomputed probes.
   FsimStats st = merge_fault_probes(probes_, fl, detections);
-  for (const uint64_t e : evals_) st.gate_evals += e;
+  FsimWork total;
+  for (const FsimWork& w : work_) total += w;
+  st.gate_evals = total.gate_evals;
+  st.events_processed = total.events_processed;
   return st;
 }
 

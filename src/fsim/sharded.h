@@ -7,7 +7,7 @@
 // only acts *between* batches -- so the merge reproduces the sequential
 // NcpFaultSim::detect_faults result bit for bit: identical statuses,
 // identical stats, identical (fault, first-detecting-slot) pairs, for
-// any shard count and either propagation mode. That invariant is what
+// any shard count and every propagation mode. That invariant is what
 // lets run_atpg stay a thin wrapper over occ::Session regardless of the
 // session's thread setting (tests/test_api.cpp locks it in).
 //
@@ -30,7 +30,7 @@ class ShardedFaultSim {
   /// no pool, exact NcpFaultSim code path; 0 = hardware concurrency).
   ShardedFaultSim(const Netlist& nl, const ClockingScheme& scheme,
                   GateId scan_en_pi, size_t shards = 1,
-                  FsimMode mode = FsimMode::kConeLimited);
+                  FsimMode mode = FsimMode::kCompiled);
 
   size_t shards() const { return sims_.size(); }
   const Netlist& netlist() const { return sims_[0]->netlist(); }
@@ -58,7 +58,7 @@ class ShardedFaultSim {
   std::unique_ptr<ThreadPool> pool_;  // null when shards() == 1
   // Indexed by fault, reused per batch; shards write disjoint slots.
   std::vector<FaultProbe> probes_;
-  std::vector<uint64_t> evals_;
+  std::vector<FsimWork> work_;
 };
 
 }  // namespace occ

@@ -1,5 +1,6 @@
 #include "util/json.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <fstream>
@@ -133,6 +134,12 @@ bool write_bench_report(const std::string& path, const std::string& driver,
   os << root.dump();
   std::cout << "bench report written to " << path << "\n";
   return true;
+}
+
+double repeat_median(std::vector<double> samples) {
+  OCC_CHECK(!samples.empty(), "repeat_median needs at least one sample");
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
 }
 
 }  // namespace occ

@@ -67,4 +67,10 @@ class Json {
 bool write_bench_report(const std::string& path, const std::string& driver,
                         Json meta, Json metrics);
 
+/// The repeat-median statistic every occ-bench-v1 wall metric uses
+/// (`--repeat N` in the bench drivers and `occ run`): upper median of
+/// the samples, so even sample counts read the more conservative of
+/// the middle pair. Requires at least one sample.
+double repeat_median(std::vector<double> samples);
+
 }  // namespace occ

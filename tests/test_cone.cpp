@@ -82,11 +82,12 @@ void expect_parity(const Netlist& nl, const ClockingScheme& s,
   ex.simulate_good(b);
   cone.simulate_good(b);
   for (size_t i = 0; i < fl.size(); ++i) {
-    uint64_t e1 = 0, e2 = 0;
-    const auto m1 = ex.probe_fault(fl.fault(i), live, &e1);
-    const auto m2 = cone.probe_fault(fl.fault(i), live, &e2);
+    FsimWork w1, w2;
+    const auto m1 = ex.probe_fault(fl.fault(i), live, &w1);
+    const auto m2 = cone.probe_fault(fl.fault(i), live, &w2);
     ASSERT_EQ(m1, m2) << "fault " << fault_to_string(nl, fl.fault(i));
-    ASSERT_LE(e2, e1) << "cone mode must never do more work";
+    ASSERT_LE(w2.gate_evals, w1.gate_evals)
+        << "cone mode must never do more work";
   }
 
   // Whole-list grading: statuses, detections, stats.
@@ -166,16 +167,17 @@ TEST(ConePair, PairProbeMatchesTwoSoloProbes) {
       const uint32_t j = partners[i];
       if (j == NcpFaultSim::kNoPartner || j < i) continue;
       ++pairs;
-      uint64_t ep = 0, ea = 0, eb = 0;
+      FsimWork wp, wa, wb;
       const auto [ma, mb] =
-          sim.probe_fault_pair(fl.fault(i), fl.fault(j), live, &ep);
-      const auto sa = sim.probe_fault(fl.fault(i), live, &ea);
-      const auto sb = sim.probe_fault(fl.fault(j), live, &eb);
+          sim.probe_fault_pair(fl.fault(i), fl.fault(j), live, &wp);
+      const auto sa = sim.probe_fault(fl.fault(i), live, &wa);
+      const auto sb = sim.probe_fault(fl.fault(j), live, &wb);
       ASSERT_EQ(sa.first, ma.hard) << fault_to_string(nl, fl.fault(i));
       ASSERT_EQ(sa.second, ma.poss) << fault_to_string(nl, fl.fault(i));
       ASSERT_EQ(sb.first, mb.hard) << fault_to_string(nl, fl.fault(j));
       ASSERT_EQ(sb.second, mb.poss) << fault_to_string(nl, fl.fault(j));
-      ASSERT_LE(ep, ea + eb) << "pair pass must not exceed two solo passes";
+      ASSERT_LE(wp.gate_evals, wa.gate_evals + wb.gate_evals)
+          << "pair pass must not exceed two solo passes";
     }
   }
   EXPECT_GT(pairs, 0u) << "transition list must contain STR/STF pairs";
@@ -311,15 +313,16 @@ TEST(ObsCone, UnstrobedPoConeCostsNothing) {
   NcpFaultSim cone(nl, s, kNoGate);
   ex.simulate_good(b);
   cone.simulate_good(b);
-  uint64_t ex_evals = 0, cone_evals = 0;
+  FsimWork ex_work, cone_work;
   for (size_t i = 0; i < fl.size(); ++i) {
-    const auto m1 = ex.probe_fault(fl.fault(i), live, &ex_evals);
-    const auto m2 = cone.probe_fault(fl.fault(i), live, &cone_evals);
+    const auto m1 = ex.probe_fault(fl.fault(i), live, &ex_work);
+    const auto m2 = cone.probe_fault(fl.fault(i), live, &cone_work);
     EXPECT_EQ(m1, m2);
     EXPECT_EQ(m1.first, 0u);
   }
-  EXPECT_GT(ex_evals, 0u);
-  EXPECT_EQ(cone_evals, 0u) << "no observation point -> zero propagation";
+  EXPECT_GT(ex_work.gate_evals, 0u);
+  EXPECT_EQ(cone_work.gate_evals, 0u)
+      << "no observation point -> zero propagation";
 
   // Strobing the PO restores full detection in both modes.
   s.procedures[0].cycles[0].po_strobe = true;
