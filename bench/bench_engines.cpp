@@ -17,7 +17,9 @@
 // instead of recording them. `--design <path.bench>` swaps the
 // generated SOC workload for an external extended-dialect circuit
 // (scan-inserted with 4 chains); `--corpus-dir <dir>` relocates the
-// corpus the --json report reads.
+// corpus the --json report reads; `--atpg-shards N` pins the worker
+// count of the report's parallel deterministic-PODEM workload
+// (atpg.det.*; default 0 = hardware concurrency).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -30,6 +32,7 @@
 #include <vector>
 
 #include "api/session.h"
+#include "atpg/parallel.h"
 #include "atpg/podem.h"
 #include "atpg/unroll.h"
 #include "core/clock_scheme.h"
@@ -41,6 +44,7 @@
 #include "netlist/bench_io.h"
 #include "sim/cycle_sim.h"
 #include "util/check.h"
+#include "util/cli.h"
 #include "util/json.h"
 #include "util/rng.h"
 
@@ -56,7 +60,12 @@ std::string g_design_path;
 std::string g_corpus_dir = "circuits";
 /// `--repeat N`: wall metrics in the --json report are medians over N
 /// measurements (deterministic counters are checked for equality).
-int g_repeat = 1;
+size_t g_repeat = 1;
+/// `--atpg-shards N`: deterministic-PODEM worker shards for the
+/// atpg.det workload of the --json report (0 = hardware concurrency,
+/// matching the sharded-fsim workload; results are bit-identical for
+/// every value, only atpg.det.wall_ms moves).
+size_t g_atpg_shards = 0;
 
 Netlist& bench_soc() {
   static Netlist nl = [] {
@@ -263,7 +272,7 @@ void report_fsim(Json* metrics, Json* meta, const std::string& prefix,
   NcpFaultSim fsim(nl, s, se, mode);
   FsimStats st;
   std::vector<double> walls;
-  for (int r = 0; r < g_repeat; ++r) {
+  for (size_t r = 0; r < g_repeat; ++r) {
     FaultList fl = FaultList::build(nl, model);
     const auto t0 = std::chrono::steady_clock::now();
     const FsimStats cur = fsim.run_batch(b, fl);
@@ -328,7 +337,7 @@ int write_json_report(const std::string& path) {
     ShardedFaultSim fsim(nl, tf, se, 0);
     FsimStats st;
     std::vector<double> walls;
-    for (int r = 0; r < g_repeat; ++r) {
+    for (size_t r = 0; r < g_repeat; ++r) {
       FaultList fl = FaultList::build(nl, FaultModel::kTransition);
       const auto t0 = std::chrono::steady_clock::now();
       const FsimStats cur = fsim.run_batch(b, fl);
@@ -353,7 +362,7 @@ int write_json_report(const std::string& path) {
     uint64_t gate_evals = 0;
     double coverage = 0.0;
     std::vector<double> walls;
-    for (int r = 0; r < g_repeat; ++r) {
+    for (size_t r = 0; r < g_repeat; ++r) {
       SessionConfig cfg;
       cfg.design_ref(nl).scheme(scheme_cpf_basic(nl.num_domains()));
       const auto t0 = std::chrono::steady_clock::now();
@@ -369,6 +378,52 @@ int write_json_report(const std::string& path) {
     meta.set("session.test_coverage", coverage);
   }
 
+  // Deterministic PODEM stage (the speculative parallel coordinator,
+  // atpg/parallel.h) at hardware concurrency: the "source:podem" stage
+  // wall measured inside the session via progress events, plus its
+  // shard-independent deterministic pattern count. Wasted speculation
+  // (speculative_runs/discarded_cubes) varies with the core count, so
+  // it goes to meta, not the gated metrics.
+  {
+    const size_t det_shards = resolve_atpg_shards(
+        g_atpg_shards, ShardedFaultSim::resolve_shards(0));
+    std::vector<double> walls;
+    size_t det_patterns = 0;
+    size_t speculative = 0, discarded = 0;
+    for (size_t r = 0; r < g_repeat; ++r) {
+      double det_ms = 0.0;
+      std::chrono::steady_clock::time_point det_t0;
+      SessionConfig cfg;
+      cfg.design_ref(nl)
+          .scheme(scheme_cpf_basic(nl.num_domains()))
+          .fsim_shards(0)  // hardware concurrency
+          .atpg_shards(g_atpg_shards)
+          .observer([&](const ProgressEvent& ev) {
+            if (ev.stage != "source:podem") return;
+            if (ev.kind == ProgressEvent::Kind::kStageBegin) {
+              det_t0 = std::chrono::steady_clock::now();
+            } else if (ev.kind == ProgressEvent::Kind::kStageEnd) {
+              det_ms = ms_since(det_t0);
+            }
+          });
+      const SessionResult res = Session(std::move(cfg)).run();
+      walls.push_back(det_ms);
+      if (r == 0) {
+        det_patterns = res.atpg.deterministic_patterns;
+      } else {
+        OCC_CHECK(res.atpg.deterministic_patterns == det_patterns,
+                  "atpg.det: pattern counts drifted across repeats");
+      }
+      speculative = res.atpg.speculative_runs;
+      discarded = res.atpg.discarded_cubes;
+    }
+    metrics.set("atpg.det.wall_ms", repeat_median(std::move(walls)));
+    metrics.set("atpg.det.patterns", det_patterns);
+    meta.set("atpg.det.shards", det_shards);
+    meta.set("atpg.det.speculative_runs", speculative);
+    meta.set("atpg.det.discarded_cubes", discarded);
+  }
+
   // External-design workload: parse the committed s1423-class corpus
   // circuit and run the full Session on it through the design_file()
   // front door, so the CI perf gate also covers the parse->simulate
@@ -377,7 +432,7 @@ int write_json_report(const std::string& path) {
     const std::string path = g_corpus_dir + "/s1423c.bench";
     std::vector<double> parse_walls;
     size_t gates = 0, flops = 0;
-    for (int r = 0; r < g_repeat; ++r) {
+    for (size_t r = 0; r < g_repeat; ++r) {
       const auto tp0 = std::chrono::steady_clock::now();
       const Netlist parsed = read_bench_file(path);
       parse_walls.push_back(ms_since(tp0));
@@ -394,7 +449,7 @@ int write_json_report(const std::string& path) {
     uint64_t gate_evals = 0;
     double coverage = 0.0;
     std::vector<double> walls;
-    for (int r = 0; r < g_repeat; ++r) {
+    for (size_t r = 0; r < g_repeat; ++r) {
       SessionConfig cfg;
       cfg.design_file(path)
           .scan({.num_chains = 4})
@@ -425,8 +480,9 @@ int main(int argc, char** argv) {
   // google-benchmark suite. `--repeat N`: median wall metrics over N
   // measurements. `--design <path.bench>` swaps the generated SOC
   // workload for an external design; `--corpus-dir <dir>` points the
-  // report's parse->simulate workload at the committed corpus. Any other
-  // flags are passed through to google-benchmark.
+  // report's parse->simulate workload at the committed corpus;
+  // `--atpg-shards N` pins the atpg.det workload's worker count. Any
+  // other flags are passed through to google-benchmark.
   std::string json_path;
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
@@ -444,9 +500,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--corpus-dir") == 0) {
       g_corpus_dir = take_value("--corpus-dir");
     } else if (std::strcmp(argv[i], "--repeat") == 0) {
-      g_repeat = std::atoi(take_value("--repeat"));
-      if (g_repeat < 1) {
-        std::cerr << "--repeat expects a positive integer\n";
+      if (!parse_positive_flag("--repeat", take_value("--repeat"),
+                               &g_repeat)) {
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--atpg-shards") == 0) {
+      if (!parse_size_flag("--atpg-shards", take_value("--atpg-shards"),
+                           &g_atpg_shards)) {
         std::exit(2);
       }
     } else {

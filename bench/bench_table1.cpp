@@ -7,7 +7,7 @@
 // section 5.2 of the paper.
 //
 // Usage: bench_table1 [--quick|--full] [--design PATH] [--shards N]
-//                     [--repeat N] [--json PATH]
+//                     [--atpg-shards N] [--repeat N] [--json PATH]
 //   default : mid-size SOC (~3 minutes) -- same orderings as full scale
 //   --quick : small SOC (~40 seconds)
 //   --full  : paper-scale shape run (~15-20 minutes); the EXPERIMENTS.md
@@ -20,6 +20,9 @@
 //   --shards N : fault-simulation thread shards per experiment Session
 //                (default and 0 = hardware concurrency; results are
 //                identical for every value)
+//   --atpg-shards N : deterministic-PODEM worker shards per Session
+//                (default and 0 = follow --shards; committed results
+//                are bit-identical for every value)
 //   --repeat N : run the experiment suite N times (default 1) and
 //                 report the median wall per experiment in the --json
 //                 report; work counters are asserted identical across
@@ -28,8 +31,11 @@
 //                 report (per-experiment pattern counts, gate_evals,
 //                 wall time; see README "Benchmarking")
 //   --allow-shape-fail : exit 0 even when the qualitative shape checks
-//                 fail (they are only expected to hold at default/full
-//                 scale; CI's bench job runs --quick for the numbers)
+//                 fail. The scale-aware checks hold at every built-in
+//                 scale of the generated SOC (CI runs --quick without
+//                 this flag); it exists for --design runs on arbitrary
+//                 external circuits, where the paper's orderings make
+//                 no promise.
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -37,11 +43,13 @@
 #include <iostream>
 #include <vector>
 
+#include "atpg/parallel.h"
 #include "flow/experiment.h"
 #include "flow/report.h"
 #include "fsim/sharded.h"
 #include "fsim/tfsim.h"
 #include "netlist/stats.h"
+#include "util/cli.h"
 #include "util/json.h"
 
 namespace {
@@ -59,12 +67,13 @@ int write_json_report(const std::string& path,
                       const occ::flow::Table1Result& r,
                       const std::vector<std::vector<double>>& walls,
                       const std::string& scale, size_t shards,
-                      size_t repeat) {
+                      size_t atpg_shards, size_t repeat) {
   using occ::Json;
   Json metrics = Json::object();
   Json meta = Json::object();
   meta.set("scale", scale);
   meta.set("shards", shards);
+  meta.set("atpg_shards", occ::resolve_atpg_shards(atpg_shards, shards));
   meta.set("repeat", repeat);
   meta.set("shapes_hold", r.all_shapes_hold());
   for (size_t i = 0; i < r.rows.size(); ++i) {
@@ -91,53 +100,38 @@ int write_json_report(const std::string& path,
 int main(int argc, char** argv) {
   using namespace occ;
   bool quick = false, full = false, allow_shape_fail = false;
-  size_t shards = 0;  // 0 = hardware concurrency (resolved below)
+  size_t shards = 0;       // 0 = hardware concurrency (resolved below)
+  size_t atpg_shards = 0;  // 0 = follow --shards
   size_t repeat = 1;
   std::string json_path;
   std::string design_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-    if (std::strcmp(argv[i], "--full") == 0) full = true;
-    if (std::strcmp(argv[i], "--repeat") == 0) {
-      if (i + 1 >= argc) {
-        std::cerr << "--repeat requires a value\n";
-        return 2;
-      }
-      char* end = nullptr;
-      const long v = std::strtol(argv[++i], &end, 10);
-      if (end == nullptr || *end != '\0' || v < 1) {
-        std::cerr << "--repeat expects a positive integer, got '"
-                  << argv[i] << "'\n";
-        return 2;
-      }
-      repeat = static_cast<size_t>(v);
-    }
-    if (std::strcmp(argv[i], "--design") == 0) {
-      if (i + 1 >= argc) {
+    // Strict value parsing shared with occ/bench_engines (util/cli.h):
+    // non-numeric values are usage errors, never silently 0.
+    const char* val = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else if (std::strcmp(argv[i], "--repeat") == 0) {
+      if (!parse_positive_flag("--repeat", val, &repeat)) return 2;
+      ++i;
+    } else if (std::strcmp(argv[i], "--design") == 0) {
+      if (val == nullptr) {
         std::cerr << "--design requires a path\n";
         return 2;
       }
       design_path = argv[++i];
-    }
-    if (std::strcmp(argv[i], "--allow-shape-fail") == 0) {
+    } else if (std::strcmp(argv[i], "--allow-shape-fail") == 0) {
       allow_shape_fail = true;
-    }
-    if (std::strcmp(argv[i], "--shards") == 0) {
-      if (i + 1 >= argc) {
-        std::cerr << "--shards requires a value\n";
-        return 2;
-      }
-      char* end = nullptr;
-      const long v = std::strtol(argv[++i], &end, 10);
-      if (end == nullptr || *end != '\0' || v < 0) {
-        std::cerr << "--shards expects a non-negative integer, got '"
-                  << argv[i] << "'\n";
-        return 2;
-      }
-      shards = static_cast<size_t>(v);
-    }
-    if (std::strcmp(argv[i], "--json") == 0) {
-      if (i + 1 >= argc) {
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      if (!parse_size_flag("--shards", val, &shards)) return 2;
+      ++i;
+    } else if (std::strcmp(argv[i], "--atpg-shards") == 0) {
+      if (!parse_size_flag("--atpg-shards", val, &atpg_shards)) return 2;
+      ++i;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (val == nullptr) {
         std::cerr << "--json requires a path\n";
         return 2;
       }
@@ -174,6 +168,8 @@ int main(int argc, char** argv) {
   }
   cfg.max_pulses = 4;
   cfg.atpg.random_rounds = 12;
+  // 0 follows each experiment Session's fsim shard count (= --shards).
+  cfg.atpg.atpg_shards = atpg_shards;
   cfg.design_bench_path = design_path;
 
   std::cout << "=== Table 1: coverage / pattern count, experiments "
@@ -233,8 +229,8 @@ int main(int argc, char** argv) {
         !design_path.empty()
             ? "design:" + design_path
             : (quick ? "quick" : (full ? "full" : "default"));
-    if (write_json_report(json_path, r, walls, scale, shards, repeat) !=
-        0) {
+    if (write_json_report(json_path, r, walls, scale, shards, atpg_shards,
+                          repeat) != 0) {
       return 2;
     }
   }

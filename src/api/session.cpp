@@ -101,6 +101,10 @@ SessionConfig& SessionConfig::fsim_shards(size_t n) {
   fsim_shards_ = n;
   return *this;
 }
+SessionConfig& SessionConfig::atpg_shards(size_t n) {
+  atpg_shards_override_ = n;
+  return *this;
+}
 SessionConfig& SessionConfig::fsim_mode(FsimMode m) {
   fsim_mode_ = m;
   return *this;
@@ -213,6 +217,9 @@ SessionResult Session::run() {
   const Netlist& nl = *result.netlist;
   AtpgOptions opts = cfg_.atpg_;
   if (cfg_.seed_override_) opts.seed = *cfg_.seed_override_;
+  if (cfg_.atpg_shards_override_) {
+    opts.atpg_shards = *cfg_.atpg_shards_override_;
+  }
   if (cfg_.edt_) opts.keep_cubes = true;  // encoding works on care bits
   {
     const auto atpg_t0 = std::chrono::steady_clock::now();

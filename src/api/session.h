@@ -140,6 +140,13 @@ class SessionConfig {
   /// Fault-simulation shards (thread pool size). 1 = sequential; 0 =
   /// hardware concurrency. Results are bit-identical for every value.
   SessionConfig& fsim_shards(size_t n);
+  /// Worker shards of the deterministic PODEM stage (speculative
+  /// generation, canonical-order commit; see atpg/parallel.h). 0 =
+  /// follow the fault-simulation shard count (the default); 1 = the
+  /// plain sequential loop. Wins over AtpgOptions::atpg_shards
+  /// regardless of the order atpg_shards() and atpg() were called in.
+  /// Committed results are bit-identical for every value.
+  SessionConfig& atpg_shards(size_t n);
   /// Fault-propagation strategy (default: compiled cone replay
   /// programs). Results are bit-identical for every mode; kConeLimited
   /// (interpreted cone engine) and kExhaustive are the slower reference
@@ -176,6 +183,7 @@ class SessionConfig {
   std::vector<std::shared_ptr<ResultSink>> sinks_;
   ProgressObserver observer_;
   size_t fsim_shards_ = 1;
+  std::optional<size_t> atpg_shards_override_;
   FsimMode fsim_mode_ = FsimMode::kCompiled;
   std::optional<EdtConfig> edt_;
   bool on_chip_clocking_ = false;

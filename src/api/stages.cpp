@@ -7,69 +7,12 @@
 #include <vector>
 
 #include "api/session.h"
-#include "atpg/podem.h"
-#include "atpg/unroll.h"
+#include "atpg/parallel.h"
 #include "dft/ate_export.h"
 #include "util/check.h"
 
 namespace occ {
 namespace {
-
-/// Forward DP over the netlist: for every gate, the set of flop domains
-/// its combinational fan-out cone feeds, and whether it reaches a PO.
-struct SinkInfo {
-  std::vector<DomainMask> domains;
-  std::vector<bool> reaches_po;
-};
-
-SinkInfo compute_sinks(const Netlist& nl) {
-  SinkInfo si;
-  si.domains.assign(nl.size(), 0);
-  si.reaches_po.assign(nl.size(), false);
-  const auto& topo = nl.topo_order();
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    const GateId g = *it;
-    for (GateId o : nl.gate(g).fanout) {
-      const Gate& og = nl.gate(o);
-      if (og.type == GateType::kDff) {
-        si.domains[g] |= DomainMask{1} << og.domain;
-      } else if (og.type == GateType::kOutput) {
-        si.reaches_po[g] = true;
-      } else {
-        si.domains[g] |= si.domains[o];
-        si.reaches_po[g] = si.reaches_po[g] || si.reaches_po[o];
-      }
-    }
-  }
-  return si;
-}
-
-/// A pattern cube built from a PODEM assignment.
-TestPattern cube_to_pattern(const UnrolledModel& um,
-                            const std::vector<V3>& cube, const Netlist& nl,
-                            uint32_t ncp_index) {
-  const NamedCaptureProcedure& ncp = um.ncp();
-  TestPattern p;
-  p.ncp_index = ncp_index;
-  p.pi_frames.assign(ncp.cycles.size(),
-                     std::vector<V3>(nl.inputs().size(), V3::kX));
-  p.load.assign(scan_cells(nl).size(), V3::kX);
-  const auto& info = um.var_info();
-  for (size_t v = 0; v < info.size(); ++v) {
-    if (cube[v] == V3::kX) continue;
-    if (info[v].kind == UnrolledModel::VarInfo::kLoad) {
-      p.load[info[v].pos] = cube[v];
-    } else {
-      p.pi_frames[info[v].frame][info[v].pos] = cube[v];
-    }
-  }
-  // Copy PI values forward into frozen frames so the pattern is
-  // self-consistent (variables are shared; values must repeat).
-  for (size_t f = 1; f < p.pi_frames.size(); ++f) {
-    if (!ncp.cycles[f].pi_change) p.pi_frames[f] = p.pi_frames[f - 1];
-  }
-  return p;
-}
 
 TestPattern empty_pattern(const Netlist& nl,
                           const NamedCaptureProcedure& ncp,
@@ -80,14 +23,6 @@ TestPattern empty_pattern(const Netlist& nl,
                      std::vector<V3>(nl.inputs().size(), V3::kX));
   p.load.assign(scan_cells(nl).size(), V3::kX);
   return p;
-}
-
-void accumulate(FsimStats& into, const FsimStats& st) {
-  into.faults_simulated += st.faults_simulated;
-  into.newly_detected += st.newly_detected;
-  into.newly_possibly += st.newly_possibly;
-  into.gate_evals += st.gate_evals;
-  into.events_processed += st.events_processed;
 }
 
 }  // namespace
@@ -111,7 +46,7 @@ void RandomPatternSource::generate(PipelineContext& ctx) {
       PatternBatch batch = pack_batch(cand, 0, 64, ctx.nl, ncp);
       std::vector<std::pair<size_t, unsigned>> dets;
       const FsimStats st = ctx.fsim.run_batch(batch, ctx.faults, &dets);
-      accumulate(ctx.res.fsim, st);
+      ctx.res.fsim += st;
       // Keep only first-detector patterns.
       std::vector<bool> keep(64, false);
       for (const auto& [fault, slot] : dets) keep[slot] = true;
@@ -134,185 +69,11 @@ void RandomPatternSource::generate(PipelineContext& ctx) {
 // ---- PodemPatternSource --------------------------------------------------
 
 void PodemPatternSource::generate(PipelineContext& ctx) {
-  const Netlist& nl = ctx.nl;
-  const ClockingScheme& scheme = ctx.scheme;
-  const AtpgOptions& opts = ctx.opts;
-  FaultList& fl = ctx.faults;
-  const size_t num_ncps = scheme.procedures.size();
-
-  const SinkInfo sinks = compute_sinks(nl);
-  std::vector<std::unique_ptr<UnrolledModel>> models(num_ncps);
-  std::vector<std::unique_ptr<Podem>> podems(num_ncps);
-  std::vector<std::unique_ptr<Podem>> podems_deep(num_ncps);
-  auto model_for = [&](uint32_t nc) -> std::pair<UnrolledModel*, Podem*> {
-    if (!models[nc]) {
-      models[nc] = std::make_unique<UnrolledModel>(nl, scheme, nc,
-                                                   ctx.scan_en);
-      podems[nc] = std::make_unique<Podem>(
-          *models[nc], Podem::Options{.backtrack_limit =
-                                          opts.backtrack_limit});
-    }
-    return {models[nc].get(), podems[nc].get()};
-  };
-  auto deep_podem_for = [&](uint32_t nc) -> Podem* {
-    if (!podems_deep[nc]) {
-      podems_deep[nc] = std::make_unique<Podem>(
-          *models[nc],
-          Podem::Options{.backtrack_limit = opts.backtrack_limit *
-                                            opts.abort_retry_factor});
-    }
-    return podems_deep[nc].get();
-  };
-
-  // Open (unfilled) cube windows per NCP for static merging, plus flush
-  // to random fill + PPSFP once a window fills up.
-  std::vector<std::vector<TestPattern>> open_cubes(num_ncps);
-  auto cubes_compatible = [](const TestPattern& a, const TestPattern& b) {
-    for (size_t f = 0; f < a.pi_frames.size(); ++f) {
-      for (size_t i = 0; i < a.pi_frames[f].size(); ++i) {
-        const V3 x = a.pi_frames[f][i], y = b.pi_frames[f][i];
-        if (x != V3::kX && y != V3::kX && x != y) return false;
-      }
-    }
-    for (size_t i = 0; i < a.load.size(); ++i) {
-      if (a.load[i] != V3::kX && b.load[i] != V3::kX &&
-          a.load[i] != b.load[i]) {
-        return false;
-      }
-    }
-    return true;
-  };
-  auto merge_into = [](TestPattern& dst, const TestPattern& src) {
-    for (size_t f = 0; f < dst.pi_frames.size(); ++f) {
-      for (size_t i = 0; i < dst.pi_frames[f].size(); ++i) {
-        if (src.pi_frames[f][i] != V3::kX) {
-          dst.pi_frames[f][i] = src.pi_frames[f][i];
-        }
-      }
-    }
-    for (size_t i = 0; i < dst.load.size(); ++i) {
-      if (src.load[i] != V3::kX) dst.load[i] = src.load[i];
-    }
-  };
-  auto flush = [&](uint32_t nc) {
-    auto& q = open_cubes[nc];
-    if (q.empty()) return;
-    PatternSet batch_set(scheme.name);
-    for (TestPattern& p : q) {
-      if (opts.keep_cubes) ctx.res.cubes.add(p);
-      p.random_fill(scheme.procedures[nc], ctx.rng);
-      batch_set.add(p);
-    }
-    size_t first = 0;
-    while (first < batch_set.size()) {
-      const size_t n = std::min<size_t>(64, batch_set.size() - first);
-      PatternBatch b =
-          pack_batch(batch_set, first, n, nl, scheme.procedures[nc]);
-      accumulate(ctx.res.fsim, ctx.fsim.run_batch(b, fl));
-      first += n;
-    }
-    for (const TestPattern& p : batch_set) {
-      ctx.res.patterns.add(p);
-      ++ctx.res.deterministic_patterns;
-    }
-    q.clear();
-  };
-
-  for (size_t fi = 0; fi < fl.size(); ++fi) {
-    if ((fi & 0x3ff) == 0) ctx.progress(name(), fi, fl.size());
-    if (fl.status(fi) != FaultStatus::kUndetected &&
-        fl.status(fi) != FaultStatus::kPossiblyDetected) {
-      continue;
-    }
-    const Fault& f = fl.fault(fi);
-    const DomainMask fsinks = sinks.domains[f.gate];
-    const bool fpo = sinks.reaches_po[f.gate];
-
-    bool detected = false;
-    bool aborted = false;
-    bool any_candidate = false;
-    for (uint32_t nc = 0; nc < num_ncps && !detected; ++nc) {
-      const NamedCaptureProcedure& ncp = scheme.procedures[nc];
-      // Capability pre-filter: the fault's effects must be capturable.
-      bool po_obs = false;
-      for (const auto& c : ncp.cycles) po_obs = po_obs || c.po_strobe;
-      DomainMask capture_mask = 0;
-      if (scheme.model == FaultModel::kTransition) {
-        for (size_t k = 1; k < ncp.cycles.size(); ++k) {
-          if (ncp.cycles[k].at_speed) capture_mask |= ncp.cycles[k].pulses;
-        }
-      } else {
-        for (const auto& c : ncp.cycles) capture_mask |= c.pulses;
-      }
-      if (!(fsinks & capture_mask) && !(fpo && po_obs)) continue;
-
-      auto [model, podem] = model_for(nc);
-      const std::vector<UnrolledFault> targets = model->translate(f);
-      for (const UnrolledFault& uf : targets) {
-        any_candidate = true;
-        Podem* used = podem;
-        Podem::Outcome out = used->run(uf);
-        if (out == Podem::Outcome::kAborted &&
-            opts.abort_retry_factor > 1) {
-          used = deep_podem_for(nc);
-          out = used->run(uf);
-        }
-        if (out == Podem::Outcome::kDetected) {
-          TestPattern cube =
-              cube_to_pattern(*model, used->assignment(), nl, nc);
-          // Static merge: extra known bits cannot un-detect a cube's
-          // target (3-valued implication is monotone), so compatible
-          // cubes share one pattern -- the dynamic-compaction effect
-          // behind realistic stuck-at/transition pattern-count ratios.
-          bool merged = false;
-          if (opts.merge_cubes) {
-            for (auto it = open_cubes[nc].rbegin();
-                 it != open_cubes[nc].rend(); ++it) {
-              if (cubes_compatible(*it, cube)) {
-                merge_into(*it, cube);
-                merged = true;
-                break;
-              }
-            }
-          }
-          if (!merged) {
-            open_cubes[nc].push_back(std::move(cube));
-            if (open_cubes[nc].size() >= opts.merge_window) flush(nc);
-          }
-          detected = true;
-          // The generated cube provably detects fi even before fsim.
-          fl.set_status(fi, FaultStatus::kDetected);
-          break;
-        }
-        if (out == Podem::Outcome::kAborted) aborted = true;
-      }
-    }
-    if (!detected) {
-      if (aborted) {
-        fl.set_status(fi, FaultStatus::kAborted);
-      } else {
-        // Untestable under every applicable capture procedure (or no
-        // procedure can observe it at all).
-        (void)any_candidate;
-        fl.set_status(fi, FaultStatus::kUntestable);
-      }
-    }
-  }
-  for (uint32_t nc = 0; nc < num_ncps; ++nc) flush(nc);
-  ctx.progress(name(), fl.size(), fl.size());
-  for (uint32_t nc = 0; nc < num_ncps; ++nc) {
-    for (Podem* p : {podems[nc].get(), podems_deep[nc].get()}) {
-      if (p == nullptr) continue;
-      ctx.res.podem.runs += p->stats().runs;
-      ctx.res.podem.decisions += p->stats().decisions;
-      ctx.res.podem.backtracks += p->stats().backtracks;
-      ctx.res.podem.implications += p->stats().implications;
-    }
-  }
-  if (ctx.opts.verbose) {
-    std::cerr << "[atpg] after deterministic stage: " << fl.summary()
-              << "\n";
-  }
+  // The whole stage -- sequential loop and speculative parallel
+  // coordinator alike -- lives in atpg/parallel.{h,cpp}; committed
+  // results are bit-identical for every shard count.
+  ParallelPodem(ctx, resolve_atpg_shards(ctx.opts, ctx.fsim), name())
+      .run();
 }
 
 // ---- ExternalCubeSource --------------------------------------------------
@@ -343,7 +104,7 @@ void ExternalCubeSource::generate(PipelineContext& ctx) {
     }
     PatternBatch b =
         pack_batch(filled, first, n, ctx.nl, ctx.scheme.procedures[nc]);
-    accumulate(ctx.res.fsim, ctx.fsim.run_batch(b, ctx.faults));
+    ctx.res.fsim += ctx.fsim.run_batch(b, ctx.faults);
     first += n;
     ctx.progress(name(), first, filled.size());
   }

@@ -106,6 +106,10 @@ class RandomPatternSource : public PatternSource {
 /// Deterministic PODEM stage: per-NCP unrolled models, capability
 /// pre-filtering, abort retry, static cube merging and windowed
 /// flush-to-fault-simulation, all per the session's AtpgOptions.
+/// Runs on AtpgOptions::atpg_shards worker threads (0 = follow the
+/// session's fault-simulation shard count) via the speculative-commit
+/// coordinator in atpg/parallel.h; committed results are bit-identical
+/// to the sequential loop for every shard count.
 class PodemPatternSource : public PatternSource {
  public:
   std::string name() const override { return "podem"; }

@@ -51,6 +51,12 @@ struct AtpgOptions {
   /// AtpgRunResult::cubes -- needed by compression flows, which encode
   /// care bits rather than filled patterns.
   bool keep_cubes = false;
+  /// Worker shards of the deterministic PODEM stage (atpg/parallel.h).
+  /// 0 = follow the session's fault-simulation shard count; 1 = the
+  /// plain sequential loop. Committed results are bit-identical for
+  /// every value -- only wall clock and the wasted speculative work
+  /// (AtpgRunResult::speculative_runs) vary.
+  size_t atpg_shards = 0;
 };
 
 struct AtpgRunResult {
@@ -64,6 +70,14 @@ struct AtpgRunResult {
   size_t random_patterns = 0;
   size_t deterministic_patterns = 0;
   size_t external_patterns = 0;  // graded via ExternalCubeSource
+  /// Wasted speculation of the parallel deterministic stage (both zero
+  /// when it runs sequentially): PODEM runs whose fault was already
+  /// detected when its canonical commit slot came up, and how many of
+  /// those runs had produced a (now discarded) cube. Deliberately NOT
+  /// part of the bit-identity contract -- they depend on shard count
+  /// and scheduling, unlike `podem`, which counts committed work only.
+  size_t speculative_runs = 0;
+  size_t discarded_cubes = 0;
   size_t patterns_after_compaction = 0;
   double seconds = 0.0;
 

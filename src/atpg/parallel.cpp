@@ -1,0 +1,344 @@
+#include "atpg/parallel.h"
+
+#include <algorithm>
+#include <iostream>
+#include <utility>
+
+#include "api/session.h"
+#include "util/check.h"
+
+namespace occ {
+namespace {
+
+/// Faults handed to one pool dispatch, per shard. Windows big enough to
+/// amortize the fork-join handshake over real PODEM work, small enough
+/// that a mid-window flush rarely invalidates much speculation (the
+/// flush cadence is opts.merge_window cubes per procedure).
+constexpr size_t kWindowFaultsPerShard = 16;
+
+/// A pattern cube built from a PODEM assignment.
+TestPattern cube_to_pattern(const UnrolledModel& um,
+                            const std::vector<V3>& cube, const Netlist& nl,
+                            uint32_t ncp_index) {
+  const NamedCaptureProcedure& ncp = um.ncp();
+  TestPattern p;
+  p.ncp_index = ncp_index;
+  p.pi_frames.assign(ncp.cycles.size(),
+                     std::vector<V3>(nl.inputs().size(), V3::kX));
+  p.load.assign(scan_cells(nl).size(), V3::kX);
+  const auto& info = um.var_info();
+  for (size_t v = 0; v < info.size(); ++v) {
+    if (cube[v] == V3::kX) continue;
+    if (info[v].kind == UnrolledModel::VarInfo::kLoad) {
+      p.load[info[v].pos] = cube[v];
+    } else {
+      p.pi_frames[info[v].frame][info[v].pos] = cube[v];
+    }
+  }
+  // Copy PI values forward into frozen frames so the pattern is
+  // self-consistent (variables are shared; values must repeat).
+  for (size_t f = 1; f < p.pi_frames.size(); ++f) {
+    if (!ncp.cycles[f].pi_change) p.pi_frames[f] = p.pi_frames[f - 1];
+  }
+  return p;
+}
+
+bool cubes_compatible(const TestPattern& a, const TestPattern& b) {
+  for (size_t f = 0; f < a.pi_frames.size(); ++f) {
+    for (size_t i = 0; i < a.pi_frames[f].size(); ++i) {
+      const V3 x = a.pi_frames[f][i], y = b.pi_frames[f][i];
+      if (x != V3::kX && y != V3::kX && x != y) return false;
+    }
+  }
+  for (size_t i = 0; i < a.load.size(); ++i) {
+    if (a.load[i] != V3::kX && b.load[i] != V3::kX &&
+        a.load[i] != b.load[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void merge_into(TestPattern& dst, const TestPattern& src) {
+  for (size_t f = 0; f < dst.pi_frames.size(); ++f) {
+    for (size_t i = 0; i < dst.pi_frames[f].size(); ++i) {
+      if (src.pi_frames[f][i] != V3::kX) {
+        dst.pi_frames[f][i] = src.pi_frames[f][i];
+      }
+    }
+  }
+  for (size_t i = 0; i < dst.load.size(); ++i) {
+    if (src.load[i] != V3::kX) dst.load[i] = src.load[i];
+  }
+}
+
+}  // namespace
+
+size_t resolve_atpg_shards(const AtpgOptions& opts,
+                           const ShardedFaultSim& fsim) {
+  return resolve_atpg_shards(opts.atpg_shards, fsim.shards());
+}
+
+ParallelPodem::ParallelPodem(PipelineContext& ctx, size_t shards,
+                             std::string stage)
+    : ctx_(ctx), shards_(std::max<size_t>(shards, 1)),
+      stage_(std::move(stage)) {
+  const Netlist& nl = ctx_.nl;
+  const ClockingScheme& scheme = ctx_.scheme;
+
+  // Forward DP over the netlist: for every gate, the set of flop domains
+  // its combinational fan-out cone feeds, and whether it reaches a PO.
+  sink_domains_.assign(nl.size(), 0);
+  sink_po_.assign(nl.size(), false);
+  const auto& topo = nl.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const GateId g = *it;
+    for (GateId o : nl.gate(g).fanout) {
+      const Gate& og = nl.gate(o);
+      if (og.type == GateType::kDff) {
+        sink_domains_[g] |= DomainMask{1} << og.domain;
+      } else if (og.type == GateType::kOutput) {
+        sink_po_[g] = true;
+      } else {
+        sink_domains_[g] |= sink_domains_[o];
+        sink_po_[g] = sink_po_[g] || sink_po_[o];
+      }
+    }
+  }
+
+  // Capability masks per capture procedure: which domains it captures
+  // (at-speed cycles only for transition faults) and whether any cycle
+  // strobes the POs.
+  const size_t num_ncps = scheme.procedures.size();
+  capture_mask_.assign(num_ncps, 0);
+  po_obs_.assign(num_ncps, false);
+  for (size_t nc = 0; nc < num_ncps; ++nc) {
+    const NamedCaptureProcedure& ncp = scheme.procedures[nc];
+    for (const auto& c : ncp.cycles) po_obs_[nc] = po_obs_[nc] || c.po_strobe;
+    if (scheme.model == FaultModel::kTransition) {
+      for (size_t k = 1; k < ncp.cycles.size(); ++k) {
+        if (ncp.cycles[k].at_speed) capture_mask_[nc] |= ncp.cycles[k].pulses;
+      }
+    } else {
+      for (const auto& c : ncp.cycles) capture_mask_[nc] |= c.pulses;
+    }
+  }
+
+  scratch_.resize(shards_);
+  for (ShardScratch& sc : scratch_) {
+    sc.models.resize(num_ncps);
+    sc.podems.resize(num_ncps);
+    sc.podems_deep.resize(num_ncps);
+  }
+  open_cubes_.resize(num_ncps);
+  if (shards_ > 1) pool_ = std::make_unique<ThreadPool>(shards_);
+}
+
+ParallelPodem::~ParallelPodem() = default;
+
+std::pair<UnrolledModel*, Podem*> ParallelPodem::model_for(
+    ShardScratch& sc, uint32_t nc) const {
+  if (!sc.models[nc]) {
+    sc.models[nc] = std::make_unique<UnrolledModel>(ctx_.nl, ctx_.scheme,
+                                                    nc, ctx_.scan_en);
+    sc.podems[nc] = std::make_unique<Podem>(
+        *sc.models[nc],
+        Podem::Options{.backtrack_limit = ctx_.opts.backtrack_limit});
+  }
+  return {sc.models[nc].get(), sc.podems[nc].get()};
+}
+
+Podem* ParallelPodem::deep_podem_for(ShardScratch& sc, uint32_t nc) const {
+  if (!sc.podems_deep[nc]) {
+    sc.podems_deep[nc] = std::make_unique<Podem>(
+        *sc.models[nc],
+        Podem::Options{.backtrack_limit = ctx_.opts.backtrack_limit *
+                                          ctx_.opts.abort_retry_factor});
+  }
+  return sc.podems_deep[nc].get();
+}
+
+Podem::Stats ParallelPodem::stats_sum(const ShardScratch& sc) const {
+  Podem::Stats sum;
+  for (size_t nc = 0; nc < sc.podems.size(); ++nc) {
+    if (sc.podems[nc]) sum += sc.podems[nc]->stats();
+    if (sc.podems_deep[nc]) sum += sc.podems_deep[nc]->stats();
+  }
+  return sum;
+}
+
+void ParallelPodem::attempt_fault(ShardScratch& sc, size_t fi,
+                                  Attempt* out) const {
+  const Fault& f = ctx_.faults.fault(fi);
+  const DomainMask fsinks = sink_domains_[f.gate];
+  const bool fpo = sink_po_[f.gate];
+  Attempt& a = *out;
+  const Podem::Stats before = stats_sum(sc);
+
+  const size_t num_ncps = ctx_.scheme.procedures.size();
+  for (uint32_t nc = 0; nc < num_ncps && !a.detected; ++nc) {
+    // Capability pre-filter: the fault's effects must be capturable.
+    if (!(fsinks & capture_mask_[nc]) && !(fpo && po_obs_[nc])) continue;
+
+    auto [model, podem] = model_for(sc, nc);
+    const std::vector<UnrolledFault> targets = model->translate(f);
+    for (const UnrolledFault& uf : targets) {
+      Podem* used = podem;
+      Podem::Outcome outc = used->run(uf);
+      if (outc == Podem::Outcome::kAborted &&
+          ctx_.opts.abort_retry_factor > 1) {
+        used = deep_podem_for(sc, nc);
+        outc = used->run(uf);
+      }
+      if (outc == Podem::Outcome::kDetected) {
+        a.cube = cube_to_pattern(*model, used->assignment(), ctx_.nl, nc);
+        a.ncp = nc;
+        a.detected = true;
+        break;
+      }
+      if (outc == Podem::Outcome::kAborted) a.aborted = true;
+    }
+  }
+  a.stats = stats_sum(sc) - before;
+}
+
+void ParallelPodem::flush(uint32_t nc) {
+  auto& q = open_cubes_[nc];
+  if (q.empty()) return;
+  const ClockingScheme& scheme = ctx_.scheme;
+  PatternSet batch_set(scheme.name);
+  for (TestPattern& p : q) {
+    if (ctx_.opts.keep_cubes) ctx_.res.cubes.add(p);
+    p.random_fill(scheme.procedures[nc], ctx_.rng);
+    batch_set.add(p);
+  }
+  size_t first = 0;
+  while (first < batch_set.size()) {
+    const size_t n = std::min<size_t>(64, batch_set.size() - first);
+    PatternBatch b =
+        pack_batch(batch_set, first, n, ctx_.nl, scheme.procedures[nc]);
+    ctx_.res.fsim += ctx_.fsim.run_batch(b, ctx_.faults);
+    first += n;
+  }
+  for (const TestPattern& p : batch_set) {
+    ctx_.res.patterns.add(p);
+    ++ctx_.res.deterministic_patterns;
+  }
+  q.clear();
+}
+
+void ParallelPodem::commit_fault(size_t fi, Attempt& att) {
+  FaultList& fl = ctx_.faults;
+  if (!eligible(fl.status(fi))) {
+    // The fault was dropped by a flush committed after the window was
+    // built; the sequential loop would have skipped it entirely, so its
+    // speculative work must stay out of every committed counter.
+    ctx_.res.speculative_runs += att.stats.runs;
+    ctx_.res.discarded_cubes += att.detected ? 1 : 0;
+    return;
+  }
+  if (att.detected) {
+    // Static merge: extra known bits cannot un-detect a cube's target
+    // (3-valued implication is monotone), so compatible cubes share one
+    // pattern -- the dynamic-compaction effect behind realistic
+    // stuck-at/transition pattern-count ratios.
+    bool merged = false;
+    if (ctx_.opts.merge_cubes) {
+      for (auto it = open_cubes_[att.ncp].rbegin();
+           it != open_cubes_[att.ncp].rend(); ++it) {
+        if (cubes_compatible(*it, att.cube)) {
+          merge_into(*it, att.cube);
+          merged = true;
+          break;
+        }
+      }
+    }
+    if (!merged) {
+      open_cubes_[att.ncp].push_back(std::move(att.cube));
+      if (open_cubes_[att.ncp].size() >= ctx_.opts.merge_window) {
+        flush(att.ncp);
+      }
+    }
+    // The generated cube provably detects fi even before fsim.
+    fl.set_status(fi, FaultStatus::kDetected);
+  } else if (att.aborted) {
+    fl.set_status(fi, FaultStatus::kAborted);
+  } else {
+    // Untestable under every applicable capture procedure (or no
+    // procedure can observe it at all).
+    fl.set_status(fi, FaultStatus::kUntestable);
+  }
+  ctx_.res.podem += att.stats;
+}
+
+void ParallelPodem::run_sequential() {
+  FaultList& fl = ctx_.faults;
+  const size_t total = fl.size();
+  for (size_t fi = 0; fi < total; ++fi) {
+    if ((fi & 0x3ff) == 0) ctx_.progress(stage_, fi, total);
+    if (!eligible(fl.status(fi))) continue;
+    Attempt att;
+    attempt_fault(scratch_[0], fi, &att);
+    commit_fault(fi, att);
+  }
+}
+
+void ParallelPodem::run_speculative() {
+  FaultList& fl = ctx_.faults;
+  const size_t total = fl.size();
+  const size_t window = shards_ * kWindowFaultsPerShard;
+  std::vector<size_t> cand;
+  cand.reserve(window);
+  std::vector<Attempt> attempts;
+  size_t next = 0;
+  while (next < total) {
+    // Leader: collect the next window of still-eligible faults. A fault
+    // ineligible here can never become eligible again (statuses only
+    // move toward detected/untestable/aborted), so skipping now is
+    // exactly the sequential skip.
+    const size_t win_start = next;
+    cand.clear();
+    while (next < total && cand.size() < window) {
+      if (eligible(fl.status(next))) cand.push_back(next);
+      ++next;
+    }
+    const size_t win_end = next;
+
+    // Workers: speculative PODEM attempts, interleaved over the shards.
+    // Shards touch only their own scratch and their disjoint slots of
+    // `attempts`; the fault list is read-only here (set_status happens
+    // only on the leader, between dispatches).
+    attempts.assign(cand.size(), Attempt{});
+    if (!cand.empty()) {
+      pool_->run([&](size_t s) {
+        for (size_t k = s; k < cand.size(); k += shards_) {
+          attempt_fault(scratch_[s], cand[k], &attempts[k]);
+        }
+      });
+    }
+
+    // Leader: commit in canonical fault order, emitting the same
+    // progress events the sequential walk does.
+    size_t k = 0;
+    for (size_t fi = win_start; fi < win_end; ++fi) {
+      if ((fi & 0x3ff) == 0) ctx_.progress(stage_, fi, total);
+      if (k < cand.size() && cand[k] == fi) commit_fault(fi, attempts[k++]);
+    }
+  }
+}
+
+void ParallelPodem::run() {
+  if (shards_ == 1) {
+    run_sequential();
+  } else {
+    run_speculative();
+  }
+  for (uint32_t nc = 0; nc < open_cubes_.size(); ++nc) flush(nc);
+  ctx_.progress(stage_, ctx_.faults.size(), ctx_.faults.size());
+  if (ctx_.opts.verbose) {
+    std::cerr << "[atpg] after deterministic stage: "
+              << ctx_.faults.summary() << "\n";
+  }
+}
+
+}  // namespace occ

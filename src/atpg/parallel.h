@@ -1,0 +1,133 @@
+/// \file
+/// Parallel deterministic PODEM stage: speculative cube generation over
+/// a persistent thread pool, committed in canonical fault order so the
+/// outcome is bit-identical to the sequential stage for any shard count.
+///
+/// Protocol (docs/ARCHITECTURE.md, "The speculative-commit protocol"):
+///   * the leader scans the fault list in index order and collects a
+///     window of still-eligible (undetected / possibly-detected) faults;
+///   * every shard of the stage's persistent ThreadPool owns a private
+///     UnrolledModel + Podem pair per capture procedure (PODEM scratch
+///     is never shared) and runs the per-fault attempt -- capability
+///     pre-filter, fault translation, PODEM search with abort retry --
+///     for its interleaved subset of the window;
+///   * the leader then commits the speculative outcomes in fault-index
+///     order, running the exact sequential bookkeeping: eligibility
+///     re-check (the fault may have been dropped by a flush committed
+///     earlier in the same window), static cube merging, windowed
+///     random-fill + fault-simulation flush through the session's
+///     sharded engine, status updates, and Podem::Stats accounting;
+///   * a speculative outcome whose fault is no longer eligible at its
+///     commit slot is discarded: its work lands in
+///     AtpgRunResult::speculative_runs / discarded_cubes and never
+///     reaches the committed counters.
+///
+/// A PODEM attempt depends only on (netlist, scheme, fault) -- never on
+/// fault statuses, the session RNG, or other attempts -- so the
+/// committed sequence of (attempt, bookkeeping) steps is exactly the
+/// sequential stage's. Patterns, fault statuses, detection slots and
+/// every deterministic work counter match bit for bit across shard
+/// counts; only wall clock and the wasted speculative work vary.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/stages.h"
+#include "atpg/podem.h"
+#include "atpg/unroll.h"
+#include "util/thread_pool.h"
+
+namespace occ {
+
+/// The one `atpg_shards` resolution rule: 0 follows the session's
+/// (already resolved) fault-simulation shard count. Shared by the
+/// stage itself and by every driver echoing the value in reports, so
+/// the JSON meta can never drift from what the session actually ran.
+constexpr size_t resolve_atpg_shards(size_t atpg_shards,
+                                     size_t resolved_fsim_shards) {
+  return atpg_shards == 0 ? resolved_fsim_shards : atpg_shards;
+}
+
+/// Shard count the deterministic stage actually runs with:
+/// `opts.atpg_shards` resolved against the session's ShardedFaultSim.
+size_t resolve_atpg_shards(const AtpgOptions& opts,
+                           const ShardedFaultSim& fsim);
+
+/// Coordinator for the deterministic PODEM stage. One instance runs the
+/// stage once over the context's fault list; `shards == 1` executes the
+/// plain sequential loop (no pool, no speculation), larger counts the
+/// speculative-commit protocol described in the file comment.
+class ParallelPodem {
+ public:
+  /// `stage` is the progress-event stage name ("podem" for the built-in
+  /// source). Construction precomputes the structural sink/capture
+  /// pre-filters and spawns the worker pool; all PODEM work happens in
+  /// run().
+  ParallelPodem(PipelineContext& ctx, size_t shards, std::string stage);
+  ~ParallelPodem();
+
+  ParallelPodem(const ParallelPodem&) = delete;
+  ParallelPodem& operator=(const ParallelPodem&) = delete;
+
+  /// Runs the whole deterministic stage (generate, merge, flush,
+  /// status + stats bookkeeping).
+  void run();
+
+ private:
+  /// Speculative outcome of one fault's PODEM attempt.
+  struct Attempt {
+    bool detected = false;  ///< some target produced a cube
+    bool aborted = false;   ///< some target hit the backtrack limit
+    uint32_t ncp = 0;       ///< capture procedure of `cube` when detected
+    TestPattern cube;       ///< the care-bit cube when detected
+    Podem::Stats stats;     ///< PODEM work of this attempt only
+  };
+
+  /// Per-shard scratch: lazily built unrolled models and PODEM engines,
+  /// one pair (plus the deep-retry engine) per capture procedure.
+  struct ShardScratch {
+    std::vector<std::unique_ptr<UnrolledModel>> models;
+    std::vector<std::unique_ptr<Podem>> podems;
+    std::vector<std::unique_ptr<Podem>> podems_deep;
+  };
+
+  static bool eligible(FaultStatus s) {
+    return s == FaultStatus::kUndetected ||
+           s == FaultStatus::kPossiblyDetected;
+  }
+
+  std::pair<UnrolledModel*, Podem*> model_for(ShardScratch& sc,
+                                              uint32_t nc) const;
+  Podem* deep_podem_for(ShardScratch& sc, uint32_t nc) const;
+  Podem::Stats stats_sum(const ShardScratch& sc) const;
+
+  /// The per-fault PODEM attempt (worker side; touches only `sc`).
+  void attempt_fault(ShardScratch& sc, size_t fi, Attempt* out) const;
+  /// Sequential bookkeeping for one attempt (leader side).
+  void commit_fault(size_t fi, Attempt& att);
+  /// Random-fills and fault-simulates the open cubes of procedure `nc`.
+  void flush(uint32_t nc);
+
+  void run_sequential();
+  void run_speculative();
+
+  PipelineContext& ctx_;
+  size_t shards_;
+  std::string stage_;
+
+  // Structural pre-filters, computed once (identical for every fault).
+  std::vector<DomainMask> sink_domains_;  // per gate: reachable flop domains
+  std::vector<bool> sink_po_;             // per gate: reaches a PO
+  std::vector<DomainMask> capture_mask_;  // per NCP: capturing domains
+  std::vector<bool> po_obs_;              // per NCP: strobes any PO
+
+  std::vector<ShardScratch> scratch_;  // one per shard
+  std::unique_ptr<ThreadPool> pool_;   // null when shards_ == 1
+  // Open (unfilled) cube windows per NCP for static merging.
+  std::vector<std::vector<TestPattern>> open_cubes_;
+};
+
+}  // namespace occ

@@ -37,6 +37,22 @@ class Podem {
     uint64_t decisions = 0;
     uint64_t backtracks = 0;
     uint64_t implications = 0;
+
+    Stats& operator+=(const Stats& o) {
+      runs += o.runs;
+      decisions += o.decisions;
+      backtracks += o.backtracks;
+      implications += o.implications;
+      return *this;
+    }
+    // Snapshot delta (b is an earlier snapshot of the same counters).
+    friend Stats operator-(Stats a, const Stats& b) {
+      a.runs -= b.runs;
+      a.decisions -= b.decisions;
+      a.backtracks -= b.backtracks;
+      a.implications -= b.implications;
+      return a;
+    }
   };
 
   explicit Podem(const UnrolledModel& model, Options opts = Options());

@@ -100,6 +100,18 @@ struct FsimStats {
   size_t newly_possibly = 0;
   uint64_t gate_evals = 0;
   uint64_t events_processed = 0;
+
+  /// Accumulates another invocation's stats (every field); the one
+  /// place to extend when a counter is added, shared by all engines
+  /// and stages so none of them drops a field.
+  FsimStats& operator+=(const FsimStats& o) {
+    faults_simulated += o.faults_simulated;
+    newly_detected += o.newly_detected;
+    newly_possibly += o.newly_possibly;
+    gate_evals += o.gate_evals;
+    events_processed += o.events_processed;
+    return *this;
+  }
 };
 
 /// Propagation strategy; results are bit-identical, only the work done

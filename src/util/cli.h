@@ -1,0 +1,22 @@
+/// \file
+/// Shared command-line flag parsing for the occ drivers (`occ`,
+/// bench_engines, bench_table1): strict decimal parsing that rejects
+/// non-numeric input instead of silently reading it as 0 the way
+/// std::atoi does. All drivers report a usage error and exit 2 on a
+/// malformed value.
+#pragma once
+
+#include <cstddef>
+
+namespace occ {
+
+/// Parses a non-negative decimal flag value into `*out`. On failure
+/// (null/empty/non-numeric/trailing garbage) prints a usage message
+/// naming `flag` to stderr and returns false.
+bool parse_size_flag(const char* flag, const char* value, size_t* out);
+
+/// Like parse_size_flag but additionally rejects 0 ("expects a positive
+/// integer"). For flags like --repeat where 0 is meaningless.
+bool parse_positive_flag(const char* flag, const char* value, size_t* out);
+
+}  // namespace occ

@@ -4,9 +4,12 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "util/bitvec.h"
 #include "util/check.h"
+#include "util/cli.h"
 #include "util/gf2.h"
 #include "util/json.h"
 #include "util/rng.h"
@@ -117,6 +120,76 @@ TEST(ThreadPool, PropagatesShardExceptionsAndStaysUsable) {
   std::vector<std::atomic<int>> hits(3);
   pool.run([&](size_t s) { ++hits[s]; });
   for (size_t s = 0; s < 3; ++s) EXPECT_EQ(hits[s].load(), 1);
+}
+
+// Strict flag parsing shared by occ and the bench drivers: anything
+// that is not a plain decimal in range must be rejected -- in
+// particular the values std::atoi/strtoull would silently mangle
+// (non-numeric -> 0, "  -1" -> wraparound, overflow -> clamp).
+TEST(CliParse, AcceptsPlainDecimals) {
+  size_t v = 0;
+  EXPECT_TRUE(parse_size_flag("--n", "0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_size_flag("--n", "42", &v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(parse_positive_flag("--n", "1", &v));
+  EXPECT_EQ(v, 1u);
+}
+
+TEST(CliParse, RejectsMalformedValues) {
+  size_t v = 7;
+  for (const char* bad :
+       {"abc", "", "12x", "-1", " 5", "  -1", "+3", "0x10",
+        "99999999999999999999"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_FALSE(parse_size_flag("--n", bad, &v));
+    EXPECT_FALSE(parse_positive_flag("--n", bad, &v));
+  }
+  EXPECT_FALSE(parse_size_flag("--n", nullptr, &v));
+  EXPECT_FALSE(parse_positive_flag("--n", "0", &v));
+  EXPECT_EQ(v, 7u) << "failed parses must not clobber the output";
+}
+
+// Regression: a dispatch whose fn throws must rethrow exactly once (not
+// once per failing shard, not zero times when shard 0 ran clean) and
+// leave the pool's pending_/generation_ bookkeeping reset, so the same
+// pool keeps serving healthy dispatches afterwards. Matters since both
+// the sharded fault simulator and the parallel deterministic-PODEM
+// stage dispatch onto long-lived pools.
+TEST(ThreadPool, ThrowingDispatchRethrowsOnceAndLeavesPoolReusable) {
+  ThreadPool pool(4);
+  auto expect_healthy = [&] {
+    // Repeated dispatches: a stale pending_ count or generation would
+    // hang or skip shards here.
+    for (int round = 0; round < 2; ++round) {
+      std::vector<std::atomic<int>> hits(4);
+      pool.run([&](size_t s) { ++hits[s]; });
+      for (size_t s = 0; s < 4; ++s) EXPECT_EQ(hits[s].load(), 1);
+    }
+  };
+  // Throw on the caller shard (0) and on a worker shard (2).
+  for (const size_t bad_shard : {size_t{0}, size_t{2}}) {
+    SCOPED_TRACE(bad_shard);
+    int caught = 0;
+    try {
+      pool.run([&](size_t s) {
+        if (s == bad_shard) throw std::runtime_error("boom");
+      });
+    } catch (const std::runtime_error&) {
+      ++caught;
+    }
+    EXPECT_EQ(caught, 1);
+    expect_healthy();
+  }
+  // Every shard throwing still surfaces exactly one exception.
+  int caught = 0;
+  try {
+    pool.run([](size_t) { throw std::runtime_error("all shards boom"); });
+  } catch (const std::runtime_error&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1);
+  expect_healthy();
 }
 
 TEST(ThreadPool, RunsEveryShardExactlyOnce) {

@@ -8,7 +8,8 @@
 //
 // Usage:
 //   occ run --design circuits/s344c.bench [--scheme ncp] [--chains N]
-//           [--shards N] [--mode compiled|cone|exhaustive] [--seed N]
+//           [--shards N] [--atpg-shards N]
+//           [--mode compiled|cone|exhaustive] [--seed N]
 //           [--random-rounds N] [--edt CHANNELS] [--repeat N]
 //           [--json PATH] [--quiet]
 //   occ stats --design circuits/s344c.bench
@@ -38,12 +39,14 @@
 #include <vector>
 
 #include "api/session.h"
+#include "atpg/parallel.h"
 #include "core/clock_scheme.h"
 #include "fsim/sharded.h"
 #include "gen/socgen.h"
 #include "netlist/bench_io.h"
 #include "netlist/stats.h"
 #include "util/check.h"
+#include "util/cli.h"
 #include "util/json.h"
 
 namespace {
@@ -55,9 +58,9 @@ int usage(const char* argv0) {
       << "usage:\n"
       << "  " << argv0
       << " run --design PATH [--scheme NAME] [--chains N] [--shards N]\n"
-      << "      [--mode compiled|cone|exhaustive] [--seed N]\n"
-      << "      [--random-rounds N] [--edt CHANNELS] [--repeat N]\n"
-      << "      [--json PATH] [--quiet]\n"
+      << "      [--atpg-shards N] [--mode compiled|cone|exhaustive]\n"
+      << "      [--seed N] [--random-rounds N] [--edt CHANNELS]\n"
+      << "      [--repeat N] [--json PATH] [--quiet]\n"
       << "  " << argv0 << " stats --design PATH\n"
       << "  " << argv0 << " corpus [--dir DIR]\n"
       << "schemes: stuck_at|a external|b ncp|cpf|c (default) enhanced|d "
@@ -102,6 +105,7 @@ struct RunArgs {
   std::string json_path;
   size_t chains = 2;
   size_t shards = 1;
+  size_t atpg_shards = 0;  // 0 = follow --shards
   size_t repeat = 1;
   FsimMode mode = FsimMode::kCompiled;
   std::optional<uint64_t> seed;
@@ -118,23 +122,9 @@ const char* mode_name(FsimMode m) {
   }
 }
 
-/// Parses `--flag value` pairs shared by run/stats; returns false (after
-/// a message) on malformed flags. `i` points at the flag on entry.
-bool parse_size(const char* flag, const char* value, size_t* out) {
-  if (value == nullptr) {
-    std::cerr << flag << " requires a value\n";
-    return false;
-  }
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(value, &end, 10);
-  if (end == value || *end != '\0') {
-    std::cerr << flag << " expects a non-negative integer, got '" << value
-              << "'\n";
-    return false;
-  }
-  *out = static_cast<size_t>(v);
-  return true;
-}
+// Strict `--flag value` parsing shared with the bench drivers
+// (util/cli.h); malformed values print a usage message and exit 2.
+using occ::parse_size_flag;
 
 int cmd_run(const RunArgs& a) {
   const size_t repeat = a.repeat == 0 ? 1 : a.repeat;
@@ -169,6 +159,7 @@ int cmd_run(const RunArgs& a) {
         .scheme(choice->scheme)
         .on_chip_clocking(choice->on_chip)
         .fsim_shards(a.shards)
+        .atpg_shards(a.atpg_shards)
         .fsim_mode(a.mode);
     if (a.chains > 0) cfg.scan({.num_chains = a.chains});
     AtpgOptions opts;
@@ -228,6 +219,9 @@ int cmd_run(const RunArgs& a) {
     meta.set("domains", r.netlist->num_domains());
     meta.set("scheme", r.scheme.name);
     meta.set("shards", ShardedFaultSim::resolve_shards(a.shards));
+    meta.set("atpg_shards",
+             resolve_atpg_shards(a.atpg_shards,
+                                 ShardedFaultSim::resolve_shards(a.shards)));
     meta.set("mode", mode_name(a.mode));
     meta.set("repeat", repeat);
     meta.set("test_coverage", r.test_coverage());
@@ -354,23 +348,26 @@ int main(int argc, char** argv) {
           }
           ++i;
         } else if (std::strcmp(flag, "--repeat") == 0) {
-          if (!parse_size(flag, val, &a.repeat)) return 2;
+          if (!parse_size_flag(flag, val, &a.repeat)) return 2;
           ++i;
         } else if (std::strcmp(flag, "--chains") == 0) {
-          if (!parse_size(flag, val, &a.chains)) return 2;
+          if (!parse_size_flag(flag, val, &a.chains)) return 2;
           ++i;
         } else if (std::strcmp(flag, "--shards") == 0) {
-          if (!parse_size(flag, val, &a.shards)) return 2;
+          if (!parse_size_flag(flag, val, &a.shards)) return 2;
+          ++i;
+        } else if (std::strcmp(flag, "--atpg-shards") == 0) {
+          if (!parse_size_flag(flag, val, &a.atpg_shards)) return 2;
           ++i;
         } else if (std::strcmp(flag, "--random-rounds") == 0) {
-          if (!parse_size(flag, val, &a.random_rounds)) return 2;
+          if (!parse_size_flag(flag, val, &a.random_rounds)) return 2;
           ++i;
         } else if (std::strcmp(flag, "--edt") == 0) {
-          if (!parse_size(flag, val, &a.edt_channels)) return 2;
+          if (!parse_size_flag(flag, val, &a.edt_channels)) return 2;
           ++i;
         } else if (std::strcmp(flag, "--seed") == 0) {
           size_t s = 0;
-          if (!parse_size(flag, val, &s)) return 2;
+          if (!parse_size_flag(flag, val, &s)) return 2;
           a.seed = s;
           ++i;
         } else {
