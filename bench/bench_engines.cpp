@@ -7,8 +7,10 @@
 // the CI bench job (see README "Benchmarking"): deterministic work
 // counters (gate_evals, events_processed, fault/pattern counts) plus
 // wall-clock times for the same engine workloads, including the
-// compiled-vs-interpreted-vs-exhaustive fault-propagation comparison
-// and a parse->simulate run over the committed corpus circuit
+// compiled-vs-interpreted-vs-exhaustive fault-propagation comparison,
+// a SAT-backend workload (starved PODEM + CNF miter classification of
+// the aborts; atpg.sat.* block, record-only in CI for now) and a
+// parse->simulate run over the committed corpus circuit
 // circuits/s1423c.bench.
 //
 // `--repeat N` (default 1) measures every wall-clock metric N times and
@@ -422,6 +424,61 @@ int write_json_report(const std::string& path) {
     meta.set("atpg.det.shards", det_shards);
     meta.set("atpg.det.speculative_runs", speculative);
     meta.set("atpg.det.discarded_cubes", discarded);
+  }
+
+  // SAT backend workload: a separate session with a deliberately
+  // starved PODEM (tiny backtrack limit, no retry) so the abort pool is
+  // large, then the SAT stage (CNF miter lowering + in-tree CDCL,
+  // src/sat) classifies every abort. The "source:sat" stage wall is
+  // measured via progress events; conflicts/solves are deterministic
+  // and asserted identical across repeats. Nothing here touches the
+  // baseline-gated sessions above -- their counters stay bit-identical
+  // with the backend off.
+  {
+    AtpgOptions starved;
+    starved.backtrack_limit = 20;
+    starved.abort_retry_factor = 1;
+    starved.sat_backend = true;
+    // Budget-capped so the workload stays a few seconds even under
+    // --repeat; faults whose redundancy proof needs more search count
+    // as still_aborted here (the budget, not the solver, is the limit).
+    starved.sat_conflict_budget = 1000;
+    std::vector<double> walls;
+    SatStats st;
+    for (size_t r = 0; r < g_repeat; ++r) {
+      double sat_ms = 0.0;
+      std::chrono::steady_clock::time_point sat_t0;
+      SessionConfig cfg;
+      cfg.design_ref(nl)
+          .scheme(scheme_cpf_basic(nl.num_domains()))
+          .atpg(starved)
+          .observer([&](const ProgressEvent& ev) {
+            if (ev.stage != "source:sat") return;
+            if (ev.kind == ProgressEvent::Kind::kStageBegin) {
+              sat_t0 = std::chrono::steady_clock::now();
+            } else if (ev.kind == ProgressEvent::Kind::kStageEnd) {
+              sat_ms = ms_since(sat_t0);
+            }
+          });
+      const SessionResult res = Session(std::move(cfg)).run();
+      walls.push_back(sat_ms);
+      if (r == 0) {
+        st = res.atpg.sat;
+      } else {
+        OCC_CHECK(res.atpg.sat.conflicts == st.conflicts &&
+                      res.atpg.sat.solves == st.solves &&
+                      res.atpg.sat.detected == st.detected,
+                  "atpg.sat: solver counters drifted across repeats");
+      }
+    }
+    metrics.set("atpg.sat.wall_ms", repeat_median(std::move(walls)));
+    metrics.set("atpg.sat.conflicts", st.conflicts);
+    meta.set("atpg.sat.faults_targeted", st.faults_targeted);
+    meta.set("atpg.sat.detected", st.detected);
+    meta.set("atpg.sat.proven_untestable", st.proven_untestable);
+    meta.set("atpg.sat.still_aborted", st.still_aborted);
+    meta.set("atpg.sat.solves", st.solves);
+    meta.set("atpg.sat.patterns", st.patterns);
   }
 
   // External-design workload: parse the committed s1423-class corpus

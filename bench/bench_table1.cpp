@@ -7,7 +7,8 @@
 // section 5.2 of the paper.
 //
 // Usage: bench_table1 [--quick|--full] [--design PATH] [--shards N]
-//                     [--atpg-shards N] [--repeat N] [--json PATH]
+//                     [--atpg-shards N] [--repeat N] [--sat]
+//                     [--json PATH]
 //   default : mid-size SOC (~3 minutes) -- same orderings as full scale
 //   --quick : small SOC (~40 seconds)
 //   --full  : paper-scale shape run (~15-20 minutes); the EXPERIMENTS.md
@@ -23,6 +24,10 @@
 //   --atpg-shards N : deterministic-PODEM worker shards per Session
 //                (default and 0 = follow --shards; committed results
 //                are bit-identical for every value)
+//   --sat : enable the SAT backend (src/sat) in every experiment --
+//                PODEM-aborted faults get a CNF miter decision (test
+//                cube or proven-untestable). The per-stage disposition
+//                block in --json then grows a "sat" stage.
 //   --repeat N : run the experiment suite N times (default 1) and
 //                 report the median wall per experiment in the --json
 //                 report; work counters are asserted identical across
@@ -88,6 +93,17 @@ int write_json_report(const std::string& path,
     metrics.set(key + ".wall_s", median_wall(walls, i));
     meta.set(key + ".test_coverage", row.result.test_coverage());
     meta.set(key + ".scheme", row.result.scheme_name);
+    // Per-stage fault dispositions (auditable coverage accounting; the
+    // proven_untestable column leaves the test-coverage denominator).
+    for (const auto& d : row.result.stage_dispositions) {
+      const std::string p = key + ".stage." + d.stage + ".";
+      meta.set(p + "detected", d.detected);
+      meta.set(p + "possibly_detected", d.possibly_detected);
+      meta.set(p + "untestable", d.untestable);
+      meta.set(p + "proven_untestable", d.proven_untestable);
+      meta.set(p + "aborted", d.aborted);
+      meta.set(p + "undetected", d.undetected);
+    }
   }
   return occ::write_bench_report(path, "bench_table1", std::move(meta),
                                  std::move(metrics))
@@ -100,6 +116,7 @@ int write_json_report(const std::string& path,
 int main(int argc, char** argv) {
   using namespace occ;
   bool quick = false, full = false, allow_shape_fail = false;
+  bool sat = false;
   size_t shards = 0;       // 0 = hardware concurrency (resolved below)
   size_t atpg_shards = 0;  // 0 = follow --shards
   size_t repeat = 1;
@@ -124,6 +141,8 @@ int main(int argc, char** argv) {
       design_path = argv[++i];
     } else if (std::strcmp(argv[i], "--allow-shape-fail") == 0) {
       allow_shape_fail = true;
+    } else if (std::strcmp(argv[i], "--sat") == 0) {
+      sat = true;
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       if (!parse_size_flag("--shards", val, &shards)) return 2;
       ++i;
@@ -168,6 +187,7 @@ int main(int argc, char** argv) {
   }
   cfg.max_pulses = 4;
   cfg.atpg.random_rounds = 12;
+  cfg.atpg.sat_backend = sat;
   // 0 follows each experiment Session's fsim shard count (= --shards).
   cfg.atpg.atpg_shards = atpg_shards;
   cfg.design_bench_path = design_path;

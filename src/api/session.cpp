@@ -7,6 +7,7 @@
 #include "dft/protocol.h"
 #include "fsim/tfsim.h"
 #include "netlist/bench_io.h"
+#include "sat/source.h"
 #include "util/check.h"
 
 namespace occ {
@@ -83,6 +84,14 @@ SessionConfig& SessionConfig::atpg(AtpgOptions o) {
 }
 SessionConfig& SessionConfig::seed(uint64_t s) {
   seed_override_ = s;
+  return *this;
+}
+SessionConfig& SessionConfig::sat_backend(bool on) {
+  sat_backend_override_ = on;
+  return *this;
+}
+SessionConfig& SessionConfig::sat_conflict_budget(uint64_t conflicts) {
+  sat_budget_override_ = conflicts;
   return *this;
 }
 SessionConfig& SessionConfig::source(std::shared_ptr<PatternSource> s) {
@@ -220,6 +229,12 @@ SessionResult Session::run() {
   if (cfg_.atpg_shards_override_) {
     opts.atpg_shards = *cfg_.atpg_shards_override_;
   }
+  if (cfg_.sat_backend_override_) {
+    opts.sat_backend = *cfg_.sat_backend_override_;
+  }
+  if (cfg_.sat_budget_override_) {
+    opts.sat_conflict_budget = *cfg_.sat_budget_override_;
+  }
   if (cfg_.edt_) opts.keep_cubes = true;  // encoding works on care bits
   {
     const auto atpg_t0 = std::chrono::steady_clock::now();
@@ -241,13 +256,31 @@ SessionResult Session::run() {
     std::vector<std::shared_ptr<PatternSource>> sources = cfg_.sources_;
     if (sources.empty()) {
       // Classic pipeline: the random stage reads rounds from opts (and
-      // skips itself at random_rounds = 0), then deterministic PODEM.
+      // skips itself at random_rounds = 0), then deterministic PODEM,
+      // then -- when enabled -- the SAT backend on whatever PODEM left
+      // aborted.
       sources.push_back(std::make_shared<RandomPatternSource>());
       sources.push_back(std::make_shared<PodemPatternSource>());
+      if (opts.sat_backend) {
+        sources.push_back(std::make_shared<sat::SatPatternSource>());
+      }
     }
     for (const auto& src : sources) {
-      StageScope scope(obs, "source:" + src->name());
-      src->generate(ctx);
+      {
+        StageScope scope(obs, "source:" + src->name());
+        src->generate(ctx);
+      }
+      StageDisposition d;
+      d.stage = src->name();
+      d.detected = res.faults.count(FaultStatus::kDetected);
+      d.possibly_detected =
+          res.faults.count(FaultStatus::kPossiblyDetected);
+      d.untestable = res.faults.count(FaultStatus::kUntestable);
+      d.proven_untestable =
+          res.faults.count(FaultStatus::kProvenUntestable);
+      d.aborted = res.faults.count(FaultStatus::kAborted);
+      d.undetected = res.faults.count(FaultStatus::kUndetected);
+      res.stage_dispositions.push_back(std::move(d));
     }
 
     // Reverse-order compaction: re-grade against a fresh fault list in
@@ -255,10 +288,11 @@ SessionResult Session::run() {
     if (opts.reverse_compaction && !res.patterns.empty()) {
       StageScope scope(obs, "compact");
       FaultList fl2 = FaultList::build(nl, result.scheme.model);
-      // Preserve untestable/aborted classifications.
+      // Preserve untestable/aborted/proven-untestable classifications.
       for (size_t i = 0; i < res.faults.size(); ++i) {
         if (res.faults.status(i) == FaultStatus::kUntestable ||
-            res.faults.status(i) == FaultStatus::kAborted) {
+            res.faults.status(i) == FaultStatus::kAborted ||
+            res.faults.status(i) == FaultStatus::kProvenUntestable) {
           fl2.set_status(i, res.faults.status(i));
         }
       }

@@ -126,6 +126,15 @@ class SessionConfig {
   /// Pins the ATPG seed; wins over AtpgOptions::seed regardless of the
   /// order seed() and atpg() were called in.
   SessionConfig& seed(uint64_t s);
+  /// Enables/disables the SAT backend stage on PODEM-aborted faults
+  /// (src/sat): every abort is re-decided by CNF lowering + CDCL -- a
+  /// test cube, a redundancy proof (FaultStatus::kProvenUntestable), or
+  /// still-aborted on budget exhaustion. Wins over
+  /// AtpgOptions::sat_backend regardless of call order.
+  SessionConfig& sat_backend(bool on);
+  /// Per-solve conflict budget of the SAT backend (0 = unlimited). Wins
+  /// over AtpgOptions::sat_conflict_budget regardless of call order.
+  SessionConfig& sat_conflict_budget(uint64_t conflicts);
 
   // ---- pluggable stages --------------------------------------------------
   /// Appends a pattern source; with none registered the session runs the
@@ -179,6 +188,8 @@ class SessionConfig {
   std::optional<ClockingScheme> scheme_;
   AtpgOptions atpg_;
   std::optional<uint64_t> seed_override_;
+  std::optional<bool> sat_backend_override_;
+  std::optional<uint64_t> sat_budget_override_;
   std::vector<std::shared_ptr<PatternSource>> sources_;
   std::vector<std::shared_ptr<ResultSink>> sinks_;
   ProgressObserver observer_;

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "atpg/podem.h"
 #include "core/clock_scheme.h"
@@ -57,6 +58,38 @@ struct AtpgOptions {
   /// every value -- only wall clock and the wasted speculative work
   /// (AtpgRunResult::speculative_runs) vary.
   size_t atpg_shards = 0;
+  /// Run the SAT backend (sat/source.h) on faults the PODEM stage left
+  /// aborted: each gets a CNF miter decision -- a test cube, a
+  /// redundancy proof (kProvenUntestable), or kUnknown within the
+  /// conflict budget (stays aborted).
+  bool sat_backend = false;
+  /// Per-solve conflict budget of the SAT backend; 0 = unlimited.
+  uint64_t sat_conflict_budget = 100000;
+};
+
+/// Deterministic work counters of the SAT backend stage.
+struct SatStats {
+  size_t faults_targeted = 0;    ///< aborted faults handed to SAT
+  size_t detected = 0;           ///< classified testable (cube emitted)
+  size_t proven_untestable = 0;  ///< all miters UNSAT within budget
+  size_t still_aborted = 0;      ///< some solve hit the conflict budget
+  size_t patterns = 0;           ///< patterns emitted by the stage
+  uint64_t solves = 0;           ///< CDCL solver invocations
+  uint64_t conflicts = 0;
+  uint64_t decisions = 0;
+  uint64_t propagations = 0;
+};
+
+/// Fault-status tallies after one pipeline stage, for auditable
+/// coverage reporting (occ run --json / bench_table1 --json).
+struct StageDisposition {
+  std::string stage;  ///< source name ("random", "podem", "sat", ...)
+  size_t detected = 0;
+  size_t possibly_detected = 0;
+  size_t untestable = 0;
+  size_t proven_untestable = 0;
+  size_t aborted = 0;
+  size_t undetected = 0;
 };
 
 struct AtpgRunResult {
@@ -78,6 +111,11 @@ struct AtpgRunResult {
   /// and scheduling, unlike `podem`, which counts committed work only.
   size_t speculative_runs = 0;
   size_t discarded_cubes = 0;
+  /// SAT backend counters (all zero when opts.sat_backend is off).
+  SatStats sat;
+  /// Fault-status tallies after each pipeline source stage, in run
+  /// order (filled by occ::Session).
+  std::vector<StageDisposition> stage_dispositions;
   size_t patterns_after_compaction = 0;
   double seconds = 0.0;
 

@@ -16,7 +16,8 @@ namespace {
 /// flush cadence is opts.merge_window cubes per procedure).
 constexpr size_t kWindowFaultsPerShard = 16;
 
-/// A pattern cube built from a PODEM assignment.
+}  // namespace
+
 TestPattern cube_to_pattern(const UnrolledModel& um,
                             const std::vector<V3>& cube, const Netlist& nl,
                             uint32_t ncp_index) {
@@ -42,6 +43,8 @@ TestPattern cube_to_pattern(const UnrolledModel& um,
   }
   return p;
 }
+
+namespace {
 
 bool cubes_compatible(const TestPattern& a, const TestPattern& b) {
   for (size_t f = 0; f < a.pi_frames.size(); ++f) {

@@ -56,6 +56,13 @@ constexpr size_t resolve_atpg_shards(size_t atpg_shards,
 size_t resolve_atpg_shards(const AtpgOptions& opts,
                            const ShardedFaultSim& fsim);
 
+/// Builds the pattern cube of a PODEM/SAT variable assignment: care bits
+/// placed per the model's VarInfo map, PI values copied forward into
+/// frozen frames. Shared by the deterministic stage and the SAT backend.
+TestPattern cube_to_pattern(const UnrolledModel& um,
+                            const std::vector<V3>& cube, const Netlist& nl,
+                            uint32_t ncp_index);
+
 /// Coordinator for the deterministic PODEM stage. One instance runs the
 /// stage once over the context's fault list; `shards == 1` executes the
 /// plain sequential loop (no pool, no speculation), larger counts the

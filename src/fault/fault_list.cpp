@@ -14,6 +14,7 @@ std::string_view fault_status_name(FaultStatus s) {
     case FaultStatus::kPossiblyDetected: return "possibly-detected";
     case FaultStatus::kUntestable: return "untestable";
     case FaultStatus::kAborted: return "aborted";
+    case FaultStatus::kProvenUntestable: return "proven-untestable";
   }
   return "?";
 }
@@ -64,7 +65,8 @@ double FaultList::fault_coverage() const {
 }
 
 double FaultList::test_coverage() const {
-  const size_t denom = faults_.size() - count(FaultStatus::kUntestable);
+  const size_t denom = faults_.size() - count(FaultStatus::kUntestable) -
+                       count(FaultStatus::kProvenUntestable);
   if (denom == 0) return 0.0;
   return static_cast<double>(count(FaultStatus::kDetected)) /
          static_cast<double>(denom);
@@ -73,7 +75,8 @@ double FaultList::test_coverage() const {
 double FaultList::atpg_effectiveness() const {
   if (faults_.empty()) return 0.0;
   return static_cast<double>(count(FaultStatus::kDetected) +
-                             count(FaultStatus::kUntestable)) /
+                             count(FaultStatus::kUntestable) +
+                             count(FaultStatus::kProvenUntestable)) /
          static_cast<double>(faults_.size());
 }
 
@@ -85,6 +88,7 @@ std::string FaultList::summary() const {
      << " uncollapsed)"
      << " det=" << count(FaultStatus::kDetected)
      << " unt=" << count(FaultStatus::kUntestable)
+     << " prv=" << count(FaultStatus::kProvenUntestable)
      << " abt=" << count(FaultStatus::kAborted)
      << " und=" << count(FaultStatus::kUndetected)
      << " FC=" << fault_coverage() * 100.0

@@ -17,6 +17,7 @@ enum class FaultStatus : uint8_t {
   kPossiblyDetected,  // differs only via X at an observation point
   kUntestable,        // proven untestable under the active constraints
   kAborted,           // ATPG gave up (backtrack limit)
+  kProvenUntestable,  // SAT backend proved no test exists (UNSAT miter)
 };
 
 std::string_view fault_status_name(FaultStatus s);
@@ -58,9 +59,11 @@ class FaultList {
 
   /// Fault coverage: detected / total.
   double fault_coverage() const;
-  /// Test coverage: detected / (total - untestable), the paper's metric.
+  /// Test coverage: detected / (total - untestable - proven-untestable),
+  /// the paper's metric (proven-redundant faults leave the denominator).
   double test_coverage() const;
-  /// ATPG effectiveness: (detected + untestable) / total.
+  /// ATPG effectiveness: (detected + untestable + proven-untestable) /
+  /// total.
   double atpg_effectiveness() const;
 
   /// One-line summary.
@@ -74,7 +77,7 @@ class FaultList {
   std::vector<FaultClass> class_;
   size_t uncollapsed_count_ = 0;
   // Cached tallies, maintained by set_status.
-  size_t tally_[5] = {0, 0, 0, 0, 0};
+  size_t tally_[6] = {0, 0, 0, 0, 0, 0};
 };
 
 std::ostream& operator<<(std::ostream& os, const FaultList& fl);

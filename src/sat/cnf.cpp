@@ -1,0 +1,28 @@
+#include "sat/cnf.h"
+
+#include <ostream>
+
+namespace occ {
+namespace sat {
+
+size_t Cnf::literal_count() const {
+  size_t n = 0;
+  for (const auto& c : clauses) n += c.size();
+  return n;
+}
+
+void Cnf::write_dimacs(std::ostream& os,
+                       const std::vector<std::string>& comments) const {
+  for (const std::string& c : comments) os << "c " << c << "\n";
+  os << "p cnf " << num_vars << " " << clauses.size() << "\n";
+  for (const auto& clause : clauses) {
+    for (Lit l : clause) {
+      const int64_t v = static_cast<int64_t>(lit_var(l)) + 1;
+      os << (lit_sign(l) ? -v : v) << " ";
+    }
+    os << "0\n";
+  }
+}
+
+}  // namespace sat
+}  // namespace occ

@@ -1,0 +1,64 @@
+// CNF core for the SAT-based ATPG backend: literals, clause storage and
+// the DIMACS writer used by `occ sat-export`.
+//
+// Variables are dense 0-based indices; a literal packs (variable,
+// polarity) MiniSat-style as var*2+sign, so watch lists and assignment
+// arrays index directly by literal. The DIMACS writer shifts to the
+// 1-based external convention.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace occ {
+namespace sat {
+
+/// Dense 0-based propositional variable index.
+using Var = uint32_t;
+
+/// Packed literal: var*2 (positive) or var*2+1 (negated).
+using Lit = uint32_t;
+
+inline constexpr Lit kLitUndef = 0xFFFFFFFFu;
+
+/// Builds the positive (neg=false) or negated literal of `v`.
+inline constexpr Lit mk_lit(Var v, bool neg = false) {
+  return (v << 1) | static_cast<Lit>(neg);
+}
+/// The variable of a literal.
+inline constexpr Var lit_var(Lit l) { return l >> 1; }
+/// True for negated literals.
+inline constexpr bool lit_sign(Lit l) { return (l & 1) != 0; }
+/// The opposite-polarity literal.
+inline constexpr Lit lit_neg(Lit l) { return l ^ 1; }
+
+/// A CNF formula under construction: a variable counter plus a clause
+/// list. Clause order and variable numbering are part of the lowering's
+/// determinism contract (identical faults must produce byte-identical
+/// DIMACS), so nothing here reorders or simplifies.
+struct Cnf {
+  uint32_t num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+
+  /// Allocates a fresh variable.
+  Var new_var() { return num_vars++; }
+
+  /// Appends one clause (no sorting, no duplicate removal).
+  void add_clause(std::vector<Lit> c) { clauses.push_back(std::move(c)); }
+  void add_unit(Lit a) { clauses.push_back({a}); }
+  void add_binary(Lit a, Lit b) { clauses.push_back({a, b}); }
+  void add_ternary(Lit a, Lit b, Lit c) { clauses.push_back({a, b, c}); }
+
+  /// Total literal occurrences (for reporting).
+  size_t literal_count() const;
+
+  /// Writes the formula in DIMACS CNF format, preceded by `c` comment
+  /// lines (one per entry, without the leading "c ").
+  void write_dimacs(std::ostream& os,
+                    const std::vector<std::string>& comments = {}) const;
+};
+
+}  // namespace sat
+}  // namespace occ

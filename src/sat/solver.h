@@ -1,0 +1,135 @@
+// In-tree CDCL SAT solver for the ATPG backend.
+//
+// Classic conflict-driven clause learning in the MiniSat mold: two
+// watched literals per clause, first-UIP conflict analysis, VSIDS-style
+// activity-ordered decisions with phase saving, Luby restarts and a
+// conflict budget (exhaustion returns kUnknown, which the ATPG stage
+// maps to "still aborted").
+//
+// Determinism contract: a solve is a pure function of the input CNF and
+// the options. Decisions break activity ties toward the smaller
+// variable index, clause and watch traversal follow insertion order,
+// and no wall-clock, randomization or address-order input exists -- so
+// repeated runs (and runs on different machines) produce identical
+// models, conflict counts and learned clauses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace occ {
+namespace sat {
+
+/// Outcome of one solve.
+enum class SatResult : uint8_t {
+  kSat,     ///< model() holds a satisfying assignment
+  kUnsat,   ///< formula proven unsatisfiable
+  kUnknown  ///< conflict budget exhausted before a verdict
+};
+
+struct SolverOptions {
+  /// Conflict budget; 0 = unlimited. On exhaustion solve() returns
+  /// kUnknown.
+  uint64_t conflict_budget = 0;
+  /// VSIDS activity decay per conflict (activity increment grows by
+  /// 1/decay).
+  double var_decay = 0.95;
+  /// Luby restart unit, in conflicts.
+  uint32_t restart_base = 128;
+};
+
+/// Deterministic work counters of one solver instance.
+struct SolverStats {
+  uint64_t conflicts = 0;
+  uint64_t decisions = 0;
+  uint64_t propagations = 0;
+  uint64_t restarts = 0;
+  uint64_t learned_clauses = 0;
+  uint64_t learned_literals = 0;
+};
+
+/// One CDCL solver instance over a fixed formula. Construction copies
+/// the clauses; solve() may be called once per instance.
+class CdclSolver {
+ public:
+  explicit CdclSolver(const Cnf& cnf, SolverOptions opts = {});
+
+  /// Runs the CDCL loop to a verdict or the conflict budget.
+  SatResult solve();
+
+  /// Satisfying assignment per variable (0/1), valid after kSat. Every
+  /// variable is assigned (the decision loop covers vars absent from
+  /// all clauses).
+  const std::vector<uint8_t>& model() const { return model_; }
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  using ClauseRef = uint32_t;
+  static constexpr ClauseRef kNoReason = 0xFFFFFFFFu;
+
+  bool lit_true(Lit l) const {
+    const int8_t a = assigns_[lit_var(l)];
+    return a >= 0 && (a != 0) != lit_sign(l);
+  }
+  bool lit_false(Lit l) const {
+    const int8_t a = assigns_[lit_var(l)];
+    return a >= 0 && (a != 0) == lit_sign(l);
+  }
+  bool lit_unassigned(Lit l) const { return assigns_[lit_var(l)] < 0; }
+
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();  // returns conflicting clause or kNoReason
+  void analyze(ClauseRef confl, std::vector<Lit>* learnt,
+               uint32_t* out_btlevel);
+  void cancel_until(uint32_t level);
+  Lit pick_branch();  // kLitUndef when all vars assigned
+  void attach_clause(ClauseRef cr);
+  void var_bump(Var v);
+  void var_decay_all();
+
+  // Activity-ordered max-heap (ties toward the smaller variable).
+  bool heap_lt(Var a, Var b) const;
+  void heap_insert(Var v);
+  void heap_sift_up(size_t i);
+  void heap_sift_down(size_t i);
+  Var heap_pop();
+
+  SolverOptions opts_;
+  std::vector<std::vector<Lit>> clauses_;   // problem + learned
+  std::vector<std::vector<ClauseRef>> watches_;  // per literal
+  std::vector<int8_t> assigns_;   // per var: -1 / 0 / 1
+  std::vector<uint32_t> level_;   // per var: decision level
+  std::vector<ClauseRef> reason_; // per var: implying clause
+  std::vector<Lit> trail_;
+  std::vector<size_t> trail_lim_;
+  size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<uint8_t> phase_;       // saved polarity per var
+  std::vector<Var> heap_;            // binary heap of candidate vars
+  std::vector<int32_t> heap_index_;  // var -> heap slot or -1
+
+  std::vector<uint8_t> seen_;  // conflict-analysis scratch
+  bool trivially_unsat_ = false;
+
+  std::vector<uint8_t> model_;
+  SolverStats stats_;
+};
+
+/// Plain unit propagation over `cnf` from the given assumption
+/// literals, with no decisions and no learning: the reference
+/// propagation the CNF-lowering parity tests run against the
+/// UnrolledModel simulation. Returns the assignment per variable
+/// (-1 unassigned, 0 false, 1 true); sets *conflict when propagation
+/// derives an empty clause. Independent of CdclSolver's propagation
+/// machinery on purpose (it doubles as a cross-check of it).
+std::vector<int8_t> unit_propagate(const Cnf& cnf,
+                                   const std::vector<Lit>& assumptions,
+                                   bool* conflict);
+
+}  // namespace sat
+}  // namespace occ

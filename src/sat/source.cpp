@@ -1,0 +1,96 @@
+#include "sat/source.h"
+
+#include <memory>
+#include <vector>
+
+#include "atpg/parallel.h"
+#include "fsim/pattern.h"
+#include "sat/lower.h"
+#include "sat/solver.h"
+#include "util/check.h"
+
+namespace occ {
+namespace sat {
+
+void SatPatternSource::generate(PipelineContext& ctx) {
+  FaultList& fl = ctx.faults;
+  const ClockingScheme& scheme = ctx.scheme;
+  const size_t num_ncp = scheme.procedures.size();
+  SatStats& st = ctx.res.sat;
+
+  // Unrolled models and their good-machine lowerings, built lazily per
+  // capture procedure and shared across all targets.
+  std::vector<std::unique_ptr<UnrolledModel>> models(num_ncp);
+  std::vector<std::unique_ptr<CnfLowering>> lowerings(num_ncp);
+
+  // The target list is fixed up front; a flush may still drop a later
+  // target (aborted faults stay fault-simulated), hence the re-check.
+  std::vector<size_t> targets;
+  for (size_t i = 0; i < fl.size(); ++i) {
+    if (fl.status(i) == FaultStatus::kAborted) targets.push_back(i);
+  }
+
+  size_t done = 0;
+  for (size_t fi : targets) {
+    ++done;
+    if (fl.status(fi) != FaultStatus::kAborted) continue;
+    ++st.faults_targeted;
+    bool budget_out = false;
+    bool found = false;
+    for (uint32_t nc = 0; nc < num_ncp && !found; ++nc) {
+      if (!models[nc]) {
+        models[nc] = std::make_unique<UnrolledModel>(ctx.nl, scheme, nc,
+                                                     ctx.scan_en);
+        lowerings[nc] = std::make_unique<CnfLowering>(*models[nc]);
+      }
+      CnfLowering& low = *lowerings[nc];
+      for (const UnrolledFault& uf : models[nc]->translate(fl.fault(fi))) {
+        const CnfLowering::Mark m = low.mark();
+        if (!low.add_fault(uf)) continue;  // no observation in the cone
+        SolverOptions sopts;
+        sopts.conflict_budget = ctx.opts.sat_conflict_budget;
+        CdclSolver solver(low.cnf(), sopts);
+        const SatResult r = solver.solve();
+        ++st.solves;
+        st.conflicts += solver.stats().conflicts;
+        st.decisions += solver.stats().decisions;
+        st.propagations += solver.stats().propagations;
+        if (r == SatResult::kSat) {
+          const std::vector<V3> cube = low.extract_cube(solver.model());
+          low.rollback(m);
+          TestPattern p = cube_to_pattern(*models[nc], cube, ctx.nl, nc);
+          // The model is a full detecting assignment; the flush below
+          // re-derives the detection and drops collateral faults.
+          fl.set_status(fi, FaultStatus::kDetected);
+          ++st.detected;
+          if (ctx.opts.keep_cubes) ctx.res.cubes.add(p);
+          Rng fill_rng = ctx.rng.split(fi);
+          p.random_fill(scheme.procedures[nc], fill_rng);
+          PatternSet one(scheme.name);
+          one.add(std::move(p));
+          PatternBatch b =
+              pack_batch(one, 0, 1, ctx.nl, scheme.procedures[nc]);
+          ctx.res.fsim += ctx.fsim.run_batch(b, fl);
+          ctx.res.patterns.add(one[0]);
+          ++st.patterns;
+          found = true;
+          break;
+        }
+        low.rollback(m);
+        if (r == SatResult::kUnknown) budget_out = true;
+      }
+    }
+    if (!found) {
+      if (budget_out) {
+        ++st.still_aborted;  // stays kAborted
+      } else {
+        fl.set_status(fi, FaultStatus::kProvenUntestable);
+        ++st.proven_untestable;
+      }
+    }
+    ctx.progress(name(), done, targets.size());
+  }
+}
+
+}  // namespace sat
+}  // namespace occ

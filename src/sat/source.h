@@ -1,0 +1,37 @@
+// SatPatternSource: the abort->SAT handoff stage.
+//
+// Runs after the deterministic PODEM stage and targets exactly the
+// faults it left kAborted. Each target is lowered to a good/faulty
+// miter per capture procedure and fault instance (sat/lower.h) and
+// decided by the in-tree CDCL solver (sat/solver.h):
+//   * some instance SAT  -> the model becomes a test cube, graded
+//     through the same random-fill + fault-simulation flush as every
+//     other source (work counters stay well-defined), and the fault is
+//     kDetected;
+//   * every instance UNSAT -> no test exists under any applicable
+//     capture procedure: kProvenUntestable, which leaves the
+//     test-coverage denominator;
+//   * any instance hits the conflict budget -> the fault stays
+//     kAborted.
+// The stage is sequential and purely deterministic: targets are visited
+// in fault-index order, fills use ctx.rng.split(fault index), and the
+// solver is a pure function of the CNF -- so dispositions, conflict
+// counts and patterns are identical across repeats and shard settings.
+#pragma once
+
+#include <string>
+
+#include "api/stages.h"
+
+namespace occ {
+namespace sat {
+
+/// SAT backend stage over PODEM-aborted faults (see file comment).
+class SatPatternSource : public PatternSource {
+ public:
+  std::string name() const override { return "sat"; }
+  void generate(PipelineContext& ctx) override;
+};
+
+}  // namespace sat
+}  // namespace occ

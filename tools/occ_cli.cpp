@@ -11,9 +11,19 @@
 //           [--shards N] [--atpg-shards N]
 //           [--mode compiled|cone|exhaustive] [--seed N]
 //           [--random-rounds N] [--edt CHANNELS] [--repeat N]
-//           [--json PATH] [--quiet]
+//           [--sat] [--sat-budget CONFLICTS] [--json PATH] [--quiet]
 //   occ stats --design circuits/s344c.bench
 //   occ corpus [--dir circuits]
+//   occ sat-export --design circuits/s344c.bench --fault N [--scheme ncp]
+//           [--chains N] [--ncp N] [--instance N] [--out PATH]
+//
+// `--sat` runs the SAT backend (src/sat) on PODEM-aborted faults: each
+// gets a CNF miter decision -- a test cube, a redundancy proof
+// (proven-untestable, which leaves the test-coverage denominator), or
+// still-aborted when `--sat-budget` conflicts are exhausted.
+//
+// `sat-export` dumps the DIMACS CNF of one fault's dual-rail miter, for
+// inspection or for feeding an external solver.
 //
 // `--repeat N` (default 1) runs the session N times and reports the
 // median wall time (the wall_ms.* metrics in the occ-bench-v1 report),
@@ -40,11 +50,15 @@
 
 #include "api/session.h"
 #include "atpg/parallel.h"
+#include "atpg/unroll.h"
 #include "core/clock_scheme.h"
+#include "dft/scan.h"
+#include "fault/fault_list.h"
 #include "fsim/sharded.h"
 #include "gen/socgen.h"
 #include "netlist/bench_io.h"
 #include "netlist/stats.h"
+#include "sat/lower.h"
 #include "util/check.h"
 #include "util/cli.h"
 #include "util/json.h"
@@ -60,9 +74,13 @@ int usage(const char* argv0) {
       << " run --design PATH [--scheme NAME] [--chains N] [--shards N]\n"
       << "      [--atpg-shards N] [--mode compiled|cone|exhaustive]\n"
       << "      [--seed N] [--random-rounds N] [--edt CHANNELS]\n"
-      << "      [--repeat N] [--json PATH] [--quiet]\n"
+      << "      [--repeat N] [--sat] [--sat-budget CONFLICTS]\n"
+      << "      [--json PATH] [--quiet]\n"
       << "  " << argv0 << " stats --design PATH\n"
       << "  " << argv0 << " corpus [--dir DIR]\n"
+      << "  " << argv0
+      << " sat-export --design PATH --fault N [--scheme NAME]\n"
+      << "      [--chains N] [--ncp N] [--instance N] [--out PATH]\n"
       << "schemes: stuck_at|a external|b ncp|cpf|c (default) enhanced|d "
          "constrained|e\n";
   return 2;
@@ -111,6 +129,8 @@ struct RunArgs {
   std::optional<uint64_t> seed;
   size_t random_rounds = 0;
   size_t edt_channels = 0;
+  bool sat = false;
+  size_t sat_budget = 100000;
   bool quiet = false;
 };
 
@@ -164,6 +184,8 @@ int cmd_run(const RunArgs& a) {
     if (a.chains > 0) cfg.scan({.num_chains = a.chains});
     AtpgOptions opts;
     opts.random_rounds = a.random_rounds;
+    opts.sat_backend = a.sat;
+    opts.sat_conflict_budget = a.sat_budget;
     cfg.atpg(opts);
     if (a.seed) cfg.seed(*a.seed);
     if (a.edt_channels > 0) cfg.compress({.channels = a.edt_channels});
@@ -226,6 +248,18 @@ int cmd_run(const RunArgs& a) {
     meta.set("repeat", repeat);
     meta.set("test_coverage", r.test_coverage());
     meta.set("fault_coverage", r.fault_coverage());
+    // Per-stage fault dispositions: auditable coverage accounting. The
+    // proven_untestable column is excluded from the test-coverage
+    // denominator (see FaultList::test_coverage).
+    for (const StageDisposition& d : r.atpg.stage_dispositions) {
+      const std::string p = "stage." + d.stage + ".";
+      meta.set(p + "detected", d.detected);
+      meta.set(p + "possibly_detected", d.possibly_detected);
+      meta.set(p + "untestable", d.untestable);
+      meta.set(p + "proven_untestable", d.proven_untestable);
+      meta.set(p + "aborted", d.aborted);
+      meta.set(p + "undetected", d.undetected);
+    }
     Json metrics = Json::object();
     metrics.set("patterns", r.pattern_count());
     metrics.set("gate_evals", r.atpg.fsim.gate_evals);
@@ -237,6 +271,18 @@ int cmd_run(const RunArgs& a) {
     metrics.set("wall_ms.parse", repeat_median(parse_walls));
     metrics.set("wall_ms.session", wall_ms_median);
     metrics.set("wall_s", r.seconds);
+    if (a.sat) {
+      const SatStats& st = r.atpg.sat;
+      meta.set("sat.faults_targeted", st.faults_targeted);
+      meta.set("sat.detected", st.detected);
+      meta.set("sat.proven_untestable", st.proven_untestable);
+      meta.set("sat.still_aborted", st.still_aborted);
+      metrics.set("atpg.sat.patterns", st.patterns);
+      metrics.set("atpg.sat.solves", st.solves);
+      metrics.set("atpg.sat.conflicts", st.conflicts);
+      metrics.set("atpg.sat.decisions", st.decisions);
+      metrics.set("atpg.sat.propagations", st.propagations);
+    }
     if (r.compression.enabled) {
       meta.set("edt.encoded", r.compression.encoded);
       meta.set("edt.ratio", r.compression.ratio());
@@ -245,6 +291,86 @@ int cmd_run(const RunArgs& a) {
                             std::move(meta), std::move(metrics))) {
       return 1;
     }
+  }
+  return 0;
+}
+
+struct SatExportArgs {
+  std::string design;
+  std::string scheme = "ncp";
+  std::string out;  // empty = stdout
+  size_t chains = 2;
+  size_t fault = 0;
+  bool have_fault = false;
+  size_t ncp = 0;
+  size_t instance = 0;
+};
+
+/// Dumps the DIMACS CNF of one collapsed fault's dual-rail miter --
+/// the exact formula the SAT backend solves for that fault instance
+/// (byte-identical numbering, see sat/lower.h).
+int cmd_sat_export(const SatExportArgs& a) {
+  Netlist nl = read_bench_file(a.design);
+  GateId scan_en = kNoGate;
+  if (a.chains > 0) {
+    scan_en = insert_scan(nl, {.num_chains = a.chains}).scan_en;
+  }
+  const auto choice = make_scheme(a.scheme, nl.num_domains());
+  if (!choice) {
+    std::cerr << "unknown scheme '" << a.scheme << "'\n";
+    return 2;
+  }
+  const ClockingScheme& s = choice->scheme;
+  const FaultList fl = FaultList::build(nl, s.model);
+  if (a.fault >= fl.size()) {
+    std::cerr << "--fault " << a.fault << " out of range: " << a.design
+              << " has " << fl.size() << " collapsed faults\n";
+    return 2;
+  }
+  if (a.ncp >= s.procedures.size()) {
+    std::cerr << "--ncp " << a.ncp << " out of range: scheme " << s.name
+              << " has " << s.procedures.size() << " procedures\n";
+    return 2;
+  }
+  const Fault& f = fl.fault(a.fault);
+  const UnrolledModel um(nl, s, static_cast<uint32_t>(a.ncp), scan_en);
+  const auto instances = um.translate(f);
+  if (instances.empty()) {
+    std::cerr << "fault " << fault_to_string(nl, f)
+              << " has no instance under procedure "
+              << s.procedures[a.ncp].name << "\n";
+    return 1;
+  }
+  if (a.instance >= instances.size()) {
+    std::cerr << "--instance " << a.instance << " out of range: fault has "
+              << instances.size() << " instance(s) in this procedure\n";
+    return 2;
+  }
+  sat::CnfLowering low(um);
+  if (!low.add_fault(instances[a.instance])) {
+    std::cerr << "fault " << fault_to_string(nl, f)
+              << " has no observation point in its fanout cone; the miter "
+                 "is trivially unsatisfiable (untestable here)\n";
+    return 1;
+  }
+  const std::vector<std::string> comments = {
+      "occ sat-export: dual-rail 01X fault miter (see sat/lower.h)",
+      "design: " + a.design,
+      "scheme: " + s.name + ", procedure " + std::to_string(a.ncp) + " (" +
+          s.procedures[a.ncp].name + ")",
+      "fault " + std::to_string(a.fault) + ": " + fault_to_string(nl, f) +
+          ", instance " + std::to_string(a.instance) + " of " +
+          std::to_string(instances.size()),
+  };
+  if (a.out.empty()) {
+    low.cnf().write_dimacs(std::cout, comments);
+  } else {
+    std::ofstream os(a.out);
+    OCC_CHECK(os.good(), "cannot open ", a.out, " for writing");
+    low.cnf().write_dimacs(os, comments);
+    OCC_CHECK(os.good(), "write failure on ", a.out);
+    std::cout << "wrote " << a.out << " (" << low.cnf().num_vars
+              << " vars, " << low.cnf().clauses.size() << " clauses)\n";
   }
   return 0;
 }
@@ -370,6 +496,11 @@ int main(int argc, char** argv) {
           if (!parse_size_flag(flag, val, &s)) return 2;
           a.seed = s;
           ++i;
+        } else if (std::strcmp(flag, "--sat") == 0) {
+          a.sat = true;
+        } else if (std::strcmp(flag, "--sat-budget") == 0) {
+          if (!parse_size_flag(flag, val, &a.sat_budget)) return 2;
+          ++i;
         } else {
           std::cerr << "unknown or incomplete flag '" << flag
                     << "' for run\n";
@@ -392,6 +523,45 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       return cmd_stats(design);
+    }
+    if (cmd == "sat-export") {
+      SatExportArgs a;
+      for (int i = 2; i < argc; ++i) {
+        const char* flag = argv[i];
+        const char* val = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (std::strcmp(flag, "--design") == 0 && val) {
+          a.design = val;
+          ++i;
+        } else if (std::strcmp(flag, "--scheme") == 0 && val) {
+          a.scheme = val;
+          ++i;
+        } else if (std::strcmp(flag, "--out") == 0 && val) {
+          a.out = val;
+          ++i;
+        } else if (std::strcmp(flag, "--fault") == 0) {
+          if (!parse_size_flag(flag, val, &a.fault)) return 2;
+          a.have_fault = true;
+          ++i;
+        } else if (std::strcmp(flag, "--chains") == 0) {
+          if (!parse_size_flag(flag, val, &a.chains)) return 2;
+          ++i;
+        } else if (std::strcmp(flag, "--ncp") == 0) {
+          if (!parse_size_flag(flag, val, &a.ncp)) return 2;
+          ++i;
+        } else if (std::strcmp(flag, "--instance") == 0) {
+          if (!parse_size_flag(flag, val, &a.instance)) return 2;
+          ++i;
+        } else {
+          std::cerr << "unknown or incomplete flag '" << flag
+                    << "' for sat-export\n";
+          return usage(argv[0]);
+        }
+      }
+      if (a.design.empty() || !a.have_fault) {
+        std::cerr << "sat-export requires --design PATH and --fault N\n";
+        return usage(argv[0]);
+      }
+      return cmd_sat_export(a);
     }
     if (cmd == "corpus") {
       std::string dir = "circuits";
