@@ -7,11 +7,14 @@
 // the CI bench job (see README "Benchmarking"): deterministic work
 // counters (gate_evals, events_processed, fault/pattern counts) plus
 // wall-clock times for the same engine workloads, including the
-// compiled-vs-interpreted-vs-exhaustive fault-propagation comparison,
-// a SAT-backend workload (starved PODEM + CNF miter classification of
-// the aborts; atpg.sat.* block, record-only in CI for now) and a
-// parse->simulate run over the committed corpus circuit
-// circuits/s1423c.bench.
+// word-vs-compiled-vs-interpreted-vs-exhaustive fault-propagation
+// comparison, the PPSFP window speedup (fsim_batch.scalar vs
+// fsim_batch.word -- one-pattern-per-sweep compiled driving against the
+// word-parallel window API on the same 256 patterns; CI gates the wall
+// ratio >= 10x), a SAT-backend workload (starved PODEM + CNF miter
+// classification of the aborts; atpg.sat.wall_ms/conflicts are
+// baseline-gated) and a parse->simulate run over the committed corpus
+// circuit circuits/s1423c.bench.
 //
 // `--repeat N` (default 1) measures every wall-clock metric N times and
 // reports the median (work counters are asserted identical across
@@ -19,9 +22,14 @@
 // instead of recording them. `--design <path.bench>` swaps the
 // generated SOC workload for an external extended-dialect circuit
 // (scan-inserted with 4 chains); `--corpus-dir <dir>` relocates the
-// corpus the --json report reads; `--atpg-shards N` pins the worker
-// count of the report's parallel deterministic-PODEM workload
-// (atpg.det.*; default 0 = hardware concurrency).
+// corpus the --json report reads. Engine selection uses the shared
+// parse_engine_flag vocabulary of util/cli.h (--mode/--shards/
+// --atpg-shards/--sat/--sat-budget); of these only --atpg-shards
+// affects the report -- it pins the worker count of the parallel
+// deterministic-PODEM workload (atpg.det.*; default 0 = hardware
+// concurrency) -- because every other workload pins its own engine by
+// design: the report's whole point is to measure the modes against
+// each other.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -63,11 +71,14 @@ std::string g_corpus_dir = "circuits";
 /// `--repeat N`: wall metrics in the --json report are medians over N
 /// measurements (deterministic counters are checked for equality).
 size_t g_repeat = 1;
-/// `--atpg-shards N`: deterministic-PODEM worker shards for the
-/// atpg.det workload of the --json report (0 = hardware concurrency,
-/// matching the sharded-fsim workload; results are bit-identical for
-/// every value, only atpg.det.wall_ms moves).
-size_t g_atpg_shards = 0;
+/// Engine-selection flags (shared parse_engine_flag vocabulary). Only
+/// `atpg_shards` is consumed -- it pins the deterministic-PODEM worker
+/// count of the --json report's atpg.det workload (0 = hardware
+/// concurrency, matching the sharded-fsim workload; results are
+/// bit-identical for every value, only atpg.det.wall_ms moves). The
+/// other fields parse but deliberately do not steer the report: its
+/// workloads pin their own FsimMode/shard counts to compare them.
+EngineOptions g_engine;
 
 Netlist& bench_soc() {
   static Netlist nl = [] {
@@ -141,7 +152,7 @@ void BM_FaultSimBatch(benchmark::State& state) {
     state.PauseTiming();
     FaultList fl = FaultList::build(nl, FaultModel::kTransition);
     state.ResumeTiming();
-    const FsimStats st = fsim.run_batch(b, fl);
+    const FsimStats st = fsim.detect_faults(b, fl);
     benchmark::DoNotOptimize(st.newly_detected);
     state.counters["faults"] = static_cast<double>(st.faults_simulated);
     state.counters["detected"] = static_cast<double>(st.newly_detected);
@@ -171,7 +182,7 @@ void BM_ShardedFaultSim(benchmark::State& state) {
     state.PauseTiming();
     FaultList fl = FaultList::build(nl, FaultModel::kTransition);
     state.ResumeTiming();
-    const FsimStats st = fsim.run_batch(b, fl);
+    const FsimStats st = fsim.detect_faults(b, fl);
     benchmark::DoNotOptimize(st.newly_detected);
     detected = st.newly_detected;
   }
@@ -265,8 +276,9 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 /// repeats like a production session's does (one session grades dozens
 /// of batches per engine), so the first repeat pays the lazy
 /// cone/program/order builds and the median reads steady state.
-void report_fsim(Json* metrics, Json* meta, const std::string& prefix,
-                 const ClockingScheme& s, FaultModel model, FsimMode mode) {
+FsimStats report_fsim(Json* metrics, Json* meta, const std::string& prefix,
+                      const ClockingScheme& s, FaultModel model,
+                      FsimMode mode) {
   Netlist& nl = bench_soc();
   const GateId se = nl.find("scan_en");
   PatternSet ps("b");
@@ -277,7 +289,7 @@ void report_fsim(Json* metrics, Json* meta, const std::string& prefix,
   for (size_t r = 0; r < g_repeat; ++r) {
     FaultList fl = FaultList::build(nl, model);
     const auto t0 = std::chrono::steady_clock::now();
-    const FsimStats cur = fsim.run_batch(b, fl);
+    const FsimStats cur = fsim.detect_faults(b, fl);
     walls.push_back(ms_since(t0));
     if (r == 0) {
       st = cur;
@@ -292,6 +304,7 @@ void report_fsim(Json* metrics, Json* meta, const std::string& prefix,
   metrics->set(prefix + ".wall_ms", repeat_median(std::move(walls)));
   meta->set(prefix + ".faults", st.faults_simulated);
   meta->set(prefix + ".detected", st.newly_detected);
+  return st;
 }
 
 int write_json_report(const std::string& path) {
@@ -310,24 +323,97 @@ int write_json_report(const std::string& path) {
   meta.set("soc.gates", nl.size());
   meta.set("soc.flops", nl.dffs().size());
 
-  // Fault simulation on the identical batch, all three execution
-  // strategies: compiled cone programs ("cone" -- the production
-  // default; key name kept stable across the compiled-layer switch),
-  // the interpreted cone engine ("interp") and the exhaustive
-  // reference. Detections and the cone modes' work counters are
-  // bit-identical; the cone-vs-exhaustive gate_evals gap is the cone
-  // work cut, the cone-vs-interp wall gap is the compiled layer's
-  // memory-layout win at identical work.
+  // Fault simulation on the identical batch, all four execution
+  // strategies: the word-parallel engine ("word" -- the production
+  // default), compiled cone programs ("cone" -- key name kept stable
+  // across the compiled-layer switch), the interpreted cone engine
+  // ("interp") and the exhaustive reference. Detections and the
+  // word/cone/interp work counters are bit-identical (asserted here and
+  // re-gated both ways by the CI job); the cone-vs-exhaustive
+  // gate_evals gap is the cone work cut, the cone-vs-interp wall gap is
+  // the compiled layer's memory-layout win at identical work, the
+  // word-vs-cone wall gap is the X-free one-word kernel.
   const ClockingScheme tf = scheme_cpf_basic(nl.num_domains());
-  report_fsim(&metrics, &meta, "fsim_tf.cone", tf, FaultModel::kTransition,
-              FsimMode::kCompiled);
+  const FsimStats tf_cone = report_fsim(&metrics, &meta, "fsim_tf.cone",
+                                        tf, FaultModel::kTransition,
+                                        FsimMode::kCompiled);
   report_fsim(&metrics, &meta, "fsim_tf.interp", tf,
               FaultModel::kTransition, FsimMode::kConeLimited);
   report_fsim(&metrics, &meta, "fsim_tf.exhaustive", tf,
               FaultModel::kTransition, FsimMode::kExhaustive);
+  const FsimStats tf_word = report_fsim(&metrics, &meta, "fsim_tf.word",
+                                        tf, FaultModel::kTransition,
+                                        FsimMode::kWordParallel);
+  OCC_CHECK(tf_word.gate_evals == tf_cone.gate_evals &&
+                tf_word.events_processed == tf_cone.events_processed &&
+                tf_word.newly_detected == tf_cone.newly_detected,
+            "fsim_tf: word-parallel work counters diverged from the "
+            "compiled scalar engine");
   const ClockingScheme sa = scheme_stuck_at_external(nl.num_domains());
   report_fsim(&metrics, &meta, "fsim_sa.cone", sa, FaultModel::kStuckAt,
               FsimMode::kCompiled);
+
+  // PPSFP window speedup: the same 256 fully-specified random patterns
+  // graded (a) one pattern per sweep on the compiled scalar engine --
+  // how every caller drove the engine before the window API -- and
+  // (b) through detect_faults(ps, first, n, fl) on the word-parallel
+  // engine, which packs them into ceil(256/64) = 4 sweeps. Final fault
+  // statuses must agree exactly (same patterns, same detection
+  // semantics); work counters legitimately differ because fault
+  // dropping quantizes at the sweep boundary, so only the word run's
+  // deterministic counters are recorded. CI gates scalar/word >= 10x.
+  {
+    const GateId se = nl.find("scan_en");
+    const size_t frames = tf.procedures[0].cycles.size();
+    Rng rng(7);
+    PatternSet ps("w");
+    for (int i = 0; i < 256; ++i) {
+      TestPattern p;
+      p.ncp_index = 0;
+      p.pi_frames.assign(frames,
+                         std::vector<V3>(nl.inputs().size(), V3::kX));
+      p.load.assign(scan_cells(nl).size(), V3::kX);
+      p.random_fill(tf.procedures[0], rng);
+      ps.add(std::move(p));
+    }
+    NcpFaultSim scalar(nl, tf, se, FsimMode::kCompiled);
+    NcpFaultSim word(nl, tf, se, FsimMode::kWordParallel);
+    std::vector<double> scalar_walls, word_walls;
+    FsimStats wst;
+    for (size_t r = 0; r < g_repeat; ++r) {
+      FaultList fl = FaultList::build(nl, FaultModel::kTransition);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (size_t p = 0; p < ps.size(); ++p) {
+        const PatternBatch b = pack_batch(ps, p, 1, nl, tf.procedures[0]);
+        scalar.detect_faults(b, fl);
+      }
+      scalar_walls.push_back(ms_since(t0));
+      FaultList flw = FaultList::build(nl, FaultModel::kTransition);
+      const auto t1 = std::chrono::steady_clock::now();
+      const FsimStats cur = word.detect_faults(ps, 0, ps.size(), flw);
+      word_walls.push_back(ms_since(t1));
+      for (size_t f = 0; f < fl.size(); ++f) {
+        OCC_CHECK(fl.status(f) == flw.status(f),
+                  "fsim_batch: scalar/word fault-status divergence at "
+                  "fault ", f);
+      }
+      if (r == 0) {
+        wst = cur;
+      } else {
+        OCC_CHECK(cur.gate_evals == wst.gate_evals &&
+                      cur.events_processed == wst.events_processed,
+                  "fsim_batch.word: work counters drifted across repeats");
+      }
+    }
+    metrics.set("fsim_batch.scalar.wall_ms",
+                repeat_median(std::move(scalar_walls)));
+    metrics.set("fsim_batch.word.wall_ms",
+                repeat_median(std::move(word_walls)));
+    metrics.set("fsim_batch.word.gate_evals", wst.gate_evals);
+    metrics.set("fsim_batch.word.events_processed", wst.events_processed);
+    meta.set("fsim_batch.patterns", ps.size());
+    meta.set("fsim_batch.word.detected", wst.newly_detected);
+  }
 
   // Sharded grading at hardware concurrency (wall clock only; the work
   // counters are identical to the sequential run by construction). The
@@ -342,7 +428,7 @@ int write_json_report(const std::string& path) {
     for (size_t r = 0; r < g_repeat; ++r) {
       FaultList fl = FaultList::build(nl, FaultModel::kTransition);
       const auto t0 = std::chrono::steady_clock::now();
-      const FsimStats cur = fsim.run_batch(b, fl);
+      const FsimStats cur = fsim.detect_faults(b, fl);
       walls.push_back(ms_since(t0));
       if (r == 0) {
         st = cur;
@@ -388,7 +474,7 @@ int write_json_report(const std::string& path) {
   // it goes to meta, not the gated metrics.
   {
     const size_t det_shards = resolve_atpg_shards(
-        g_atpg_shards, ShardedFaultSim::resolve_shards(0));
+        g_engine.atpg_shards, ShardedFaultSim::resolve_shards(0));
     std::vector<double> walls;
     size_t det_patterns = 0;
     size_t speculative = 0, discarded = 0;
@@ -399,7 +485,7 @@ int write_json_report(const std::string& path) {
       cfg.design_ref(nl)
           .scheme(scheme_cpf_basic(nl.num_domains()))
           .fsim_shards(0)  // hardware concurrency
-          .atpg_shards(g_atpg_shards)
+          .atpg_shards(g_engine.atpg_shards)
           .observer([&](const ProgressEvent& ev) {
             if (ev.stage != "source:podem") return;
             if (ev.kind == ProgressEvent::Kind::kStageBegin) {
@@ -537,12 +623,20 @@ int main(int argc, char** argv) {
   // google-benchmark suite. `--repeat N`: median wall metrics over N
   // measurements. `--design <path.bench>` swaps the generated SOC
   // workload for an external design; `--corpus-dir <dir>` points the
-  // report's parse->simulate workload at the committed corpus;
-  // `--atpg-shards N` pins the atpg.det workload's worker count. Any
-  // other flags are passed through to google-benchmark.
+  // report's parse->simulate workload at the committed corpus. Engine
+  // selection is parse_engine_flag's shared vocabulary (see the file
+  // comment: only --atpg-shards steers the report). Any other flags are
+  // passed through to google-benchmark.
   std::string json_path;
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
+    const int used = parse_engine_flag(
+        argv[i], i + 1 < argc ? argv[i + 1] : nullptr, &g_engine);
+    if (used < 0) std::exit(2);
+    if (used > 0) {
+      i += used - 1;
+      continue;
+    }
     auto take_value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
         std::cerr << flag << " requires a value\n";
@@ -559,11 +653,6 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--repeat") == 0) {
       if (!parse_positive_flag("--repeat", take_value("--repeat"),
                                &g_repeat)) {
-        std::exit(2);
-      }
-    } else if (std::strcmp(argv[i], "--atpg-shards") == 0) {
-      if (!parse_size_flag("--atpg-shards", take_value("--atpg-shards"),
-                           &g_atpg_shards)) {
         std::exit(2);
       }
     } else {

@@ -7,8 +7,8 @@
 // section 5.2 of the paper.
 //
 // Usage: bench_table1 [--quick|--full] [--design PATH] [--shards N]
-//                     [--atpg-shards N] [--repeat N] [--sat]
-//                     [--json PATH]
+//                     [--atpg-shards N] [--mode MODE] [--repeat N]
+//                     [--sat] [--sat-budget CONFLICTS] [--json PATH]
 //   default : mid-size SOC (~3 minutes) -- same orderings as full scale
 //   --quick : small SOC (~40 seconds)
 //   --full  : paper-scale shape run (~15-20 minutes); the EXPERIMENTS.md
@@ -24,6 +24,9 @@
 //   --atpg-shards N : deterministic-PODEM worker shards per Session
 //                (default and 0 = follow --shards; committed results
 //                are bit-identical for every value)
+//   --mode word|compiled|cone|exhaustive : fault-propagation strategy
+//                (default word; results are bit-identical, only wall
+//                time differs). Shared vocabulary of util/cli.h.
 //   --sat : enable the SAT backend (src/sat) in every experiment --
 //                PODEM-aborted faults get a CNF miter decision (test
 //                cube or proven-untestable). The per-stage disposition
@@ -116,16 +119,22 @@ int write_json_report(const std::string& path,
 int main(int argc, char** argv) {
   using namespace occ;
   bool quick = false, full = false, allow_shape_fail = false;
-  bool sat = false;
-  size_t shards = 0;       // 0 = hardware concurrency (resolved below)
-  size_t atpg_shards = 0;  // 0 = follow --shards
+  EngineOptions engine;   // --mode/--shards/--atpg-shards/--sat*
+  engine.fsim.shards = 0;  // default: hardware concurrency
   size_t repeat = 1;
   std::string json_path;
   std::string design_path;
   for (int i = 1; i < argc; ++i) {
     // Strict value parsing shared with occ/bench_engines (util/cli.h):
-    // non-numeric values are usage errors, never silently 0.
+    // non-numeric values are usage errors, never silently 0. The
+    // engine-selection flags are parse_engine_flag's shared vocabulary.
     const char* val = i + 1 < argc ? argv[i + 1] : nullptr;
+    const int used = parse_engine_flag(argv[i], val, &engine);
+    if (used < 0) return 2;
+    if (used > 0) {
+      i += used - 1;
+      continue;
+    }
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--full") == 0) {
@@ -141,14 +150,6 @@ int main(int argc, char** argv) {
       design_path = argv[++i];
     } else if (std::strcmp(argv[i], "--allow-shape-fail") == 0) {
       allow_shape_fail = true;
-    } else if (std::strcmp(argv[i], "--sat") == 0) {
-      sat = true;
-    } else if (std::strcmp(argv[i], "--shards") == 0) {
-      if (!parse_size_flag("--shards", val, &shards)) return 2;
-      ++i;
-    } else if (std::strcmp(argv[i], "--atpg-shards") == 0) {
-      if (!parse_size_flag("--atpg-shards", val, &atpg_shards)) return 2;
-      ++i;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       if (val == nullptr) {
         std::cerr << "--json requires a path\n";
@@ -157,10 +158,12 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     }
   }
-  shards = ShardedFaultSim::resolve_shards(shards);
+  const size_t shards = ShardedFaultSim::resolve_shards(engine.fsim.shards);
+  const size_t atpg_shards = engine.atpg_shards;
 
   flow::Table1Config cfg;
-  cfg.fsim_shards = shards;
+  cfg.fsim = engine.fsim;
+  cfg.fsim.shards = shards;
   cfg.soc.seed = 20050307;  // DATE 2005, Munich
   if (!design_path.empty()) {
     // External design: size flags really are ignored (they would
@@ -187,7 +190,8 @@ int main(int argc, char** argv) {
   }
   cfg.max_pulses = 4;
   cfg.atpg.random_rounds = 12;
-  cfg.atpg.sat_backend = sat;
+  cfg.atpg.sat_backend = engine.sat_backend;
+  cfg.atpg.sat_conflict_budget = engine.sat_conflict_budget;
   // 0 follows each experiment Session's fsim shard count (= --shards).
   cfg.atpg.atpg_shards = atpg_shards;
   cfg.design_bench_path = design_path;

@@ -106,16 +106,24 @@ SessionConfig& SessionConfig::observer(ProgressObserver cb) {
   observer_ = std::move(cb);
   return *this;
 }
+SessionConfig& SessionConfig::engine(EngineOptions o) {
+  engine_ = o;
+  atpg_shards_override_ = o.atpg_shards;
+  sat_backend_override_ = o.sat_backend;
+  sat_budget_override_ = o.sat_conflict_budget;
+  return *this;
+}
 SessionConfig& SessionConfig::fsim_shards(size_t n) {
-  fsim_shards_ = n;
+  engine_.fsim.shards = n;
   return *this;
 }
 SessionConfig& SessionConfig::atpg_shards(size_t n) {
+  engine_.atpg_shards = n;
   atpg_shards_override_ = n;
   return *this;
 }
 SessionConfig& SessionConfig::fsim_mode(FsimMode m) {
-  fsim_mode_ = m;
+  engine_.fsim.mode = m;
   return *this;
 }
 SessionConfig& SessionConfig::compress(EdtConfig cfg) {
@@ -248,7 +256,7 @@ SessionResult Session::run() {
     }
     Rng rng(opts.seed);
     ShardedFaultSim fsim(nl, result.scheme, result.scan_en,
-                         cfg_.fsim_shards_, cfg_.fsim_mode_);
+                         cfg_.engine_.fsim);
     PipelineContext ctx{nl,         result.scheme, result.scan_en, opts,
                         res.faults, fsim,          rng,            res,
                         obs};
@@ -296,9 +304,9 @@ SessionResult Session::run() {
           fl2.set_status(i, res.faults.status(i));
         }
       }
-      // The generation-stage simulator is idle now and run_batch resets
-      // all per-batch state, so compaction reuses it (no second pool or
-      // per-shard scratch allocation).
+      // The generation-stage simulator is idle now and detect_faults
+      // resets all per-batch state, so compaction reuses it (no second
+      // pool or per-shard scratch allocation).
       ShardedFaultSim& fsim2 = fsim;
       // Reverse order, grouped per NCP into batches.
       std::vector<size_t> order(res.patterns.size());
@@ -320,7 +328,7 @@ SessionResult Session::run() {
         PatternBatch b = pack_batch(group, 0, group.size(), nl,
                                     result.scheme.procedures[nc]);
         std::vector<std::pair<size_t, unsigned>> dets;
-        const FsimStats st = fsim2.run_batch(b, fl2, &dets);
+        const FsimStats st = fsim2.detect_faults(b, fl2, &dets);
         res.fsim.gate_evals += st.gate_evals;
         res.fsim.events_processed += st.events_processed;
         for (const auto& [fault, slot] : dets) {

@@ -20,7 +20,7 @@
 ///           .design([] { return occ::gen::make_counter(8); })
 ///           .scan({.num_chains = 2})
 ///           .scheme(occ::scheme_stuck_at_external(1))
-///           .fsim_shards(4))
+///           .engine({.fsim = {.shards = 4}}))
 ///       .run();
 ///   std::cout << result.summary();
 /// \endcode
@@ -36,6 +36,7 @@
 #include "api/stages.h"
 #include "dft/edt.h"
 #include "dft/scan.h"
+#include "fsim/options.h"
 
 namespace occ {
 
@@ -145,21 +146,30 @@ class SessionConfig {
   /// Installs the progress callback for stage and long-run events.
   SessionConfig& observer(ProgressObserver cb);
 
-  // ---- scale -------------------------------------------------------------
-  /// Fault-simulation shards (thread pool size). 1 = sequential; 0 =
-  /// hardware concurrency. Results are bit-identical for every value.
+  // ---- engine selection --------------------------------------------------
+  /// The whole engine-selection surface in one call: fault-simulation
+  /// mode and shards, PODEM worker shards, SAT backend and its conflict
+  /// budget. This is what the drivers parse their shared
+  /// `--mode/--shards/--atpg-shards/--sat*` flags into (see
+  /// util/cli.h's parse_engine_flag); the atpg_shards/sat fields win
+  /// over the corresponding AtpgOptions fields regardless of the order
+  /// engine() and atpg() were called in. Results are bit-identical for
+  /// every mode and shard count.
+  SessionConfig& engine(EngineOptions o);
+  /// Deprecated forward of engine(): fault-simulation shards (thread
+  /// pool size). 1 = sequential; 0 = hardware concurrency.
   SessionConfig& fsim_shards(size_t n);
-  /// Worker shards of the deterministic PODEM stage (speculative
-  /// generation, canonical-order commit; see atpg/parallel.h). 0 =
-  /// follow the fault-simulation shard count (the default); 1 = the
-  /// plain sequential loop. Wins over AtpgOptions::atpg_shards
-  /// regardless of the order atpg_shards() and atpg() were called in.
-  /// Committed results are bit-identical for every value.
+  /// Deprecated forward of engine(): worker shards of the deterministic
+  /// PODEM stage (speculative generation, canonical-order commit; see
+  /// atpg/parallel.h). 0 = follow the fault-simulation shard count (the
+  /// default); 1 = the plain sequential loop. Wins over
+  /// AtpgOptions::atpg_shards regardless of call order.
   SessionConfig& atpg_shards(size_t n);
-  /// Fault-propagation strategy (default: compiled cone replay
-  /// programs). Results are bit-identical for every mode; kConeLimited
-  /// (interpreted cone engine) and kExhaustive are the slower reference
-  /// paths kept for parity checks and benchmarking.
+  /// Deprecated forward of engine(): fault-propagation strategy
+  /// (default: word-parallel over the compiled cone replay programs).
+  /// Results are bit-identical for every mode; kConeLimited and
+  /// kExhaustive are the slower reference paths kept for parity checks
+  /// and benchmarking.
   SessionConfig& fsim_mode(FsimMode m);
 
   // ---- optional stages ---------------------------------------------------
@@ -193,9 +203,12 @@ class SessionConfig {
   std::vector<std::shared_ptr<PatternSource>> sources_;
   std::vector<std::shared_ptr<ResultSink>> sinks_;
   ProgressObserver observer_;
-  size_t fsim_shards_ = 1;
+  // Engine selection: the fsim half is read directly; the atpg_shards
+  // and sat halves flow through the optional overrides below (set by
+  // engine() and the deprecated per-field forwards alike) so they win
+  // over AtpgOptions only when explicitly configured.
+  EngineOptions engine_;
   std::optional<size_t> atpg_shards_override_;
-  FsimMode fsim_mode_ = FsimMode::kCompiled;
   std::optional<EdtConfig> edt_;
   bool on_chip_clocking_ = false;
 };

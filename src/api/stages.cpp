@@ -45,7 +45,7 @@ void RandomPatternSource::generate(PipelineContext& ctx) {
       }
       PatternBatch batch = pack_batch(cand, 0, 64, ctx.nl, ncp);
       std::vector<std::pair<size_t, unsigned>> dets;
-      const FsimStats st = ctx.fsim.run_batch(batch, ctx.faults, &dets);
+      const FsimStats st = ctx.fsim.detect_faults(batch, ctx.faults, &dets);
       ctx.res.fsim += st;
       // Keep only first-detector patterns.
       std::vector<bool> keep(64, false);
@@ -93,18 +93,17 @@ void ExternalCubeSource::generate(PipelineContext& ctx) {
     p.random_fill(ctx.scheme.procedures[p.ncp_index], fill_rng);
     filled.add(std::move(p));
   }
-  // Grade in NCP-contiguous batches of up to 64, preserving order.
+  // Grade NCP-contiguous runs through the engine's window entry point
+  // (it owns the 64-lane sweep packing); runs only delimit progress.
   size_t first = 0;
   while (first < filled.size()) {
     const uint32_t nc = filled[first].ncp_index;
     size_t n = 1;
-    while (first + n < filled.size() && n < 64 &&
+    while (first + n < filled.size() &&
            filled[first + n].ncp_index == nc) {
       ++n;
     }
-    PatternBatch b =
-        pack_batch(filled, first, n, ctx.nl, ctx.scheme.procedures[nc]);
-    ctx.res.fsim += ctx.fsim.run_batch(b, ctx.faults);
+    ctx.res.fsim += ctx.fsim.detect_faults(filled, first, n, ctx.faults);
     first += n;
     ctx.progress(name(), first, filled.size());
   }

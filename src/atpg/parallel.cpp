@@ -215,14 +215,9 @@ void ParallelPodem::flush(uint32_t nc) {
     p.random_fill(scheme.procedures[nc], ctx_.rng);
     batch_set.add(p);
   }
-  size_t first = 0;
-  while (first < batch_set.size()) {
-    const size_t n = std::min<size_t>(64, batch_set.size() - first);
-    PatternBatch b =
-        pack_batch(batch_set, first, n, ctx_.nl, scheme.procedures[nc]);
-    ctx_.res.fsim += ctx_.fsim.run_batch(b, ctx_.faults);
-    first += n;
-  }
+  // One window call; the engine packs the ceil(n/64) lane sweeps.
+  ctx_.res.fsim +=
+      ctx_.fsim.detect_faults(batch_set, 0, batch_set.size(), ctx_.faults);
   for (const TestPattern& p : batch_set) {
     ctx_.res.patterns.add(p);
     ++ctx_.res.deterministic_patterns;

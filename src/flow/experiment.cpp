@@ -71,7 +71,8 @@ Table1Result run_table1(const Table1Config& cfg) {
         .scheme(spec.scheme)
         .atpg(opts)
         .on_chip_clocking(spec.on_chip)
-        .fsim_shards(cfg.fsim_shards);
+        .fsim_shards(cfg.fsim.shards)
+        .fsim_mode(cfg.fsim.mode);
     SessionResult sres = Session(std::move(scfg)).run();
 
     ExperimentRow row;

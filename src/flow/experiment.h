@@ -8,6 +8,7 @@
 
 #include "atpg/engine.h"
 #include "dft/scan.h"
+#include "fsim/options.h"
 #include "gen/socgen.h"
 
 namespace occ {
@@ -23,9 +24,9 @@ struct Table1Config {
   size_t max_pulses = 4;
   AtpgOptions atpg;
   bool classify_leftovers = true;
-  /// Fault-simulation shards forwarded to each experiment's Session
-  /// (1 = sequential, 0 = hardware concurrency; results identical).
-  size_t fsim_shards = 1;
+  /// Fault-simulation engine (mode + shards) forwarded to each
+  /// experiment's Session; results are identical for every setting.
+  FsimOptions fsim;
 };
 
 struct ExperimentRow {

@@ -101,8 +101,13 @@ void NcpFaultSim::simulate_good(const PatternBatch& batch) {
   const size_t frames = cur_ncp_->cycles.size();
   const auto& dffs = nl_->dffs();
 
-  good_.frames.assign(frames, {});
-  good_.state.assign(frames + 1, std::vector<Val64>(dffs.size()));
+  // resize (not assign-with-temporary) so the steady-state re-prime of
+  // an already-sized engine stays allocation-free: detect_faults runs
+  // this per batch inside the zero-allocation hot loop. Every element
+  // is overwritten below.
+  good_.frames.resize(frames);
+  good_.state.resize(frames + 1);
+  for (auto& s : good_.state) s.resize(dffs.size());
 
   // Load: scan cells get the pattern, non-scan cells power up X.
   sim_.reset_x();
@@ -132,7 +137,7 @@ void NcpFaultSim::simulate_good(const PatternBatch& batch) {
   good_.final_state = good_.state[frames];
 
   cur_prog_ = nullptr;
-  if (mode_ == FsimMode::kCompiled) {
+  if (compiled_family()) {
     cur_prog_ = &cone_program(batch.ncp_index);
     // Size the bitset scratch for the NCP's largest frame cone (never
     // shrinks: one engine may alternate between procedures).
@@ -153,6 +158,30 @@ void NcpFaultSim::simulate_good(const PatternBatch& batch) {
         gd[n] = frame[fp.gate_of[n]];
       }
       scratch_.frame_vals[f] = gd;
+    }
+  }
+  if (mode_ == FsimMode::kWordParallel) {
+    // Word-parallel extras: the one-word value planes (dense order,
+    // mirroring good_dense/frame_vals) and the per-frame X-free flags.
+    // The flag scans the FULL frame, not just cone nodes: off-cone
+    // reads (off_cone_value, captured D nets, carried/final state) may
+    // touch any net, and flop outputs are frame values, so an X-free
+    // frame also certifies the state words the frame reads and writes.
+    scratch_.good_v.resize(frames);
+    scratch_.frame_v.resize(frames);
+    scratch_.frame_xfree.resize(frames);
+    for (size_t f = 0; f < frames; ++f) {
+      const std::vector<Val64>& frame = good_.frames[f];
+      uint64_t any_x = 0;
+      for (const Val64& v : frame) any_x |= v.x;
+      scratch_.frame_xfree[f] = any_x == 0;
+
+      const FrameProgram& fp = cur_prog_->frames[f];
+      auto& gv = scratch_.good_v[f];
+      gv.resize(fp.num_nodes);
+      const auto& gd = scratch_.good_dense[f];
+      for (uint32_t n = 0; n < fp.num_nodes; ++n) gv[n] = gd[n].v;
+      scratch_.frame_v[f] = gv;
     }
   }
 }
@@ -586,6 +615,242 @@ void NcpFaultSim::propagate_frame_compiled(
   touched.clear();
 }
 
+void NcpFaultSim::propagate_frame_word(
+    GateId site_gate, uint8_t site_pin, uint64_t inj_mask,
+    uint64_t forced_v, const std::vector<StateDiff>& in_state,
+    std::vector<StateDiff>* out_state, uint64_t* hard_po,
+    FsimWork* work) {
+  // The compiled sweep with the x plane compiled away. Precondition
+  // (caller-checked): the frame's good machine and all in_state words
+  // are X-free, so every overlay value is X-free too (gate functions
+  // map known inputs to known outputs; injections force known bits and
+  // keep the X-free rest). Differences are then bare XORs, possible
+  // differences identically zero, and the `out == prev` skip condition
+  // coincides with Val64 equality -- the activation schedule, and with
+  // it both work counters, match propagate_frame_compiled bit for bit.
+  ++epoch_;
+  const uint32_t ep = epoch_;
+  const FrameProgram& fp = cur_prog_->frames[cur_frame_];
+  const uint64_t* goodv = scratch_.good_v[cur_frame_].data();
+  uint64_t* vals = scratch_.frame_v[cur_frame_].data();
+  const ConeNode* nodes = fp.nodes.data();
+  uint64_t* active = scratch_.active.data();
+  const auto& dffs = nl_->dffs();
+  auto& touched = scratch_.touched;
+  cand_dffs_.clear();
+
+  auto write_val = [&](uint32_t node, uint64_t v) {
+    vals[node] = v;
+    touched.push_back(node);
+  };
+
+  uint64_t off_cone_site = 0;
+  bool site_stem_off_cone = false;
+
+  uint32_t wlo = 0xFFFFFFFFu, whi = 0;
+  auto activate = [&](uint32_t node) {
+    ++work->events_processed;
+    const uint32_t word = node >> 6;
+    active[word] |= 1ull << (node & 63);
+    wlo = std::min(wlo, word);
+    whi = std::max(whi, word);
+  };
+  auto activate_fanouts = [&](uint32_t node) {
+    for (uint32_t k = nodes[node].fanout_begin;
+         k < nodes[node + 1].fanout_begin; ++k) {
+      activate(fp.fanout[k]);
+    }
+  };
+  auto add_cands = [&](uint32_t node) {
+    for (uint32_t k = nodes[node].dfeed_begin;
+         k < nodes[node + 1].dfeed_begin; ++k) {
+      const uint32_t pos = fp.dfeed[k];
+      if (cand_stamp_[pos] != ep) {
+        cand_stamp_[pos] = ep;
+        cand_dffs_.push_back(pos);
+      }
+    }
+  };
+  auto add_cands_off_cone = [&](GateId g) {
+    for (uint32_t pos : d_feeds_[g]) {
+      if (!fp.dff_pulsed[pos]) continue;
+      if (cand_stamp_[pos] != ep) {
+        cand_stamp_[pos] = ep;
+        cand_dffs_.push_back(pos);
+      }
+    }
+  };
+
+  // Seeds: corrupted flop outputs from the previous pulse.
+  for (const StateDiff& sd : in_state) {
+    const GateId ff = dffs[sd.dff_pos];
+    const bool differs =
+        sd.faulty.v != good_.frames[cur_frame_][ff].v;
+    const int32_t dn = fp.dense_of[ff];
+    if (dn >= 0) {
+      write_val(static_cast<uint32_t>(dn), sd.faulty.v);
+      if (differs) {
+        activate_fanouts(static_cast<uint32_t>(dn));
+        add_cands(static_cast<uint32_t>(dn));
+      }
+    } else if (differs) {
+      add_cands_off_cone(ff);
+    }
+  }
+
+  // Seed: fault injection site.
+  int32_t site_dense = -1;
+  if (inj_mask != 0) {
+    if (site_pin == kOutputPin) {
+      site_dense = fp.dense_of[site_gate];
+      const uint64_t g = site_dense >= 0
+                             ? vals[site_dense]
+                             : off_cone_value(site_gate, in_state).v;
+      const uint64_t forced = (g & ~inj_mask) | forced_v;
+      const bool differs =
+          forced != good_.frames[cur_frame_][site_gate].v;
+      if (site_dense >= 0) {
+        write_val(static_cast<uint32_t>(site_dense), forced);
+        if (differs) {
+          activate_fanouts(static_cast<uint32_t>(site_dense));
+          add_cands(static_cast<uint32_t>(site_dense));
+        }
+      } else {
+        off_cone_site = forced;
+        site_stem_off_cone = true;
+        if (differs) add_cands_off_cone(site_gate);
+      }
+    } else if (!is_sequential(nl_->gate(site_gate).type)) {
+      site_dense = fp.dense_of[site_gate];
+      if (site_dense >= 0) activate(static_cast<uint32_t>(site_dense));
+    } else if (nl_->gate(site_gate).type == GateType::kDff &&
+               site_pin == 0) {
+      const uint32_t pos = static_cast<uint32_t>(dff_pos_[site_gate]);
+      if (cand_stamp_[pos] != ep) {
+        cand_stamp_[pos] = ep;
+        cand_dffs_.push_back(pos);
+      }
+    }
+  }
+
+  // Linear one-word sweep (see propagate_frame_compiled for the level-
+  // order argument; this loop is identical modulo the value plane).
+  Val64 gens[2];
+  for (uint32_t wi = wlo; wi <= whi; ++wi) {
+    while (uint64_t w = active[wi]) {
+      const uint32_t bit = static_cast<uint32_t>(std::countr_zero(w));
+      active[wi] = w & (w - 1);
+      const uint32_t node = (wi << 6) | bit;
+      ++work->gate_evals;
+
+      const ConeNode rec = nodes[node];
+      const bool is_site =
+          static_cast<int32_t>(node) == site_dense && inj_mask != 0;
+      uint64_t iv0 = 0, iv1 = 0;
+      if (rec.nf <= 2) {
+        iv0 = vals[rec.in0];
+        iv1 = vals[rec.in1];  // unused for nf < 2 (in1 == 0 is safe)
+        if (is_site && site_pin != kOutputPin) [[unlikely]] {
+          uint64_t& pv = site_pin == 0 ? iv0 : iv1;
+          pv = (pv & ~inj_mask) | forced_v;
+        }
+      }
+      uint64_t out;
+      switch (rec.cls) {
+        case ConeOpClass::kAnd2: {
+          const uint64_t mi = static_cast<uint64_t>(
+              static_cast<int64_t>(static_cast<int8_t>(rec.inv_in)));
+          const uint64_t mo = static_cast<uint64_t>(
+              static_cast<int64_t>(static_cast<int8_t>(rec.inv_out)));
+          out = ((iv0 ^ mi) & (iv1 ^ mi)) ^ mo;
+          break;
+        }
+        case ConeOpClass::kXor2: {
+          const uint64_t mo = static_cast<uint64_t>(
+              static_cast<int64_t>(static_cast<int8_t>(rec.inv_out)));
+          out = (iv0 ^ iv1) ^ mo;
+          break;
+        }
+        case ConeOpClass::kUnary: {
+          const uint64_t mo = static_cast<uint64_t>(
+              static_cast<int64_t>(static_cast<int8_t>(rec.inv_out)));
+          out = iv0 ^ mo;
+          break;
+        }
+        default: {
+          // Generic gates re-enter the two-word evaluator on zero-x
+          // temporaries (rare: MUX and wide cells off the fast classes).
+          Val64* iv;
+          if (rec.nf <= 2) {
+            gens[0] = Val64{iv0, 0};
+            gens[1] = Val64{iv1, 0};
+            iv = gens;
+          } else {
+            scratch_.wide_ins.resize(rec.nf);
+            for (uint32_t i = 0; i < rec.nf; ++i) {
+              scratch_.wide_ins[i] =
+                  Val64{vals[fp.fanin_pool[rec.in0 + i]], 0};
+            }
+            iv = scratch_.wide_ins.data();
+            if (is_site && site_pin != kOutputPin) [[unlikely]] {
+              uint64_t& pv = iv[site_pin].v;
+              pv = (pv & ~inj_mask) | forced_v;
+            }
+          }
+          out = eval_gate_packed(static_cast<GateType>(rec.op),
+                                 {iv, rec.nf})
+                    .v;
+          break;
+        }
+      }
+      if (is_site && site_pin == kOutputPin) [[unlikely]] {
+        out = (out & ~inj_mask) | forced_v;
+      }
+      const uint64_t prev = vals[node];
+      if (out == prev) continue;
+      write_val(node, out);
+      const uint64_t diff = out ^ goodv[node];
+      if (diff) {
+        activate_fanouts(node);
+        add_cands(node);
+      }
+      if (rec.po_probe) *hard_po |= diff;
+    }
+  }
+
+  // Next-frame corrupted state (carried words stay X-free: frame and
+  // in_state are, so captured D values and the good next state are
+  // too).
+  out_state->clear();
+  const auto& next_state = good_.state[cur_frame_ + 1];
+  for (const StateDiff& sd : in_state) {
+    if (!fp.dff_pulsed[sd.dff_pos]) out_state->push_back(sd);
+  }
+  for (const uint32_t pos : cand_dffs_) {
+    if (!fp.dff_pulsed[pos]) continue;
+    const GateId d = dff_d_[pos];
+    const int32_t dn = fp.dense_of[d];
+    uint64_t fd;
+    if (dn >= 0) {
+      fd = vals[dn];
+    } else if (site_stem_off_cone && d == site_gate) {
+      fd = off_cone_site;
+    } else {
+      fd = off_cone_value(d, in_state).v;
+    }
+    if (dffs[pos] == site_gate && site_pin == 0 && inj_mask != 0) {
+      fd = (fd & ~inj_mask) | forced_v;
+    }
+    if (fd != next_state[pos].v) {
+      out_state->push_back({pos, Val64{fd, 0}});
+    }
+  }
+
+  // Restore the arena to the frame's good values for the next pass.
+  for (const uint32_t node : touched) vals[node] = goodv[node];
+  touched.clear();
+}
+
 std::pair<NcpFaultSim::ProbeMasks, NcpFaultSim::ProbeMasks>
 NcpFaultSim::simulate_sites(const Fault& a, const Fault* b,
                             uint64_t live_mask, FsimWork* work) {
@@ -705,9 +970,29 @@ NcpFaultSim::simulate_sites(const Fault& a, const Fault* b,
         is_transition(a.type) ? ~good_.frames[k][site].v & inj
                               : (fault_value(a.type) ? inj : 0);
     uint64_t hard_po = 0, poss_po = 0;
-    if (mode_ == FsimMode::kCompiled) {
-      propagate_frame_compiled(a.gate, a.pin, inj, forced_v, *cur, nxt,
-                               &hard_po, &poss_po, work);
+    if (compiled_family()) {
+      // Word-parallel fast path: one-word kernel when the whole overlay
+      // is provably X-free -- the frame's good machine (full-frame flag
+      // from simulate_good) and the carried faulty state. A frame that
+      // sees X (power-up state, X fills) takes the two-word kernel;
+      // both produce identical results and counters.
+      bool xfree = mode_ == FsimMode::kWordParallel &&
+                   scratch_.frame_xfree[k] != 0;
+      if (xfree) {
+        for (const StateDiff& sd : *cur) {
+          if (sd.faulty.x != 0) {
+            xfree = false;
+            break;
+          }
+        }
+      }
+      if (xfree) {
+        propagate_frame_word(a.gate, a.pin, inj, forced_v, *cur, nxt,
+                             &hard_po, work);
+      } else {
+        propagate_frame_compiled(a.gate, a.pin, inj, forced_v, *cur, nxt,
+                                 &hard_po, &poss_po, work);
+      }
     } else {
       propagate_frame(a.gate, a.pin, inj, forced_v, *cur, nxt, &hard_po,
                       &poss_po, work);
@@ -806,8 +1091,7 @@ FsimStats merge_fault_probes(
 FsimStats NcpFaultSim::detect_faults(
     const PatternBatch& batch, FaultList& fl,
     std::vector<std::pair<size_t, unsigned>>* detections) {
-  OCC_CHECK(cur_ncp_ == &scheme_->procedures[batch.ncp_index],
-            "detect_faults: batch does not match last simulate_good");
+  simulate_good(batch);
   const uint64_t live = live_mask(batch);
 
   // Probe in cone-locality order (cache warmth), merge in fault-index
@@ -838,6 +1122,40 @@ FsimStats NcpFaultSim::detect_faults(
   FsimStats st = merge_fault_probes(probes_, fl, detections);
   st.gate_evals = work.gate_evals;
   st.events_processed = work.events_processed;
+  return st;
+}
+
+FsimStats NcpFaultSim::detect_faults(
+    const PatternSet& ps, size_t first, size_t n, FaultList& fl,
+    std::vector<std::pair<size_t, unsigned>>* detections) {
+  OCC_CHECK(first + n <= ps.size(), "detect_faults: window out of range");
+  FsimStats st;
+  std::vector<std::pair<size_t, unsigned>> dets;
+  size_t i = first;
+  const size_t end = first + n;
+  while (i < end) {
+    // Maximal same-NCP run, swept 64 lanes at a time. Fault dropping
+    // carries across the sweeps through `fl` itself.
+    const uint32_t ncp = ps[i].ncp_index;
+    size_t run_end = i + 1;
+    while (run_end < end && ps[run_end].ncp_index == ncp) ++run_end;
+    for (size_t b = i; b < run_end; b += 64) {
+      const size_t cnt = std::min<size_t>(64, run_end - b);
+      const PatternBatch batch =
+          pack_batch(ps, b, cnt, *nl_, scheme_->procedures[ncp]);
+      if (detections == nullptr) {
+        st += detect_faults(batch, fl, nullptr);
+        continue;
+      }
+      dets.clear();
+      st += detect_faults(batch, fl, &dets);
+      for (const auto& [fault, slot] : dets) {
+        detections->emplace_back(
+            fault, static_cast<unsigned>(b - first) + slot);
+      }
+    }
+    i = run_end;
+  }
   return st;
 }
 

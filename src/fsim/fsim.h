@@ -20,14 +20,26 @@
 // frames (per-NCP masks precomputed by ConeSim). A fault whose injection
 // site is outside every frame's cone is dropped without propagating a
 // single gate. The masks over-approximate sensitization, so results are
-// bit-identical across all three execution strategies (FsimMode):
+// bit-identical across all four execution strategies (FsimMode, declared
+// in fsim/options.h):
 //
-//   * kCompiled (default): each frame's cone is lowered once per NCP
-//     into a dense SoA replay program (sim/cone_program.h); the overlay
-//     pass sweeps a per-level active bitset over cone-local dense ids
-//     and a compact scratch arena, never touching the global netlist.
-//     Work counters (gate_evals, events_processed) are bit-identical to
-//     the interpreted cone engine -- only wall time and cache traffic
+//   * kWordParallel (default): the compiled replay programs plus a
+//     one-word fast-path kernel for X-free work. A frame whose
+//     good machine carries no X anywhere -- and whose carried faulty
+//     state is X-free too -- propagates on a single uint64_t value
+//     plane per node (the x plane is identically zero, so hard
+//     difference is a bare XOR and possible difference vanishes);
+//     frames that do see X fall back to the two-word kernel below.
+//     Since the skip condition (new value == previous value) and the
+//     difference tests coincide exactly with the two-word ones on
+//     X-free data, statuses, detection slots AND the work counters are
+//     bit-identical to kCompiled.
+//   * kCompiled: each frame's cone is lowered once per NCP into a dense
+//     SoA replay program (sim/cone_program.h); the overlay pass sweeps
+//     a per-level active bitset over cone-local dense ids and a compact
+//     scratch arena, never touching the global netlist. Work counters
+//     (gate_evals, events_processed) are bit-identical to the
+//     interpreted cone engine -- only wall time and cache traffic
 //     change.
 //   * kConeLimited: the interpreted cone engine (levelized event queue
 //     over the global netlist); kept as the parity reference for the
@@ -59,6 +71,7 @@
 
 #include "core/clock_scheme.h"
 #include "fault/fault_list.h"
+#include "fsim/options.h"
 #include "fsim/pattern.h"
 #include "sim/cone_program.h"
 #include "sim/cone_sim.h"
@@ -114,14 +127,6 @@ struct FsimStats {
   }
 };
 
-/// Propagation strategy; results are bit-identical, only the work done
-/// and the memory layout it runs over differ. See the file comment.
-enum class FsimMode : uint8_t {
-  kCompiled,     // dense cone replay programs (default)
-  kConeLimited,  // interpreted cone-limited event propagation
-  kExhaustive,   // full-fanout event propagation (parity reference)
-};
-
 /// True for statuses the simulator still grades. Aborted faults stay in
 /// the simulation: ATPG gave up on targeting them, but any later pattern
 /// may still detect them incidentally.
@@ -154,15 +159,18 @@ class NcpFaultSim {
   /// regardless of pattern contents.
   NcpFaultSim(const Netlist& nl, const ClockingScheme& scheme,
               GateId scan_en_pi = kNoGate,
-              FsimMode mode = FsimMode::kCompiled);
+              FsimMode mode = FsimMode::kWordParallel);
 
   const Netlist& netlist() const { return *nl_; }
   const ClockingScheme& scheme() const { return *scheme_; }
   FsimMode mode() const { return mode_; }
 
-  /// Fault-free simulation of a packed batch. In compiled mode this
-  /// also (lazily) lowers the batch's NCP cones into replay programs
-  /// and packs the good-machine frames into the dense arena layout.
+  /// Fault-free simulation of a packed batch. In the compiled modes
+  /// this also (lazily) lowers the batch's NCP cones into replay
+  /// programs and packs the good-machine frames into the dense arena
+  /// layout (word-parallel mode additionally primes the one-word value
+  /// planes and the per-frame X-free flags). detect_faults(batch, ...)
+  /// calls this itself; it stays public for the probe_fault flows.
   void simulate_good(const PatternBatch& batch);
   const GoodFrames& good() const { return good_; }
 
@@ -170,8 +178,9 @@ class NcpFaultSim {
   /// the last simulated batch (expected responses for the ATE).
   std::vector<V3> expected_unload(unsigned slot) const;
 
-  /// Simulates all undetected faults of `fl` against the last
-  /// simulate_good() batch; detected faults are marked (fault dropping).
+  /// The canonical fault-simulation entry point: simulates the batch
+  /// fault-free (simulate_good), then simulates all undetected faults
+  /// of `fl` against it; detected faults are marked (fault dropping).
   /// Faults are walked in cone-locality order (fault/order.h) and the
   /// results merged back in fault-index order, so statuses, stats and
   /// `detections` are independent of the walk order.
@@ -180,6 +189,18 @@ class NcpFaultSim {
   /// pattern that detects it (used for pattern-selection/compaction).
   FsimStats detect_faults(
       const PatternBatch& batch, FaultList& fl,
+      std::vector<std::pair<size_t, unsigned>>* detections = nullptr);
+
+  /// Window form: simulates patterns [first, first + n) of `ps` -- any
+  /// length, any mix of NCPs -- by packing maximal same-NCP runs into
+  /// ceil(run / 64)-sweep batches internally; callers no longer hand-
+  /// roll the 64-pattern chunking. Detection slots are relative to
+  /// `first`. Fault dropping carries across the internal batches, so
+  /// statuses are identical to any other split of the same window
+  /// (counters, as always under dropping, depend on the batch
+  /// boundaries -- which this form fixes canonically).
+  FsimStats detect_faults(
+      const PatternSet& ps, size_t first, size_t n, FaultList& fl,
       std::vector<std::pair<size_t, unsigned>>* detections = nullptr);
 
   /// Detection masks (hard, possible) of one fault over `live_mask`.
@@ -230,15 +251,13 @@ class NcpFaultSim {
     return batch.count >= 64 ? ~0ull : ((1ull << batch.count) - 1);
   }
 
-  /// simulate_good + detect_faults.
-  FsimStats run_batch(
-      const PatternBatch& batch, FaultList& fl,
-      std::vector<std::pair<size_t, unsigned>>* detections = nullptr) {
-    simulate_good(batch);
-    return detect_faults(batch, fl, detections);
+ private:
+  /// Modes that run the dense replay programs (and need the packed
+  /// good-value arenas from simulate_good).
+  bool compiled_family() const {
+    return mode_ == FsimMode::kCompiled || mode_ == FsimMode::kWordParallel;
   }
 
- private:
   struct StateDiff {
     uint32_t dff_pos;  // index into nl.dffs()
     Val64 faulty;
@@ -261,6 +280,17 @@ class NcpFaultSim {
     // makes `new == previous` an exact skip condition -- the compiled
     // path needs no epoch stamps at all.
     std::vector<std::vector<Val64>> frame_vals;
+    // Word-parallel value planes: the same two arenas with the x word
+    // stripped (good_v read-only, frame_v write-through, restored via
+    // the shared `touched` list). Only primed in kWordParallel mode.
+    std::vector<std::vector<uint64_t>> good_v, frame_v;
+    // frame_xfree[f] != 0 iff the good machine carries no X anywhere in
+    // frame f -- over ALL gates, not just cone nodes, because the
+    // off-cone reads (off_cone_value, captured D nets, final state) may
+    // touch any net. Gate functions map known inputs to known outputs,
+    // so an X-free frame with X-free carried state keeps the whole
+    // overlay X-free: the precondition of the one-word kernel.
+    std::vector<uint8_t> frame_xfree;
     std::vector<uint32_t> touched;  // dense ids to restore (dups fine)
     std::vector<uint64_t> active;   // per-level active bitset words
     // Carried state corruption double-buffer.
@@ -303,6 +333,18 @@ class NcpFaultSim {
                                 std::vector<StateDiff>* out_state,
                                 uint64_t* hard_po, uint64_t* poss_po,
                                 FsimWork* work);
+  // Word-parallel engine: the compiled sweep on the one-word value
+  // plane. Precondition: the frame's good machine and every in_state
+  // word are X-free (checked by the caller; falls back to the two-word
+  // kernel otherwise). On X-free data hard difference degenerates to
+  // XOR, possible difference to zero, and the skip condition to value
+  // equality -- the same activation schedule as the two-word kernel,
+  // hence bit-identical results AND work counters.
+  void propagate_frame_word(GateId site_gate, uint8_t site_pin,
+                            uint64_t inj_mask, uint64_t forced_v,
+                            const std::vector<StateDiff>& in_state,
+                            std::vector<StateDiff>* out_state,
+                            uint64_t* hard_po, FsimWork* work);
   // Faulty value of a net with no dense id this frame: only carried
   // flop corruption (or a stem injection, handled by the caller) can
   // make it differ from good.

@@ -1,0 +1,32 @@
+#include "fsim/options.h"
+
+#include <cstring>
+
+namespace occ {
+
+const char* fsim_mode_name(FsimMode m) {
+  switch (m) {
+    case FsimMode::kWordParallel: return "word";
+    case FsimMode::kCompiled: return "compiled";
+    case FsimMode::kConeLimited: return "cone";
+    default: return "exhaustive";
+  }
+}
+
+bool parse_fsim_mode(const char* name, FsimMode* out) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "word") == 0) {
+    *out = FsimMode::kWordParallel;
+  } else if (std::strcmp(name, "compiled") == 0) {
+    *out = FsimMode::kCompiled;
+  } else if (std::strcmp(name, "cone") == 0) {
+    *out = FsimMode::kConeLimited;
+  } else if (std::strcmp(name, "exhaustive") == 0) {
+    *out = FsimMode::kExhaustive;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace occ

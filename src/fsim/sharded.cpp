@@ -4,6 +4,8 @@
 #include <bit>
 #include <thread>
 
+#include "util/check.h"
+
 namespace occ {
 
 size_t ShardedFaultSim::resolve_shards(size_t shards) {
@@ -27,10 +29,12 @@ ShardedFaultSim::ShardedFaultSim(const Netlist& nl,
   if (n > 1) pool_ = std::make_unique<ThreadPool>(n);
 }
 
-FsimStats ShardedFaultSim::run_batch(
+FsimStats ShardedFaultSim::detect_faults(
     const PatternBatch& batch, FaultList& fl,
     std::vector<std::pair<size_t, unsigned>>* detections) {
-  if (sims_.size() == 1) return sims_[0]->run_batch(batch, fl, detections);
+  if (sims_.size() == 1) {
+    return sims_[0]->detect_faults(batch, fl, detections);
+  }
 
   const size_t n = sims_.size();
   const uint64_t live = NcpFaultSim::live_mask(batch);
@@ -85,6 +89,40 @@ FsimStats ShardedFaultSim::run_batch(
   for (const FsimWork& w : work_) total += w;
   st.gate_evals = total.gate_evals;
   st.events_processed = total.events_processed;
+  return st;
+}
+
+FsimStats ShardedFaultSim::detect_faults(
+    const PatternSet& ps, size_t first, size_t n, FaultList& fl,
+    std::vector<std::pair<size_t, unsigned>>* detections) {
+  OCC_CHECK(first + n <= ps.size(), "detect_faults: window out of range");
+  const Netlist& nl = netlist();
+  const ClockingScheme& scheme = sims_[0]->scheme();
+  FsimStats st;
+  std::vector<std::pair<size_t, unsigned>> dets;
+  size_t i = first;
+  const size_t end = first + n;
+  while (i < end) {
+    const uint32_t ncp = ps[i].ncp_index;
+    size_t run_end = i + 1;
+    while (run_end < end && ps[run_end].ncp_index == ncp) ++run_end;
+    for (size_t b = i; b < run_end; b += 64) {
+      const size_t cnt = std::min<size_t>(64, run_end - b);
+      const PatternBatch batch =
+          pack_batch(ps, b, cnt, nl, scheme.procedures[ncp]);
+      if (detections == nullptr) {
+        st += detect_faults(batch, fl, nullptr);
+        continue;
+      }
+      dets.clear();
+      st += detect_faults(batch, fl, &dets);
+      for (const auto& [fault, slot] : dets) {
+        detections->emplace_back(
+            fault, static_cast<unsigned>(b - first) + slot);
+      }
+    }
+    i = run_end;
+  }
   return st;
 }
 

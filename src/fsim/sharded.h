@@ -30,7 +30,12 @@ class ShardedFaultSim {
   /// no pool, exact NcpFaultSim code path; 0 = hardware concurrency).
   ShardedFaultSim(const Netlist& nl, const ClockingScheme& scheme,
                   GateId scan_en_pi, size_t shards = 1,
-                  FsimMode mode = FsimMode::kCompiled);
+                  FsimMode mode = FsimMode::kWordParallel);
+
+  /// FsimOptions form of the same constructor (the drivers' path).
+  ShardedFaultSim(const Netlist& nl, const ClockingScheme& scheme,
+                  GateId scan_en_pi, const FsimOptions& opts)
+      : ShardedFaultSim(nl, scheme, scan_en_pi, opts.shards, opts.mode) {}
 
   size_t shards() const { return sims_.size(); }
   const Netlist& netlist() const { return sims_[0]->netlist(); }
@@ -41,10 +46,17 @@ class ShardedFaultSim {
   /// value (bench_table1 --json) stay authoritative.
   static size_t resolve_shards(size_t shards);
 
-  /// Drop-in replacement for NcpFaultSim::run_batch (same contract, same
-  /// results); faults fan out over the shard pool.
-  FsimStats run_batch(
+  /// Drop-in replacement for NcpFaultSim::detect_faults (same contract,
+  /// same results, bit for bit); faults fan out over the shard pool.
+  FsimStats detect_faults(
       const PatternBatch& batch, FaultList& fl,
+      std::vector<std::pair<size_t, unsigned>>* detections = nullptr);
+
+  /// Window form, mirroring NcpFaultSim: simulates patterns
+  /// [first, first + n) of `ps`, packing maximal same-NCP runs into
+  /// 64-lane sweeps internally. Detection slots are relative to `first`.
+  FsimStats detect_faults(
+      const PatternSet& ps, size_t first, size_t n, FaultList& fl,
       std::vector<std::pair<size_t, unsigned>>* detections = nullptr);
 
   /// Good-machine expected responses for slot `s` of the last batch

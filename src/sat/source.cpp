@@ -68,9 +68,7 @@ void SatPatternSource::generate(PipelineContext& ctx) {
           p.random_fill(scheme.procedures[nc], fill_rng);
           PatternSet one(scheme.name);
           one.add(std::move(p));
-          PatternBatch b =
-              pack_batch(one, 0, 1, ctx.nl, scheme.procedures[nc]);
-          ctx.res.fsim += ctx.fsim.run_batch(b, fl);
+          ctx.res.fsim += ctx.fsim.detect_faults(one, 0, 1, fl);
           ctx.res.patterns.add(one[0]);
           ++st.patterns;
           found = true;

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 namespace occ {
@@ -49,6 +50,39 @@ bool parse_positive_flag(const char* flag, const char* value, size_t* out) {
   }
   *out = static_cast<size_t>(v);
   return true;
+}
+
+int parse_engine_flag(const char* flag, const char* value,
+                      EngineOptions* out) {
+  if (std::strcmp(flag, "--mode") == 0) {
+    if (value == nullptr) {
+      std::cerr << "--mode requires a value\n";
+      return -1;
+    }
+    if (!parse_fsim_mode(value, &out->fsim.mode)) {
+      std::cerr << "--mode expects word|compiled|cone|exhaustive, got '"
+                << value << "'\n";
+      return -1;
+    }
+    return 2;
+  }
+  if (std::strcmp(flag, "--shards") == 0) {
+    return parse_size_flag(flag, value, &out->fsim.shards) ? 2 : -1;
+  }
+  if (std::strcmp(flag, "--atpg-shards") == 0) {
+    return parse_size_flag(flag, value, &out->atpg_shards) ? 2 : -1;
+  }
+  if (std::strcmp(flag, "--sat") == 0) {
+    out->sat_backend = true;
+    return 1;
+  }
+  if (std::strcmp(flag, "--sat-budget") == 0) {
+    size_t v = 0;
+    if (!parse_size_flag(flag, value, &v)) return -1;
+    out->sat_conflict_budget = v;
+    return 2;
+  }
+  return 0;
 }
 
 }  // namespace occ

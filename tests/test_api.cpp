@@ -210,13 +210,13 @@ TEST(ShardedFaultSim, BitIdenticalToSequential) {
   FaultList seq = FaultList::build(nl, scheme.model);
   NcpFaultSim ref(nl, scheme, se);
   std::vector<std::pair<size_t, unsigned>> seq_dets;
-  const FsimStats seq_st = ref.run_batch(b, seq, &seq_dets);
+  const FsimStats seq_st = ref.detect_faults(b, seq, &seq_dets);
 
   for (size_t shards : {size_t{2}, size_t{4}}) {
     FaultList par = FaultList::build(nl, scheme.model);
     ShardedFaultSim sharded(nl, scheme, se, shards);
     std::vector<std::pair<size_t, unsigned>> par_dets;
-    const FsimStats par_st = sharded.run_batch(b, par, &par_dets);
+    const FsimStats par_st = sharded.detect_faults(b, par, &par_dets);
 
     EXPECT_EQ(seq_st.faults_simulated, par_st.faults_simulated);
     EXPECT_EQ(seq_st.newly_detected, par_st.newly_detected);

@@ -94,8 +94,8 @@ void expect_parity(const Netlist& nl, const ClockingScheme& s,
   FaultList fl1 = FaultList::build(nl, s.model);
   FaultList fl2 = FaultList::build(nl, s.model);
   std::vector<std::pair<size_t, unsigned>> d1, d2;
-  const FsimStats st1 = ex.run_batch(b, fl1, &d1);
-  const FsimStats st2 = cone.run_batch(b, fl2, &d2);
+  const FsimStats st1 = ex.detect_faults(b, fl1, &d1);
+  const FsimStats st2 = cone.detect_faults(b, fl2, &d2);
   EXPECT_EQ(d1, d2);
   EXPECT_EQ(st1.faults_simulated, st2.faults_simulated);
   EXPECT_EQ(st1.newly_detected, st2.newly_detected);
@@ -233,7 +233,7 @@ TEST(FaultOrder, ShardingAndOrderingPreserveDetectionSets) {
   FaultList ref = FaultList::build(nl, FaultModel::kTransition);
   std::vector<std::pair<size_t, unsigned>> dref;
   NcpFaultSim ex(nl, s, se, FsimMode::kExhaustive);
-  ex.run_batch(b, ref, &dref);
+  ex.detect_faults(b, ref, &dref);
 
   uint64_t cone_evals = 0;
   for (const size_t shards : {size_t{1}, size_t{2}, size_t{3}}) {
@@ -241,7 +241,7 @@ TEST(FaultOrder, ShardingAndOrderingPreserveDetectionSets) {
     FaultList fl = FaultList::build(nl, FaultModel::kTransition);
     std::vector<std::pair<size_t, unsigned>> dets;
     ShardedFaultSim sim(nl, s, se, shards);
-    const FsimStats st = sim.run_batch(b, fl, &dets);
+    const FsimStats st = sim.detect_faults(b, fl, &dets);
     EXPECT_EQ(dets, dref);
     for (size_t i = 0; i < fl.size(); ++i) {
       ASSERT_EQ(fl.status(i), ref.status(i));
@@ -330,8 +330,8 @@ TEST(ObsCone, UnstrobedPoConeCostsNothing) {
   FaultList fl2 = FaultList::build(nl, FaultModel::kStuckAt);
   NcpFaultSim ex2(nl, s, kNoGate, FsimMode::kExhaustive);
   NcpFaultSim cone2(nl, s, kNoGate);
-  ex2.run_batch(b, fl1);
-  cone2.run_batch(b, fl2);
+  ex2.detect_faults(b, fl1);
+  cone2.detect_faults(b, fl2);
   for (size_t i = 0; i < fl1.size(); ++i) {
     EXPECT_EQ(fl1.status(i), fl2.status(i));
   }
@@ -366,8 +366,8 @@ TEST(ObsCone, BenchConfigGateEvalReductionAtLeast2x) {
   FaultList fl2 = FaultList::build(nl, FaultModel::kTransition);
   NcpFaultSim ex(nl, s, se, FsimMode::kExhaustive);
   NcpFaultSim cone(nl, s, se);
-  const FsimStats st1 = ex.run_batch(b, fl1);
-  const FsimStats st2 = cone.run_batch(b, fl2);
+  const FsimStats st1 = ex.detect_faults(b, fl1);
+  const FsimStats st2 = cone.detect_faults(b, fl2);
   EXPECT_EQ(st1.newly_detected, st2.newly_detected);
   EXPECT_GE(st1.gate_evals, 2 * st2.gate_evals)
       << "cone engine lost its >= 2x work reduction ("

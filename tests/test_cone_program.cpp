@@ -142,8 +142,8 @@ void expect_compiled_parity(const Netlist& nl, const ClockingScheme& s,
   FaultList fl1 = FaultList::build(nl, s.model);
   FaultList fl2 = FaultList::build(nl, s.model);
   std::vector<std::pair<size_t, unsigned>> d1, d2;
-  const FsimStats st1 = interp.run_batch(b, fl1, &d1);
-  const FsimStats st2 = comp.run_batch(b, fl2, &d2);
+  const FsimStats st1 = interp.detect_faults(b, fl1, &d1);
+  const FsimStats st2 = comp.detect_faults(b, fl2, &d2);
   EXPECT_EQ(d1, d2);
   EXPECT_EQ(st1.faults_simulated, st2.faults_simulated);
   EXPECT_EQ(st1.newly_detected, st2.newly_detected);
@@ -216,14 +216,14 @@ TEST(ConeProgramParity, ShardedCompiledMatchesSequentialInterpreted) {
   FaultList ref = FaultList::build(nl, FaultModel::kTransition);
   std::vector<std::pair<size_t, unsigned>> dref;
   NcpFaultSim interp(nl, s, se, FsimMode::kConeLimited);
-  const FsimStats stref = interp.run_batch(b, ref, &dref);
+  const FsimStats stref = interp.detect_faults(b, ref, &dref);
 
   for (const size_t shards : {size_t{1}, size_t{2}, size_t{3}}) {
     SCOPED_TRACE("shards=" + std::to_string(shards));
     FaultList fl = FaultList::build(nl, FaultModel::kTransition);
     std::vector<std::pair<size_t, unsigned>> dets;
     ShardedFaultSim sim(nl, s, se, shards, FsimMode::kCompiled);
-    const FsimStats st = sim.run_batch(b, fl, &dets);
+    const FsimStats st = sim.detect_faults(b, fl, &dets);
     EXPECT_EQ(dets, dref);
     EXPECT_EQ(st.gate_evals, stref.gate_evals);
     EXPECT_EQ(st.events_processed, stref.events_processed);

@@ -49,7 +49,7 @@ TEST(Fsim, C17ExhaustiveDetectsAllFaults) {
     ps.add(std::move(p));
   }
   PatternBatch b = pack_batch(ps, 0, 32, nl, s.procedures[0]);
-  fsim.run_batch(b, fl);
+  fsim.detect_faults(b, fl);
   EXPECT_EQ(fl.count(FaultStatus::kDetected), fl.size())
       << "c17 is 100% testable";
 }
@@ -65,7 +65,7 @@ TEST(Fsim, AllXPatternDetectsNothing) {
   p.pi_frames = {std::vector<V3>(5, V3::kX)};
   ps.add(std::move(p));
   PatternBatch b = pack_batch(ps, 0, 1, nl, s.procedures[0]);
-  fsim.run_batch(b, fl);
+  fsim.detect_faults(b, fl);
   EXPECT_EQ(fl.count(FaultStatus::kDetected), 0u);
 }
 
@@ -87,7 +87,7 @@ TEST(Fsim, TiedFaultIsUndetectable) {
     ps.add(std::move(p));
   }
   PatternBatch b = pack_batch(ps, 0, 2, nl, s.procedures[0]);
-  fsim.run_batch(b, fl);
+  fsim.detect_faults(b, fl);
   // The tie-stem sa0 fault can never be detected (tie is already 0).
   for (size_t i = 0; i < fl.size(); ++i) {
     const Fault& f = fl.fault(i);
@@ -119,7 +119,7 @@ TEST(Fsim, SequentialStuckAtThroughScanState) {
     ps.add(std::move(p));
   }
   PatternBatch b = pack_batch(ps, 0, 64, nl, s.procedures[0]);
-  fsim.run_batch(b, fl);
+  fsim.detect_faults(b, fl);
   // 64 random load/input combinations cover most of a 4-bit counter.
   EXPECT_GT(fl.fault_coverage(), 0.9);
 }
@@ -163,7 +163,7 @@ TEST(Fsim, TransitionNeedsLaunchAndCapture) {
     ps.add(std::move(p));
     PatternBatch b = pack_batch(ps, 0, 1, nl, s.procedures[0]);
     NcpFaultSim f2sim(nl, s);
-    f2sim.run_batch(b, fresh);
+    f2sim.detect_faults(b, fresh);
     return fresh.status(str_buf);
   };
 
@@ -210,7 +210,7 @@ TEST(Fsim, PiTransitionImpossibleWhenFrozen) {
     p.pi_frames = {std::vector<V3>{V3::k1}, std::vector<V3>{V3::k1}};
     ps.add(p);
     PatternBatch b = pack_batch(ps, 0, 2, nl, s.procedures[0]);
-    fsim.run_batch(b, fl);
+    fsim.detect_faults(b, fl);
     EXPECT_NE(fl.status(target), FaultStatus::kDetected);
   }
   // Free PIs (external): 0 in frame 0, 1 in frame 1 -> detected.
@@ -225,7 +225,7 @@ TEST(Fsim, PiTransitionImpossibleWhenFrozen) {
     p.load = {V3::k0};
     ps.add(p);
     PatternBatch b = pack_batch(ps, 0, 1, nl, s.procedures[0]);
-    fsim.run_batch(b, fl);
+    fsim.detect_faults(b, fl);
     EXPECT_EQ(fl.status(target), FaultStatus::kDetected);
   }
 }
@@ -274,7 +274,7 @@ TEST(Fsim, DetectionAttributionSlots) {
   }
   PatternBatch b = pack_batch(ps, 0, 33, nl, s.procedures[0]);
   std::vector<std::pair<size_t, unsigned>> dets;
-  fsim.run_batch(b, fl, &dets);
+  fsim.detect_faults(b, fl, &dets);
   EXPECT_EQ(dets.size(), fl.size());
   for (const auto& [fault, slot] : dets) {
     EXPECT_GE(slot, 1u) << "all-X slot cannot be a detector";
@@ -309,7 +309,7 @@ TEST(Fsim, NonScanFlopUnobservable) {
     ps.add(std::move(p));
   }
   PatternBatch b = pack_batch(ps, 0, 2, nl, s.procedures[0]);
-  fsim.run_batch(b, fl);
+  fsim.detect_faults(b, fl);
   for (size_t i = 0; i < fl.size(); ++i) {
     if (fl.fault(i).gate == g) {
       EXPECT_NE(fl.status(i), FaultStatus::kDetected)

@@ -59,7 +59,7 @@ bool cube_detects(const Netlist& nl, const ClockingScheme& s, uint32_t nc,
   ps.add(std::move(p));
   PatternBatch b = pack_batch(ps, 0, 1, nl, s.procedures[nc]);
   NcpFaultSim fsim(nl, s, kNoGate);
-  fsim.run_batch(b, fl);
+  fsim.detect_faults(b, fl);
   return fl.status(fault_idx) == FaultStatus::kDetected;
 }
 

@@ -9,9 +9,15 @@
 // Usage:
 //   occ run --design circuits/s344c.bench [--scheme ncp] [--chains N]
 //           [--shards N] [--atpg-shards N]
-//           [--mode compiled|cone|exhaustive] [--seed N]
+//           [--mode word|compiled|cone|exhaustive] [--seed N]
 //           [--random-rounds N] [--edt CHANNELS] [--repeat N]
 //           [--sat] [--sat-budget CONFLICTS] [--json PATH] [--quiet]
+//
+// The engine-selection flags (--mode/--shards/--atpg-shards/--sat/
+// --sat-budget) are the shared vocabulary of util/cli.h's
+// parse_engine_flag and map onto one occ::EngineOptions handed to
+// SessionConfig::engine(); bench_engines and bench_table1 parse the
+// identical set.
 //   occ stats --design circuits/s344c.bench
 //   occ corpus [--dir circuits]
 //   occ sat-export --design circuits/s344c.bench --fault N [--scheme ncp]
@@ -72,7 +78,7 @@ int usage(const char* argv0) {
       << "usage:\n"
       << "  " << argv0
       << " run --design PATH [--scheme NAME] [--chains N] [--shards N]\n"
-      << "      [--atpg-shards N] [--mode compiled|cone|exhaustive]\n"
+      << "      [--atpg-shards N] [--mode word|compiled|cone|exhaustive]\n"
       << "      [--seed N] [--random-rounds N] [--edt CHANNELS]\n"
       << "      [--repeat N] [--sat] [--sat-budget CONFLICTS]\n"
       << "      [--json PATH] [--quiet]\n"
@@ -122,25 +128,13 @@ struct RunArgs {
   std::string scheme = "ncp";
   std::string json_path;
   size_t chains = 2;
-  size_t shards = 1;
-  size_t atpg_shards = 0;  // 0 = follow --shards
   size_t repeat = 1;
-  FsimMode mode = FsimMode::kCompiled;
+  EngineOptions engine;  // --mode/--shards/--atpg-shards/--sat*
   std::optional<uint64_t> seed;
   size_t random_rounds = 0;
   size_t edt_channels = 0;
-  bool sat = false;
-  size_t sat_budget = 100000;
   bool quiet = false;
 };
-
-const char* mode_name(FsimMode m) {
-  switch (m) {
-    case FsimMode::kCompiled: return "compiled";
-    case FsimMode::kConeLimited: return "cone";
-    default: return "exhaustive";
-  }
-}
 
 // Strict `--flag value` parsing shared with the bench drivers
 // (util/cli.h); malformed values print a usage message and exit 2.
@@ -178,14 +172,10 @@ int cmd_run(const RunArgs& a) {
     cfg.design_file(a.design)  // the session re-parses via its front door
         .scheme(choice->scheme)
         .on_chip_clocking(choice->on_chip)
-        .fsim_shards(a.shards)
-        .atpg_shards(a.atpg_shards)
-        .fsim_mode(a.mode);
+        .engine(a.engine);
     if (a.chains > 0) cfg.scan({.num_chains = a.chains});
     AtpgOptions opts;
     opts.random_rounds = a.random_rounds;
-    opts.sat_backend = a.sat;
-    opts.sat_conflict_budget = a.sat_budget;
     cfg.atpg(opts);
     if (a.seed) cfg.seed(*a.seed);
     if (a.edt_channels > 0) cfg.compress({.channels = a.edt_channels});
@@ -213,7 +203,7 @@ int cmd_run(const RunArgs& a) {
     std::cout << "design: " << a.design << "\n"
               << stats.to_string() << "\n"
               << "scheme: " << r.scheme.name << ", "
-              << ShardedFaultSim::resolve_shards(a.shards)
+              << ShardedFaultSim::resolve_shards(a.engine.fsim.shards)
               << " fsim shard(s)\n\n"
               << r.summary();
     if (repeat > 1) {
@@ -240,11 +230,13 @@ int cmd_run(const RunArgs& a) {
     meta.set("flops", r.netlist->dffs().size());
     meta.set("domains", r.netlist->num_domains());
     meta.set("scheme", r.scheme.name);
-    meta.set("shards", ShardedFaultSim::resolve_shards(a.shards));
+    meta.set("shards",
+             ShardedFaultSim::resolve_shards(a.engine.fsim.shards));
     meta.set("atpg_shards",
-             resolve_atpg_shards(a.atpg_shards,
-                                 ShardedFaultSim::resolve_shards(a.shards)));
-    meta.set("mode", mode_name(a.mode));
+             resolve_atpg_shards(
+                 a.engine.atpg_shards,
+                 ShardedFaultSim::resolve_shards(a.engine.fsim.shards)));
+    meta.set("mode", fsim_mode_name(a.engine.fsim.mode));
     meta.set("repeat", repeat);
     meta.set("test_coverage", r.test_coverage());
     meta.set("fault_coverage", r.fault_coverage());
@@ -271,7 +263,7 @@ int cmd_run(const RunArgs& a) {
     metrics.set("wall_ms.parse", repeat_median(parse_walls));
     metrics.set("wall_ms.session", wall_ms_median);
     metrics.set("wall_s", r.seconds);
-    if (a.sat) {
+    if (a.engine.sat_backend) {
       const SatStats& st = r.atpg.sat;
       meta.set("sat.faults_targeted", st.faults_targeted);
       meta.set("sat.detected", st.detected);
@@ -450,6 +442,13 @@ int main(int argc, char** argv) {
       for (int i = 2; i < argc; ++i) {
         const char* flag = argv[i];
         const char* val = i + 1 < argc ? argv[i + 1] : nullptr;
+        // Engine-selection flags are one shared vocabulary (util/cli.h).
+        const int used = parse_engine_flag(flag, val, &a.engine);
+        if (used < 0) return 2;
+        if (used > 0) {
+          i += used - 1;
+          continue;
+        }
         if (std::strcmp(flag, "--quiet") == 0) {
           a.quiet = true;
         } else if (std::strcmp(flag, "--design") == 0 && val) {
@@ -461,29 +460,11 @@ int main(int argc, char** argv) {
         } else if (std::strcmp(flag, "--json") == 0 && val) {
           a.json_path = val;
           ++i;
-        } else if (std::strcmp(flag, "--mode") == 0 && val) {
-          if (std::strcmp(val, "compiled") == 0) {
-            a.mode = FsimMode::kCompiled;
-          } else if (std::strcmp(val, "cone") == 0) {
-            a.mode = FsimMode::kConeLimited;
-          } else if (std::strcmp(val, "exhaustive") == 0) {
-            a.mode = FsimMode::kExhaustive;
-          } else {
-            std::cerr << "--mode expects compiled, cone or exhaustive\n";
-            return 2;
-          }
-          ++i;
         } else if (std::strcmp(flag, "--repeat") == 0) {
           if (!parse_size_flag(flag, val, &a.repeat)) return 2;
           ++i;
         } else if (std::strcmp(flag, "--chains") == 0) {
           if (!parse_size_flag(flag, val, &a.chains)) return 2;
-          ++i;
-        } else if (std::strcmp(flag, "--shards") == 0) {
-          if (!parse_size_flag(flag, val, &a.shards)) return 2;
-          ++i;
-        } else if (std::strcmp(flag, "--atpg-shards") == 0) {
-          if (!parse_size_flag(flag, val, &a.atpg_shards)) return 2;
           ++i;
         } else if (std::strcmp(flag, "--random-rounds") == 0) {
           if (!parse_size_flag(flag, val, &a.random_rounds)) return 2;
@@ -495,11 +476,6 @@ int main(int argc, char** argv) {
           size_t s = 0;
           if (!parse_size_flag(flag, val, &s)) return 2;
           a.seed = s;
-          ++i;
-        } else if (std::strcmp(flag, "--sat") == 0) {
-          a.sat = true;
-        } else if (std::strcmp(flag, "--sat-budget") == 0) {
-          if (!parse_size_flag(flag, val, &a.sat_budget)) return 2;
           ++i;
         } else {
           std::cerr << "unknown or incomplete flag '" << flag
