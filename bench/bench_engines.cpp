@@ -24,12 +24,15 @@
 // (scan-inserted with 4 chains); `--corpus-dir <dir>` relocates the
 // corpus the --json report reads. Engine selection uses the shared
 // parse_engine_flag vocabulary of util/cli.h (--mode/--shards/
-// --atpg-shards/--sat/--sat-budget); of these only --atpg-shards
-// affects the report -- it pins the worker count of the parallel
-// deterministic-PODEM workload (atpg.det.*; default 0 = hardware
-// concurrency) -- because every other workload pins its own engine by
-// design: the report's whole point is to measure the modes against
-// each other.
+// --atpg-shards/--sat/--sat-budget/--atpg-heuristics); of these only
+// two affect the report -- --atpg-shards pins the worker count of the
+// parallel deterministic-PODEM workload (atpg.det.*; default 0 =
+// hardware concurrency) and --atpg-heuristics toggles the PODEM search
+// heuristics across the ATPG workloads (atpg.det.* and atpg.sat.*;
+// `off` reproduces the pre-heuristics counters bit-exactly, which the
+// CI parity gate pins for bench_table1) -- because every other
+// workload pins its own engine by design: the report's whole point is
+// to measure the modes against each other.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -452,7 +455,9 @@ int write_json_report(const std::string& path) {
     std::vector<double> walls;
     for (size_t r = 0; r < g_repeat; ++r) {
       SessionConfig cfg;
-      cfg.design_ref(nl).scheme(scheme_cpf_basic(nl.num_domains()));
+      cfg.design_ref(nl)
+          .scheme(scheme_cpf_basic(nl.num_domains()))
+          .atpg_heuristics(g_engine.atpg_heuristics);
       const auto t0 = std::chrono::steady_clock::now();
       const SessionResult res = Session(std::move(cfg)).run();
       walls.push_back(ms_since(t0));
@@ -478,6 +483,7 @@ int write_json_report(const std::string& path) {
     std::vector<double> walls;
     size_t det_patterns = 0;
     size_t speculative = 0, discarded = 0;
+    Podem::Stats det_stats;
     for (size_t r = 0; r < g_repeat; ++r) {
       double det_ms = 0.0;
       std::chrono::steady_clock::time_point det_t0;
@@ -486,6 +492,7 @@ int write_json_report(const std::string& path) {
           .scheme(scheme_cpf_basic(nl.num_domains()))
           .fsim_shards(0)  // hardware concurrency
           .atpg_shards(g_engine.atpg_shards)
+          .atpg_heuristics(g_engine.atpg_heuristics)
           .observer([&](const ProgressEvent& ev) {
             if (ev.stage != "source:podem") return;
             if (ev.kind == ProgressEvent::Kind::kStageBegin) {
@@ -504,9 +511,20 @@ int write_json_report(const std::string& path) {
       }
       speculative = res.atpg.speculative_runs;
       discarded = res.atpg.discarded_cubes;
+      det_stats = res.atpg.podem;
     }
     metrics.set("atpg.det.wall_ms", repeat_median(std::move(walls)));
     metrics.set("atpg.det.patterns", det_patterns);
+    // Committed search-effort counters: deterministic for any shard
+    // count, so they are gated alongside the pattern count. The
+    // heuristic-effect counters (implication_hits & co) are zero with
+    // --atpg-heuristics off.
+    metrics.set("atpg.det.backtracks", det_stats.backtracks);
+    metrics.set("atpg.det.implication_hits", det_stats.implication_hits);
+    meta.set("atpg.det.decisions", det_stats.decisions);
+    meta.set("atpg.det.dominator_prunes", det_stats.dominator_prunes);
+    meta.set("atpg.det.cache_tries", det_stats.cache_tries);
+    meta.set("atpg.det.cache_hits", det_stats.cache_hits);
     meta.set("atpg.det.shards", det_shards);
     meta.set("atpg.det.speculative_runs", speculative);
     meta.set("atpg.det.discarded_cubes", discarded);
@@ -538,6 +556,7 @@ int write_json_report(const std::string& path) {
       cfg.design_ref(nl)
           .scheme(scheme_cpf_basic(nl.num_domains()))
           .atpg(starved)
+          .atpg_heuristics(g_engine.atpg_heuristics)
           .observer([&](const ProgressEvent& ev) {
             if (ev.stage != "source:sat") return;
             if (ev.kind == ProgressEvent::Kind::kStageBegin) {
@@ -596,7 +615,8 @@ int write_json_report(const std::string& path) {
       SessionConfig cfg;
       cfg.design_file(path)
           .scan({.num_chains = 4})
-          .scheme(scheme_cpf_basic(parsed.num_domains()));
+          .scheme(scheme_cpf_basic(parsed.num_domains()))
+          .atpg_heuristics(g_engine.atpg_heuristics);
       const auto t0 = std::chrono::steady_clock::now();
       const SessionResult res = Session(std::move(cfg)).run();
       walls.push_back(ms_since(t0));

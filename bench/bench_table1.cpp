@@ -192,6 +192,7 @@ int main(int argc, char** argv) {
   cfg.atpg.random_rounds = 12;
   cfg.atpg.sat_backend = engine.sat_backend;
   cfg.atpg.sat_conflict_budget = engine.sat_conflict_budget;
+  cfg.atpg.heuristics = engine.atpg_heuristics;
   // 0 follows each experiment Session's fsim shard count (= --shards).
   cfg.atpg.atpg_shards = atpg_shards;
   cfg.design_bench_path = design_path;

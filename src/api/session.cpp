@@ -111,6 +111,7 @@ SessionConfig& SessionConfig::engine(EngineOptions o) {
   atpg_shards_override_ = o.atpg_shards;
   sat_backend_override_ = o.sat_backend;
   sat_budget_override_ = o.sat_conflict_budget;
+  atpg_heuristics_override_ = o.atpg_heuristics;
   return *this;
 }
 SessionConfig& SessionConfig::fsim_shards(size_t n) {
@@ -120,6 +121,11 @@ SessionConfig& SessionConfig::fsim_shards(size_t n) {
 SessionConfig& SessionConfig::atpg_shards(size_t n) {
   engine_.atpg_shards = n;
   atpg_shards_override_ = n;
+  return *this;
+}
+SessionConfig& SessionConfig::atpg_heuristics(bool on) {
+  engine_.atpg_heuristics = on;
+  atpg_heuristics_override_ = on;
   return *this;
 }
 SessionConfig& SessionConfig::fsim_mode(FsimMode m) {
@@ -242,6 +248,9 @@ SessionResult Session::run() {
   }
   if (cfg_.sat_budget_override_) {
     opts.sat_conflict_budget = *cfg_.sat_budget_override_;
+  }
+  if (cfg_.atpg_heuristics_override_) {
+    opts.heuristics = *cfg_.atpg_heuristics_override_;
   }
   if (cfg_.edt_) opts.keep_cubes = true;  // encoding works on care bits
   {

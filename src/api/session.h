@@ -165,6 +165,11 @@ class SessionConfig {
   /// default); 1 = the plain sequential loop. Wins over
   /// AtpgOptions::atpg_shards regardless of call order.
   SessionConfig& atpg_shards(size_t n);
+  /// Forward of engine(): PODEM search heuristics toggle (atpg/podem.h).
+  /// Off reproduces the pre-heuristic search and all its committed
+  /// counters bit-identically. Wins over AtpgOptions::heuristics
+  /// regardless of call order.
+  SessionConfig& atpg_heuristics(bool on);
   /// Deprecated forward of engine(): fault-propagation strategy
   /// (default: word-parallel over the compiled cone replay programs).
   /// Results are bit-identical for every mode; kConeLimited and
@@ -200,6 +205,7 @@ class SessionConfig {
   std::optional<uint64_t> seed_override_;
   std::optional<bool> sat_backend_override_;
   std::optional<uint64_t> sat_budget_override_;
+  std::optional<bool> atpg_heuristics_override_;
   std::vector<std::shared_ptr<PatternSource>> sources_;
   std::vector<std::shared_ptr<ResultSink>> sinks_;
   ProgressObserver observer_;

@@ -65,6 +65,14 @@ struct AtpgOptions {
   bool sat_backend = false;
   /// Per-solve conflict budget of the SAT backend; 0 = unlimited.
   uint64_t sat_conflict_budget = 100000;
+  /// PODEM search heuristics (podem.h: SCOAP-guided objectives, static
+  /// implication learning, dominator early abort) plus the parallel
+  /// stage's per-cone cube cache. Off reproduces the pre-heuristic
+  /// search -- and all its committed counters -- bit-identically.
+  bool heuristics = true;
+  /// Enrich the implication tables by unit-propagation probing of the
+  /// SAT lowering (sat/probe.h). Only read when `heuristics` is on.
+  bool implication_sat_harvest = false;
 };
 
 /// Deterministic work counters of the SAT backend stage.

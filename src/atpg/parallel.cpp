@@ -146,17 +146,23 @@ std::pair<UnrolledModel*, Podem*> ParallelPodem::model_for(
                                                     nc, ctx_.scan_en);
     sc.podems[nc] = std::make_unique<Podem>(
         *sc.models[nc],
-        Podem::Options{.backtrack_limit = ctx_.opts.backtrack_limit});
+        Podem::Options{.backtrack_limit = ctx_.opts.backtrack_limit,
+                       .heuristics = ctx_.opts.heuristics,
+                       .sat_harvest = ctx_.opts.implication_sat_harvest});
   }
   return {sc.models[nc].get(), sc.podems[nc].get()};
 }
 
 Podem* ParallelPodem::deep_podem_for(ShardScratch& sc, uint32_t nc) const {
   if (!sc.podems_deep[nc]) {
+    // Shares the shallow engine's implication table (same model).
     sc.podems_deep[nc] = std::make_unique<Podem>(
         *sc.models[nc],
         Podem::Options{.backtrack_limit = ctx_.opts.backtrack_limit *
-                                          ctx_.opts.abort_retry_factor});
+                                          ctx_.opts.abort_retry_factor,
+                       .heuristics = ctx_.opts.heuristics,
+                       .sat_harvest = ctx_.opts.implication_sat_harvest},
+        sc.podems[nc]->implications());
   }
   return sc.podems_deep[nc].get();
 }
@@ -171,6 +177,7 @@ Podem::Stats ParallelPodem::stats_sum(const ShardScratch& sc) const {
 }
 
 void ParallelPodem::attempt_fault(ShardScratch& sc, size_t fi,
+                                  const CubeCacheEntry* seed,
                                   Attempt* out) const {
   const Fault& f = ctx_.faults.fault(fi);
   const DomainMask fsinks = sink_domains_[f.gate];
@@ -184,10 +191,14 @@ void ParallelPodem::attempt_fault(ShardScratch& sc, size_t fi,
     if (!(fsinks & capture_mask_[nc]) && !(fpo && po_obs_[nc])) continue;
 
     auto [model, podem] = model_for(sc, nc);
+    // A sibling's cube only seeds the matching capture procedure (var
+    // spaces differ across procedures).
+    const std::vector<V3>* seed_cube =
+        seed != nullptr && seed->ncp == nc ? &seed->var_cube : nullptr;
     const std::vector<UnrolledFault> targets = model->translate(f);
     for (const UnrolledFault& uf : targets) {
       Podem* used = podem;
-      Podem::Outcome outc = used->run(uf);
+      Podem::Outcome outc = used->run(uf, seed_cube);
       if (outc == Podem::Outcome::kAborted &&
           ctx_.opts.abort_retry_factor > 1) {
         used = deep_podem_for(sc, nc);
@@ -195,6 +206,7 @@ void ParallelPodem::attempt_fault(ShardScratch& sc, size_t fi,
       }
       if (outc == Podem::Outcome::kDetected) {
         a.cube = cube_to_pattern(*model, used->assignment(), ctx_.nl, nc);
+        a.var_cube = used->assignment();
         a.ncp = nc;
         a.detected = true;
         break;
@@ -259,6 +271,10 @@ void ParallelPodem::commit_fault(size_t fi, Attempt& att) {
     }
     // The generated cube provably detects fi even before fsim.
     fl.set_status(fi, FaultStatus::kDetected);
+    if (ctx_.opts.heuristics) {
+      cube_cache_[fl.fault(fi).gate] = std::make_shared<CubeCacheEntry>(
+          CubeCacheEntry{att.ncp, std::move(att.var_cube)});
+    }
   } else if (att.aborted) {
     fl.set_status(fi, FaultStatus::kAborted);
   } else {
@@ -276,9 +292,15 @@ void ParallelPodem::run_sequential() {
     if ((fi & 0x3ff) == 0) ctx_.progress(stage_, fi, total);
     if (!eligible(fl.status(fi))) continue;
     Attempt att;
-    attempt_fault(scratch_[0], fi, &att);
+    attempt_fault(scratch_[0], fi, seed_for(fi).get(), &att);
     commit_fault(fi, att);
   }
+}
+
+ParallelPodem::CubeCacheRef ParallelPodem::seed_for(size_t fi) const {
+  if (cube_cache_.empty()) return nullptr;  // heuristics off, or no hits yet
+  const auto it = cube_cache_.find(ctx_.faults.fault(fi).gate);
+  return it == cube_cache_.end() ? nullptr : it->second;
 }
 
 void ParallelPodem::run_speculative() {
@@ -287,40 +309,63 @@ void ParallelPodem::run_speculative() {
   const size_t window = shards_ * kWindowFaultsPerShard;
   std::vector<size_t> cand;
   cand.reserve(window);
+  std::vector<CubeCacheRef> seeds;
   std::vector<Attempt> attempts;
   size_t next = 0;
   while (next < total) {
     // Leader: collect the next window of still-eligible faults. A fault
     // ineligible here can never become eligible again (statuses only
     // move toward detected/untestable/aborted), so skipping now is
-    // exactly the sequential skip.
+    // exactly the sequential skip. Each candidate's cube-cache entry is
+    // snapshotted here; a commit inside this window can move it, which
+    // the commit loop detects and repairs (see below).
     const size_t win_start = next;
     cand.clear();
+    seeds.clear();
     while (next < total && cand.size() < window) {
-      if (eligible(fl.status(next))) cand.push_back(next);
+      if (eligible(fl.status(next))) {
+        cand.push_back(next);
+        seeds.push_back(seed_for(next));
+      }
       ++next;
     }
     const size_t win_end = next;
 
     // Workers: speculative PODEM attempts, interleaved over the shards.
     // Shards touch only their own scratch and their disjoint slots of
-    // `attempts`; the fault list is read-only here (set_status happens
-    // only on the leader, between dispatches).
+    // `attempts`; the fault list and the seed snapshot are read-only
+    // here (set_status and cache updates happen only on the leader,
+    // between dispatches).
     attempts.assign(cand.size(), Attempt{});
     if (!cand.empty()) {
       pool_->run([&](size_t s) {
         for (size_t k = s; k < cand.size(); k += shards_) {
-          attempt_fault(scratch_[s], cand[k], &attempts[k]);
+          attempt_fault(scratch_[s], cand[k], seeds[k].get(), &attempts[k]);
         }
       });
     }
 
     // Leader: commit in canonical fault order, emitting the same
-    // progress events the sequential walk does.
+    // progress events the sequential walk does. If an earlier commit of
+    // this window refreshed the candidate's cube-cache entry, the
+    // worker ran with a stale seed: discard its attempt (counted as
+    // wasted speculation) and re-run on the leader with the canonical
+    // entry, exactly as the sequential loop would have.
     size_t k = 0;
     for (size_t fi = win_start; fi < win_end; ++fi) {
       if ((fi & 0x3ff) == 0) ctx_.progress(stage_, fi, total);
-      if (k < cand.size() && cand[k] == fi) commit_fault(fi, attempts[k++]);
+      if (k >= cand.size() || cand[k] != fi) continue;
+      Attempt& att = attempts[k];
+      const CubeCacheRef canonical =
+          eligible(fl.status(fi)) ? seed_for(fi) : seeds[k];
+      if (canonical != seeds[k]) {
+        ctx_.res.speculative_runs += att.stats.runs;
+        ctx_.res.discarded_cubes += att.detected ? 1 : 0;
+        att = Attempt{};
+        attempt_fault(scratch_[0], fi, canonical.get(), &att);
+      }
+      commit_fault(fi, att);
+      ++k;
     }
   }
 }

@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "api/stages.h"
@@ -84,12 +85,22 @@ class ParallelPodem {
   void run();
 
  private:
+  /// One committed detection, remembered per fault-site gate: a later
+  /// fault of the same cone is seeded with this cube first (podem.h,
+  /// seeded run) -- siblings usually need near-identical tests.
+  struct CubeCacheEntry {
+    uint32_t ncp = 0;          ///< capture procedure the cube belongs to
+    std::vector<V3> var_cube;  ///< var-space cube (model.var_gates() order)
+  };
+  using CubeCacheRef = std::shared_ptr<const CubeCacheEntry>;
+
   /// Speculative outcome of one fault's PODEM attempt.
   struct Attempt {
     bool detected = false;  ///< some target produced a cube
     bool aborted = false;   ///< some target hit the backtrack limit
     uint32_t ncp = 0;       ///< capture procedure of `cube` when detected
     TestPattern cube;       ///< the care-bit cube when detected
+    std::vector<V3> var_cube;  ///< var-space copy of the detecting cube
     Podem::Stats stats;     ///< PODEM work of this attempt only
   };
 
@@ -106,13 +117,18 @@ class ParallelPodem {
            s == FaultStatus::kPossiblyDetected;
   }
 
+  /// Canonical cube-cache entry for fault `fi` right now (null = none).
+  CubeCacheRef seed_for(size_t fi) const;
+
   std::pair<UnrolledModel*, Podem*> model_for(ShardScratch& sc,
                                               uint32_t nc) const;
   Podem* deep_podem_for(ShardScratch& sc, uint32_t nc) const;
   Podem::Stats stats_sum(const ShardScratch& sc) const;
 
   /// The per-fault PODEM attempt (worker side; touches only `sc`).
-  void attempt_fault(ShardScratch& sc, size_t fi, Attempt* out) const;
+  /// `seed`: the cube-cache entry visible for this fault (null = none).
+  void attempt_fault(ShardScratch& sc, size_t fi,
+                     const CubeCacheEntry* seed, Attempt* out) const;
   /// Sequential bookkeeping for one attempt (leader side).
   void commit_fault(size_t fi, Attempt& att);
   /// Random-fills and fault-simulates the open cubes of procedure `nc`.
@@ -135,6 +151,14 @@ class ParallelPodem {
   std::unique_ptr<ThreadPool> pool_;   // null when shards_ == 1
   // Open (unfilled) cube windows per NCP for static merging.
   std::vector<std::vector<TestPattern>> open_cubes_;
+  // Per-cone cube cache (leader-owned; empty when heuristics are off):
+  // latest committed detection per fault-site gate. Shard parity: the
+  // speculative path snapshots each candidate's entry at window build
+  // and, at commit, re-runs the attempt on the leader whenever the
+  // canonical entry has moved -- the committed (seed, attempt) sequence
+  // is therefore exactly the sequential one for any shard count; the
+  // wasted worker run lands in speculative_runs/discarded_cubes.
+  std::unordered_map<GateId, CubeCacheRef> cube_cache_;
 };
 
 }  // namespace occ

@@ -3,13 +3,99 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <deque>
 
+#include "atpg/scoap.h"
 #include "util/check.h"
 
 namespace occ {
+namespace {
 
-Podem::Podem(const UnrolledModel& model, Options opts)
+/// Static-implication consult horizon: decisions deeper than this skip
+/// the literal_conflicts row scan. Refuting a shallow decision prunes
+/// an exponential subtree; deep ones are cheaper to just simulate.
+constexpr size_t kConsultDepth = 24;
+
+/// Inlined 3-valued gate evaluation over an input accessor `val(i)`.
+/// Result-identical to eval_gate(type, ins) (netlist/library.cpp) --
+/// the early exits only skip inputs that cannot change the outcome
+/// (controlling value seen, or X already dominates the parity) -- but
+/// without the out-of-line call and the fanin copy. This is PODEM's
+/// innermost loop: every implication event evaluates here.
+template <typename GetVal>
+inline V3 eval_fast(GateType type, size_t n, GetVal&& val) {
+  switch (type) {
+    case GateType::kBuf:
+    case GateType::kOutput:
+      return val(0);
+    case GateType::kNot:
+      return v3_not(val(0));
+    case GateType::kAnd:
+    case GateType::kNand: {
+      bool any_x = false;
+      for (size_t i = 0; i < n; ++i) {
+        const V3 v = val(i);
+        if (v == V3::k0) {
+          return type == GateType::kNand ? V3::k1 : V3::k0;
+        }
+        any_x = any_x || v == V3::kX;
+      }
+      if (any_x) return V3::kX;
+      return type == GateType::kNand ? V3::k0 : V3::k1;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      bool any_x = false;
+      for (size_t i = 0; i < n; ++i) {
+        const V3 v = val(i);
+        if (v == V3::k1) {
+          return type == GateType::kNor ? V3::k0 : V3::k1;
+        }
+        any_x = any_x || v == V3::kX;
+      }
+      if (any_x) return V3::kX;
+      return type == GateType::kNor ? V3::k1 : V3::k0;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      bool parity = type == GateType::kXnor;
+      for (size_t i = 0; i < n; ++i) {
+        const V3 v = val(i);
+        if (v == V3::kX) return V3::kX;
+        parity = parity != (v == V3::k1);
+      }
+      return parity ? V3::k1 : V3::k0;
+    }
+    case GateType::kMux2: {
+      const V3 sel = val(0);
+      if (sel == V3::k0) return val(1);
+      if (sel == V3::k1) return val(2);
+      const V3 a = val(1), b = val(2);
+      if (a == b && a != V3::kX) return a;
+      return V3::kX;
+    }
+    case GateType::kTie0:
+      return V3::k0;
+    case GateType::kTie1:
+      return V3::k1;
+    default: {
+      // Exotic/large cells: fall back to the library evaluator.
+      V3 ins[8];
+      std::vector<V3> big;
+      V3* iv = ins;
+      if (n > 8) {
+        big.resize(n);
+        iv = big.data();
+      }
+      for (size_t i = 0; i < n; ++i) iv[i] = val(i);
+      return eval_gate(type, {iv, n});
+    }
+  }
+}
+
+}  // namespace
+
+Podem::Podem(const UnrolledModel& model, Options opts,
+             std::shared_ptr<const ImplicationTable> impl)
     : model_(&model), comb_(&model.comb()), opts_(opts) {
   const size_t n = comb_->size();
   good_.assign(n, V3::kX);
@@ -22,7 +108,34 @@ Podem::Podem(const UnrolledModel& model, Options opts)
   queued_.assign(n, 0);
   cand_mark_.assign(n, 0);
   xpath_mark_.assign(n, 0);
+  cone_mark_.assign(n, 0);
   buckets_.resize(static_cast<size_t>(comb_->max_level()) + 2);
+
+  // Flat propagation view: one pass to size the CSR arrays, one to
+  // fill them in netlist order.
+  type_.resize(n);
+  level_.resize(n);
+  fi_off_.resize(n + 1);
+  fo_off_.resize(n + 1);
+  size_t nfi = 0, nfo = 0;
+  for (size_t g = 0; g < n; ++g) {
+    const Gate& gate = comb_->gate(static_cast<GateId>(g));
+    type_[g] = gate.type;
+    level_[g] = gate.level;
+    fi_off_[g] = static_cast<uint32_t>(nfi);
+    fo_off_[g] = static_cast<uint32_t>(nfo);
+    nfi += gate.fanin.size();
+    nfo += gate.fanout.size();
+  }
+  fi_off_[n] = static_cast<uint32_t>(nfi);
+  fo_off_[n] = static_cast<uint32_t>(nfo);
+  fi_.reserve(nfi);
+  fo_.reserve(nfo);
+  for (size_t g = 0; g < n; ++g) {
+    const Gate& gate = comb_->gate(static_cast<GateId>(g));
+    fi_.insert(fi_.end(), gate.fanin.begin(), gate.fanin.end());
+    for (GateId o : gate.fanout) fo_.push_back({o, comb_->gate(o).level});
+  }
 
   const auto& vars = model.var_gates();
   cube_.assign(vars.size(), V3::kX);
@@ -32,118 +145,111 @@ Podem::Podem(const UnrolledModel& model, Options opts)
   }
   for (GateId o : model.observations()) is_obs_[o] = true;
 
-  // Baseline evaluation with every variable X; controllability DP and
-  // SCOAP-style 0/1 controllability costs in the same pass.
-  constexpr uint32_t kInf = 1u << 28;
-  cc0_.assign(n, kInf);
-  cc1_.assign(n, kInf);
-  auto add = [](uint32_t a, uint32_t b) {
-    const uint64_t s = static_cast<uint64_t>(a) + b;
-    return s > (1u << 28) ? (1u << 28) : static_cast<uint32_t>(s);
-  };
+  // Baseline evaluation with every variable X; controllability DP in
+  // the same pass.
   for (GateId g : comb_->topo_order()) {
     const Gate& gate = comb_->gate(g);
     if (gate.type == GateType::kInput) {
-      cc0_[g] = cc1_[g] = 1;  // value stays X unless assigned
+      continue;  // value stays X unless assigned
     } else if (gate.type == GateType::kTie0) {
       good_[g] = V3::k0;
-      cc0_[g] = 0;
     } else if (gate.type == GateType::kTie1) {
       good_[g] = V3::k1;
-      cc1_[g] = 0;
     } else if (gate.type == GateType::kXSource) {
-      good_[g] = V3::kX;  // uncontrollable: costs stay infinite
+      good_[g] = V3::kX;  // power-up state unknown
     } else {
       good_[g] = eval_good(g);
       for (GateId f : gate.fanin) {
         controllable_[g] = controllable_[g] || controllable_[f];
       }
-      const auto& fi = gate.fanin;
-      uint32_t all0 = 1, all1 = 1, min0 = kInf, min1 = kInf, sum_min = 1;
-      for (GateId f : fi) {
-        all0 = add(all0, cc0_[f]);
-        all1 = add(all1, cc1_[f]);
-        min0 = std::min(min0, cc0_[f]);
-        min1 = std::min(min1, cc1_[f]);
-        sum_min = add(sum_min, std::min(cc0_[f], cc1_[f]));
-      }
-      switch (gate.type) {
-        case GateType::kBuf:
-        case GateType::kOutput:
-          cc0_[g] = add(cc0_[fi[0]], 1);
-          cc1_[g] = add(cc1_[fi[0]], 1);
-          break;
-        case GateType::kNot:
-          cc0_[g] = add(cc1_[fi[0]], 1);
-          cc1_[g] = add(cc0_[fi[0]], 1);
-          break;
-        case GateType::kAnd:
-          cc1_[g] = all1;
-          cc0_[g] = add(min0, 1);
-          break;
-        case GateType::kNand:
-          cc0_[g] = all1;
-          cc1_[g] = add(min0, 1);
-          break;
-        case GateType::kOr:
-          cc0_[g] = all0;
-          cc1_[g] = add(min1, 1);
-          break;
-        case GateType::kNor:
-          cc1_[g] = all0;
-          cc0_[g] = add(min1, 1);
-          break;
-        case GateType::kXor:
-        case GateType::kXnor:
-          // Coarse: either value costs roughly the sum of easiest sides.
-          cc0_[g] = sum_min;
-          cc1_[g] = sum_min;
-          break;
-        case GateType::kMux2:
-          cc0_[g] = add(std::min(add(cc0_[fi[0]], cc0_[fi[1]]),
-                                 add(cc1_[fi[0]], cc0_[fi[2]])), 1);
-          cc1_[g] = add(std::min(add(cc0_[fi[0]], cc1_[fi[1]]),
-                                 add(cc1_[fi[0]], cc1_[fi[2]])), 1);
-          break;
-        default:
-          cc0_[g] = cc1_[g] = sum_min;
-      }
     }
   }
   faulty_ = good_;
   baseline_ = good_;
+
+  // SCOAP testability costs (atpg/scoap.h): cc0_/cc1_ guide backtrace
+  // in both modes (identical values to the pre-heuristic inline DP);
+  // co_ guides objective selection when heuristics are on.
+  Scoap sc = compute_scoap(*comb_, model.observations());
+  cc0_ = std::move(sc.cc0);
+  cc1_ = std::move(sc.cc1);
+  co_ = std::move(sc.co);
+
+  // Observation reachability: filtering the X-path BFS to nets that
+  // can structurally reach an observation never changes its verdict
+  // (every path to an observation runs inside this set), so both modes
+  // use it.
+  reach_obs_.assign(n, false);
+  const auto& topo = comb_->topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const GateId g = *it;
+    bool r = is_obs_[g];
+    for (GateId o : comb_->gate(g).fanout) r = r || reach_obs_[o];
+    reach_obs_[g] = r;
+  }
+
+  if (!opts_.heuristics) return;
+
+  // Immediate dominators toward the observations: idom_[g] = nearest
+  // common ancestor (along idom chains) of g's observation-reaching
+  // fanouts; observations dominate straight to the virtual sink.
+  // Reverse topological order guarantees fanout chains are final.
+  const int32_t vsink = static_cast<int32_t>(n);
+  idom_.assign(n + 1, -1);
+  idepth_.assign(n + 1, 0);
+  idom_[n] = vsink;
+  auto nca = [this](int32_t a, int32_t b) {
+    while (a != b) {
+      if (idepth_[a] >= idepth_[b]) {
+        a = idom_[a];
+      } else {
+        b = idom_[b];
+      }
+    }
+    return a;
+  };
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const GateId g = *it;
+    if (!reach_obs_[g]) continue;
+    if (is_obs_[g]) {
+      idom_[g] = vsink;
+      idepth_[g] = 1;
+      continue;
+    }
+    int32_t d = -1;
+    for (GateId o : comb_->gate(g).fanout) {
+      if (!reach_obs_[o]) continue;
+      d = d < 0 ? static_cast<int32_t>(o) : nca(d, static_cast<int32_t>(o));
+    }
+    idom_[g] = d;
+    idepth_[g] = idepth_[d] + 1;
+  }
+
+  impl_ = impl ? std::move(impl)
+               : std::make_shared<const ImplicationTable>(model,
+                                                          opts_.sat_harvest);
+  row_stamp_.assign(n, 0);
+  row_val_.assign(n, 0);
 }
 
 V3 Podem::eval_good(GateId g) const {
-  const Gate& gate = comb_->gate(g);
-  V3 ins[8];
-  std::vector<V3> big;
-  const size_t n = gate.fanin.size();
-  V3* iv = ins;
-  if (n > 8) {
-    big.resize(n);
-    iv = big.data();
-  }
-  for (size_t i = 0; i < n; ++i) iv[i] = good_[gate.fanin[i]];
-  return eval_gate(gate.type, {iv, n});
+  const GateId* fi = fi_.data() + fi_off_[g];
+  return eval_fast(type_[g], fi_off_[g + 1] - fi_off_[g],
+                   [&](size_t i) { return good_[fi[i]]; });
 }
 
 V3 Podem::eval_faulty(GateId g) const {
   if (stem_force_[g] >= 0) return stem_force_[g] ? V3::k1 : V3::k0;
-  const Gate& gate = comb_->gate(g);
-  V3 ins[8];
-  std::vector<V3> big;
-  const size_t n = gate.fanin.size();
-  V3* iv = ins;
-  if (n > 8) {
-    big.resize(n);
-    iv = big.data();
-  }
-  for (size_t i = 0; i < n; ++i) iv[i] = faulty_[gate.fanin[i]];
+  const GateId* fi = fi_.data() + fi_off_[g];
+  const size_t n = fi_off_[g + 1] - fi_off_[g];
   if (branch_pin_[g] >= 0 && fault_ != nullptr) {
-    iv[branch_pin_[g]] = fault_->forced_value ? V3::k1 : V3::k0;
+    const size_t bp = static_cast<size_t>(branch_pin_[g]);
+    const V3 forced = fault_->forced_value ? V3::k1 : V3::k0;
+    return eval_fast(type_[g], n, [&](size_t i) {
+      return i == bp ? forced : faulty_[fi[i]];
+    });
   }
-  return eval_gate(gate.type, {iv, n});
+  return eval_fast(type_[g], n, [&](size_t i) { return faulty_[fi[i]]; });
 }
 
 void Podem::set_value(GateId g, V3 gv, V3 fv) {
@@ -156,29 +262,61 @@ void Podem::set_value(GateId g, V3 gv, V3 fv) {
     if (cand_mark_[g] != run_id_) {
       cand_mark_[g] = run_id_;
       dnet_cand_.push_back(g);
-      for (GateId o : comb_->gate(g).fanout) frontier_cand_.push_back(o);
+      const uint32_t end = fo_off_[g + 1];
+      for (uint32_t e = fo_off_[g]; e != end; ++e) {
+        frontier_cand_.push_back(fo_[e].id);
+      }
     }
   }
 }
 
 void Podem::enqueue_fanouts(GateId g) {
-  for (GateId o : comb_->gate(g).fanout) {
-    if (queued_[o] != epoch_) {
-      queued_[o] = epoch_;
-      buckets_[static_cast<size_t>(comb_->gate(o).level)].push_back(o);
+  const uint32_t end = fo_off_[g + 1];
+  for (uint32_t e = fo_off_[g]; e != end; ++e) {
+    const FoEdge& o = fo_[e];
+    if (queued_[o.id] != epoch_) {
+      queued_[o.id] = epoch_;
+      buckets_[static_cast<size_t>(o.level)].push_back(o.id);
+      bkt_lo_ = std::min(bkt_lo_, o.level);
+      bkt_hi_ = std::max(bkt_hi_, o.level);
     }
   }
 }
 
 void Podem::imply() {
   ++stats_.implications;
-  for (auto& bucket : buckets_) {
+  // bkt_hi_ may grow while sweeping: processing level L only enqueues
+  // strictly deeper fanouts, so the forward sweep stays exhaustive.
+  for (int32_t lvl = bkt_lo_; lvl <= bkt_hi_; ++lvl) {
+    auto& bucket = buckets_[static_cast<size_t>(lvl)];
     for (size_t i = 0; i < bucket.size(); ++i) {
       const GateId g = bucket[i];
-      const GateType t = comb_->gate(g).type;
+      const GateType t = type_[g];
       if (t == GateType::kInput || is_source(t)) continue;
-      const V3 ng = eval_good(g);
-      const V3 nf = eval_faulty(g);
+      // Good/faulty evaluation open-coded (rather than through
+      // eval_good/eval_faulty) so eval_fast inlines into this loop --
+      // it is the whole engine's innermost path. The faulty machine
+      // can only differ inside the static fanout cone of the fault
+      // sites (faulty_ == good_ holds inductively outside it), so the
+      // second evaluation is skipped there.
+      const GateId* fi = fi_.data() + fi_off_[g];
+      const size_t n = fi_off_[g + 1] - fi_off_[g];
+      const V3 ng =
+          eval_fast(t, n, [&](size_t k) { return good_[fi[k]]; });
+      V3 nf = ng;
+      if (in_cone(g)) {
+        if (stem_force_[g] >= 0) {
+          nf = stem_force_[g] ? V3::k1 : V3::k0;
+        } else if (branch_pin_[g] >= 0) {
+          const size_t bp = static_cast<size_t>(branch_pin_[g]);
+          const V3 forced = fault_->forced_value ? V3::k1 : V3::k0;
+          nf = eval_fast(t, n, [&](size_t k) {
+            return k == bp ? forced : faulty_[fi[k]];
+          });
+        } else {
+          nf = eval_fast(t, n, [&](size_t k) { return faulty_[fi[k]]; });
+        }
+      }
       if (ng != good_[g] || nf != faulty_[g]) {
         set_value(g, ng, nf);
         enqueue_fanouts(g);
@@ -186,6 +324,8 @@ void Podem::imply() {
     }
     bucket.clear();
   }
+  bkt_lo_ = INT32_MAX;
+  bkt_hi_ = -1;
   ++epoch_;
 }
 
@@ -213,7 +353,7 @@ bool Podem::fault_activatable() const {
       const V3 want = fault_->forced_value ? V3::k0 : V3::k1;
       if (gv == V3::kX || gv == want) return true;
     } else {
-      const GateId drv = comb_->gate(site).fanin[pin];
+      const GateId drv = fi_[fi_off_[site] + pin];
       const V3 gv = good_[drv];
       const V3 want = fault_->forced_value ? V3::k0 : V3::k1;
       if (gv == V3::kX || gv == want) return true;
@@ -239,13 +379,19 @@ bool Podem::detected() const {
 
 bool Podem::xpath_exists() const {
   // BFS from current D-nets and potentially-activatable sites through
-  // X-valued nets to any observation.
+  // X-valued nets to any observation. Restricted to observation-reaching
+  // nets (verdict-preserving; see reach_obs_) and, with heuristics on,
+  // to the fault cone -- a D cannot exist outside it, and any net of a
+  // sensitized path is X-or-D, hence inside the cone.
   ++xpath_epoch_;
-  std::deque<GateId> q;
+  xpath_q_.clear();
+  const bool cone_only = opts_.heuristics;
   auto push = [&](GateId g) {
+    if (!reach_obs_[g]) return;
+    if (cone_only && cone_mark_[g] != cone_epoch_) return;
     if (xpath_mark_[g] != xpath_epoch_) {
       xpath_mark_[g] = xpath_epoch_;
-      q.push_back(g);
+      xpath_q_.push_back(g);
     }
   };
   for (GateId g : dnet_cand_) {
@@ -254,15 +400,16 @@ bool Podem::xpath_exists() const {
   for (const auto& [site, pin] : fault_->sites) {
     const V3 gv = pin == kOutputPin
                       ? good_[site]
-                      : good_[comb_->gate(site).fanin[pin]];
+                      : good_[fi_[fi_off_[site] + pin]];
     const V3 want = fault_->forced_value ? V3::k0 : V3::k1;
     if (gv == V3::kX || gv == want) push(site);
   }
-  while (!q.empty()) {
-    const GateId g = q.front();
-    q.pop_front();
+  for (size_t head = 0; head < xpath_q_.size(); ++head) {
+    const GateId g = xpath_q_[head];
     if (is_obs_[g]) return true;
-    for (GateId o : comb_->gate(g).fanout) {
+    const uint32_t end = fo_off_[g + 1];
+    for (uint32_t e = fo_off_[g]; e != end; ++e) {
+      const GateId o = fo_[e].id;
       // Traverse through nets that could still change or already carry D.
       if (good_[o] == V3::kX || faulty_[o] == V3::kX || is_d(o)) push(o);
     }
@@ -286,15 +433,16 @@ bool Podem::pick_objective(GateId* net, bool* val) {
   // scan until the gate output differs).
   for (const auto& [site, pin] : fault_->sites) {
     if (pin == kOutputPin) continue;
-    const Gate& gate = comb_->gate(site);
-    const GateId drv = gate.fanin[pin];
+    const GateId* site_fi = fi_.data() + fi_off_[site];
+    const size_t site_nfi = fi_off_[site + 1] - fi_off_[site];
+    const GateId drv = site_fi[pin];
     const V3 want_drv = fault_->forced_value ? V3::k0 : V3::k1;
     if (good_[drv] != want_drv) continue;  // not activated yet
     if (good_[site] != V3::kX && faulty_[site] != V3::kX) continue;
-    const V3 cv = controlling_value(gate.type);
-    for (size_t p = 0; p < gate.fanin.size(); ++p) {
+    const V3 cv = controlling_value(type_[site]);
+    for (size_t p = 0; p < site_nfi; ++p) {
       if (p == pin) continue;
-      const GateId f = gate.fanin[p];
+      const GateId f = site_fi[p];
       if ((good_[f] == V3::kX || faulty_[f] == V3::kX) &&
           controllable_[f] && good_[f] == V3::kX) {
         *net = f;
@@ -303,32 +451,56 @@ bool Podem::pick_objective(GateId* net, bool* val) {
       }
     }
   }
-  // 3. Propagation: walk live frontier gates from the deepest (closest
-  // to observations); take the first that offers a controllable X input,
-  // preferring the cheapest one for the non-controlling value.
-  std::vector<GateId> frontier;
+  // Live D-frontier (gates with a D input and an unresolved output),
+  // used by unique sensitization and the propagation step.
+  const bool heur = opts_.heuristics;
+  frontier_buf_.clear();
   for (GateId g : frontier_cand_) {
-    const Gate& gate = comb_->gate(g);
     if (good_[g] != V3::kX && faulty_[g] != V3::kX) continue;  // resolved
+    if (heur && !reach_obs_[g]) continue;  // a D here is unobservable
     bool has_d_in = false;
-    for (GateId f : gate.fanin) {
-      if (is_d(f)) {
+    const uint32_t end = fi_off_[g + 1];
+    for (uint32_t e = fi_off_[g]; e != end; ++e) {
+      if (is_d(fi_[e])) {
         has_d_in = true;
         break;
       }
     }
-    if (has_d_in) frontier.push_back(g);
+    if (has_d_in) frontier_buf_.push_back(g);
   }
-  std::sort(frontier.begin(), frontier.end(), [this](GateId a, GateId b) {
-    return comb_->gate(a).level > comb_->gate(b).level;
-  });
-  for (GateId cand : frontier) {
-    const Gate& gate = comb_->gate(cand);
-    const V3 cv = controlling_value(gate.type);
+
+  // 3. Propagation: walk live frontier gates; take the first that
+  // offers a controllable X input, preferring the cheapest one for the
+  // non-controlling value. Heuristics order the frontier deepest-first
+  // with SCOAP observability as tie-break and skip gates that cannot
+  // reach an observation; the pre-heuristic order is deepest-level-first.
+  if (heur) {
+    // Deepest-first like the base engine (closest to the observations),
+    // with SCOAP observability as a deterministic tie-break: of two
+    // frontier gates at the same depth, extend the one with the
+    // cheapest remaining path to a strobed observation.
+    std::sort(frontier_buf_.begin(), frontier_buf_.end(),
+              [this](GateId a, GateId b) {
+                const int32_t la = level_[a];
+                const int32_t lb = level_[b];
+                if (la != lb) return la > lb;
+                if (co_[a] != co_[b]) return co_[a] < co_[b];
+                return a < b;
+              });
+  } else {
+    std::sort(frontier_buf_.begin(), frontier_buf_.end(),
+              [this](GateId a, GateId b) {
+                return level_[a] > level_[b];
+              });
+  }
+  for (GateId cand : frontier_buf_) {
+    const V3 cv = controlling_value(type_[cand]);
     const bool want = cv != V3::kX ? cv == V3::k0 : false;
     GateId pick = kNoGate;
     uint32_t pick_cost = ~0u;
-    for (GateId f : gate.fanin) {
+    const uint32_t end = fi_off_[cand + 1];
+    for (uint32_t e = fi_off_[cand]; e != end; ++e) {
+      const GateId f = fi_[e];
       if (good_[f] != V3::kX || !controllable_[f]) continue;
       const uint32_t cost = want ? cc1_[f] : cc0_[f];
       if (cost < pick_cost) {
@@ -347,7 +519,7 @@ bool Podem::pick_objective(GateId* net, bool* val) {
   // need a different frame).
   for (const auto& [site, pin] : fault_->sites) {
     const GateId tgt =
-        pin == kOutputPin ? site : comb_->gate(site).fanin[pin];
+        pin == kOutputPin ? site : fi_[fi_off_[site] + pin];
     if (good_[tgt] == V3::kX && controllable_[tgt]) {
       *net = tgt;
       *val = !fault_->forced_value;
@@ -366,15 +538,17 @@ bool Podem::backtrace(GateId net, bool val, uint32_t* var, bool* var_val) {
       *var_val = v;
       return true;
     }
-    const Gate& gate = comb_->gate(g);
-    if (is_source(gate.type)) return false;  // tie/X-source dead end
+    const GateType t = type_[g];
+    if (is_source(t)) return false;  // tie/X-source dead end
+    const GateId* fi = fi_.data() + fi_off_[g];
+    const size_t nfi = fi_off_[g + 1] - fi_off_[g];
     // Map desired output value to a desired input value.
     bool v_in = v;
-    if (is_inverting(gate.type)) v_in = !v;
+    if (is_inverting(t)) v_in = !v;
     // Choose an X input whose cone contains a variable, guided by
     // SCOAP costs: when ALL inputs must take the value (AND=1, OR=0,
     // ...), resolve the hardest first; when ONE suffices, the easiest.
-    const V3 cv0 = controlling_value(gate.type);
+    const V3 cv0 = controlling_value(t);
     bool need_all = false;
     if (cv0 != V3::kX) {
       const bool v_nc = cv0 == V3::k0;  // non-controlling value as bool
@@ -382,7 +556,8 @@ bool Podem::backtrace(GateId net, bool val, uint32_t* var, bool* var_val) {
     }
     GateId next = kNoGate;
     uint32_t best_cost = need_all ? 0 : ~0u;
-    for (GateId f : gate.fanin) {
+    for (size_t i = 0; i < nfi; ++i) {
+      const GateId f = fi[i];
       if (good_[f] != V3::kX || !controllable_[f]) continue;
       const uint32_t cost = v_in ? cc1_[f] : cc0_[f];
       if (next == kNoGate || (need_all ? cost > best_cost
@@ -392,7 +567,7 @@ bool Podem::backtrace(GateId net, bool val, uint32_t* var, bool* var_val) {
       }
     }
     if (next == kNoGate) return false;
-    switch (gate.type) {
+    switch (t) {
       case GateType::kAnd:
       case GateType::kNand:
       case GateType::kOr:
@@ -404,7 +579,7 @@ bool Podem::backtrace(GateId net, bool val, uint32_t* var, bool* var_val) {
       case GateType::kNot:
       case GateType::kBuf:
       case GateType::kOutput:
-        g = gate.fanin[0];
+        g = fi[0];
         v = v_in;
         if (good_[g] != V3::kX) return false;
         break;
@@ -414,7 +589,8 @@ bool Podem::backtrace(GateId net, bool val, uint32_t* var, bool* var_val) {
         // parity of the other (known) inputs; unknown siblings default
         // to 0, so the chosen input carries the full parity.
         bool parity = v_in;
-        for (GateId f : gate.fanin) {
+        for (size_t i = 0; i < nfi; ++i) {
+          const GateId f = fi[i];
           if (f == next) continue;
           if (good_[f] == V3::k1) parity = !parity;
         }
@@ -456,7 +632,105 @@ void Podem::undo_to(size_t mark) {
   }
 }
 
-Podem::Outcome Podem::run(const UnrolledFault& fault) {
+void Podem::mark_cone(const UnrolledFault& fault) {
+  ++cone_epoch_;
+  cone_stack_.clear();
+  for (const auto& [site, pin] : fault.sites) {
+    if (cone_mark_[site] != cone_epoch_) {
+      cone_mark_[site] = cone_epoch_;
+      cone_stack_.push_back(site);
+    }
+  }
+  for (size_t i = 0; i < cone_stack_.size(); ++i) {
+    const GateId g = cone_stack_[i];
+    const uint32_t end = fo_off_[g + 1];
+    for (uint32_t e = fo_off_[g]; e != end; ++e) {
+      const GateId o = fo_[e].id;
+      if (cone_mark_[o] != cone_epoch_) {
+        cone_mark_[o] = cone_epoch_;
+        cone_stack_.push_back(o);
+      }
+    }
+  }
+}
+
+bool Podem::site_blocked_statically(GateId site) const {
+  // Soundness: baseline values (all variables X) are invariant under
+  // any assignment -- 3-valued simulation is monotone, definite stays
+  // definite -- and nets outside the fault cone carry identical values
+  // in both machines. A dominator of `site` with an out-of-cone side
+  // input at its controlling baseline value therefore has a fixed,
+  // equal output in both machines forever: no effect from `site` can
+  // pass it, and every site->observation path must (it dominates).
+  if (!reach_obs_[site]) return true;
+  const int32_t vsink = static_cast<int32_t>(comb_->size());
+  for (int32_t d = idom_[site]; d != vsink; d = idom_[d]) {
+    const GateId dg = static_cast<GateId>(d);
+    const V3 cv = controlling_value(type_[dg]);
+    if (cv == V3::kX) continue;
+    const uint32_t end = fi_off_[dg + 1];
+    for (uint32_t e = fi_off_[dg]; e != end; ++e) {
+      const GateId f = fi_[e];
+      if (baseline_[f] == cv && cone_mark_[f] != cone_epoch_) return true;
+    }
+  }
+  return false;
+}
+
+bool Podem::site_dead_under_row(GateId site) const {
+  // Like site_blocked_statically, but against the stamped implication
+  // row of a candidate decision instead of the baseline: a dominator
+  // whose out-of-cone side input the row forces to the controlling
+  // value becomes definitively equal in both machines the moment the
+  // decision is applied. A dominator already carrying D is passed --
+  // definite values never revert within a subtree, so the latched
+  // effect survives and the chain is probed further downstream.
+  if (!reach_obs_[site]) return true;
+  const int32_t vsink = static_cast<int32_t>(comb_->size());
+  for (int32_t d = idom_[site]; d != vsink; d = idom_[d]) {
+    const GateId dg_id = static_cast<GateId>(d);
+    if (is_d(dg_id)) continue;
+    const V3 cv = controlling_value(type_[dg_id]);
+    if (cv == V3::kX) continue;
+    const uint8_t cvb = cv == V3::k1 ? 1 : 0;
+    const uint32_t end = fi_off_[dg_id + 1];
+    for (uint32_t e = fi_off_[dg_id]; e != end; ++e) {
+      const GateId f = fi_[e];
+      if (cone_mark_[f] == cone_epoch_) continue;
+      if (row_stamp_[f] == consult_id_ && row_val_[f] == cvb) return true;
+    }
+  }
+  return false;
+}
+
+bool Podem::literal_conflicts(uint32_t var, bool val) {
+  // Static refutation of a candidate decision: its implication row is
+  // a set of guaranteed consequences in every completion, so if it
+  // forces a pending launch constraint to the wrong value, or severs
+  // every fault site's dominator chain, the whole subtree under the
+  // decision is conflict-bound -- skip it without simulating.
+  const auto row = impl_->row(var, val);
+  if (row.empty()) return false;
+  ++consult_id_;
+  for (uint32_t lit : row) {
+    row_stamp_[ImplicationTable::lit_gate(lit)] = consult_id_;
+    row_val_[ImplicationTable::lit_gate(lit)] =
+        ImplicationTable::lit_value(lit) ? 1 : 0;
+  }
+  for (const auto& [cg, want] : fault_->constraints) {
+    if (good_[cg] == V3::kX && row_stamp_[cg] == consult_id_ &&
+        row_val_[cg] != static_cast<uint8_t>(want ? 1 : 0)) {
+      return true;
+    }
+  }
+  for (const auto& [site, pin] : fault_->sites) {
+    if (!site_dead_under_row(site)) return false;
+  }
+  return true;
+}
+
+Podem::Outcome Podem::run(const UnrolledFault& fault,
+                          const std::vector<V3>* seed) {
   ++stats_.runs;
   ++run_id_;
   fault_ = &fault;
@@ -466,6 +740,32 @@ Podem::Outcome Podem::run(const UnrolledFault& fault) {
   std::fill(cube_.begin(), cube_.end(), V3::kX);
   const size_t base_mark = trail_.size();
   OCC_CHECK(base_mark == 0, "trail not empty at run start");
+
+  // Static fanout cone of the sites: bounds faulty evaluation in both
+  // modes and the heuristic X-path / dominator checks.
+  mark_cone(fault);
+
+  if (opts_.heuristics) {
+    // Dominator early abort: an instance is untestable outright when no
+    // site can both activate (baseline permits the non-forced value)
+    // and propagate (no dominator is blocked by an out-of-cone
+    // controlling baseline value; see site_blocked_statically).
+    bool any_open = false;
+    const V3 act = fault.forced_value ? V3::k0 : V3::k1;
+    for (const auto& [site, pin] : fault.sites) {
+      const GateId t =
+          pin == kOutputPin ? site : fi_[fi_off_[site] + pin];
+      if (baseline_[t] != V3::kX && baseline_[t] != act) continue;
+      if (site_blocked_statically(site)) continue;
+      any_open = true;
+      break;
+    }
+    if (!any_open) {
+      ++stats_.dominator_prunes;
+      fault_ = nullptr;
+      return Outcome::kUntestable;
+    }
+  }
 
   // Install the fault.
   for (const auto& [site, pin] : fault.sites) {
@@ -486,7 +786,9 @@ Podem::Outcome Podem::run(const UnrolledFault& fault) {
       }
     } else {
       queued_[site] = epoch_;
-      buckets_[static_cast<size_t>(comb_->gate(site).level)].push_back(site);
+      buckets_[static_cast<size_t>(level_[site])].push_back(site);
+      bkt_lo_ = std::min(bkt_lo_, level_[site]);
+      bkt_hi_ = std::max(bkt_hi_, level_[site]);
     }
   }
   imply();
@@ -502,6 +804,34 @@ Podem::Outcome Podem::run(const UnrolledFault& fault) {
     }
     fault_ = nullptr;
   };
+
+  // Cube-cache seed: apply a sibling cube's care bits in one batch; if
+  // they already detect, skip the search entirely (the cube_ holds the
+  // seed bits). Otherwise undo and search from scratch.
+  if (seed != nullptr) {
+    ++stats_.cache_tries;
+    const size_t seed_mark = trail_.size();
+    for (size_t v = 0; v < seed->size(); ++v) {
+      const V3 sv = (*seed)[v];
+      if (sv == V3::kX) continue;
+      const GateId g = model_->var_gates()[v];
+      if (good_[g] != V3::kX) continue;
+      const V3 fv = stem_force_[g] >= 0
+                        ? (stem_force_[g] ? V3::k1 : V3::k0)
+                        : sv;
+      set_value(g, sv, fv);
+      cube_[v] = sv;
+      enqueue_fanouts(g);
+    }
+    imply();
+    if (detected()) {
+      ++stats_.cache_hits;
+      cleanup();
+      return Outcome::kDetected;
+    }
+    undo_to(seed_mark);
+    std::fill(cube_.begin(), cube_.end(), V3::kX);
+  }
 
   static const bool kTrace = std::getenv("OCC_PODEM_TRACE") != nullptr;
   int trace_left = kTrace ? 500 : 0;
@@ -563,10 +893,34 @@ Podem::Outcome Podem::run(const UnrolledFault& fault) {
                          comb_->gate(model_->var_gates()[var]).name.c_str(),
                          int(var_val));
           }
-          ++stats_.decisions;
-          stack_.push_back({var, false, trail_.size()});
-          assign_var(var, var_val);
-          continue;
+          bool tried_both = false;
+          bool doomed = false;
+          // Consult the implication table only for shallow decisions:
+          // a refutation there skips a large subtree, while deep in the
+          // search the row scan costs more than the subtree it saves.
+          const bool consult =
+              opts_.heuristics && stack_.size() < kConsultDepth;
+          if (consult && literal_conflicts(var, var_val)) {
+            // The preferred phase is statically refuted: take the other
+            // phase directly (the refuted subtree would conflict after
+            // one implication anyway), or treat the decision as a
+            // conflict when both phases are refuted.
+            ++stats_.implication_hits;
+            var_val = !var_val;
+            tried_both = true;
+            if (literal_conflicts(var, var_val)) {
+              ++stats_.implication_hits;
+              doomed = true;
+            }
+          }
+          if (doomed) {
+            conflict = true;
+          } else {
+            ++stats_.decisions;
+            stack_.push_back({var, tried_both, trail_.size()});
+            assign_var(var, var_val);
+            continue;
+          }
         }
       }
     }
@@ -586,6 +940,14 @@ Podem::Outcome Podem::run(const UnrolledFault& fault) {
       if (!d.tried_both) {
         d.tried_both = true;
         const bool flipped = old == V3::k0;  // try the other value
+        if (opts_.heuristics && stack_.size() <= kConsultDepth &&
+            literal_conflicts(d.var, flipped)) {
+          // The remaining phase is statically refuted too: exhaust the
+          // decision without simulating its doomed subtree.
+          ++stats_.implication_hits;
+          stack_.pop_back();
+          continue;
+        }
         assign_var(d.var, flipped);
         resumed = true;
         break;

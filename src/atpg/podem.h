@@ -10,14 +10,31 @@
 //     "site carries its initial value in frame k-1");
 //   * X-path pruning and backtrace guided by variable reachability.
 //
+// Search heuristics (Options::heuristics, on by default; see
+// docs/ARCHITECTURE.md "PODEM search heuristics"):
+//   * SCOAP observability-guided objective selection (atpg/scoap.h);
+//   * dominator-based early abort: an instance none of whose sites has
+//     an unblocked dominator chain to an observation is untestable
+//     before any search;
+//   * static implication learning (atpg/implications.h) consulted at
+//     decision time to refute doomed decision phases without paying
+//     the forward simulation;
+//   * fault-cone-restricted X-path checks;
+//   * seeded runs (run() with a seed cube) backing the per-cone cube
+//     cache of the parallel stage.
+// With heuristics off the search is bit-identical to the pre-heuristic
+// engine: same decisions, same counters, same outcomes.
+//
 // Outcomes: detected (assignment() holds the test cube), untestable
 // (search space exhausted -- untestable *under this capture procedure*),
 // or aborted (backtrack limit).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "atpg/implications.h"
 #include "atpg/unroll.h"
 #include "netlist/library.h"
 
@@ -25,6 +42,13 @@ namespace occ {
 
 struct PodemOptions {
   uint32_t backtrack_limit = 300;
+  /// Master switch for the search heuristics (SCOAP-guided objectives,
+  /// dominator early abort, static implication consult, cone-restricted
+  /// X-path). Off reproduces the pre-heuristic search bit-identically.
+  bool heuristics = true;
+  /// Enrich the implication table via unit-depth probing of the SAT
+  /// lowering (sat/probe.h). Only read when `heuristics` is on.
+  bool sat_harvest = false;
 };
 
 class Podem {
@@ -37,12 +61,25 @@ class Podem {
     uint64_t decisions = 0;
     uint64_t backtracks = 0;
     uint64_t implications = 0;
+    /// Decision phases refuted by the static implication table before
+    /// any forward simulation (heuristics only).
+    uint64_t implication_hits = 0;
+    /// Instances classified untestable by the dominator early abort
+    /// before any search (heuristics only).
+    uint64_t dominator_prunes = 0;
+    /// Seeded runs attempted / detected straight from the seed cube.
+    uint64_t cache_tries = 0;
+    uint64_t cache_hits = 0;
 
     Stats& operator+=(const Stats& o) {
       runs += o.runs;
       decisions += o.decisions;
       backtracks += o.backtracks;
       implications += o.implications;
+      implication_hits += o.implication_hits;
+      dominator_prunes += o.dominator_prunes;
+      cache_tries += o.cache_tries;
+      cache_hits += o.cache_hits;
       return *this;
     }
     // Snapshot delta (b is an earlier snapshot of the same counters).
@@ -51,21 +88,39 @@ class Podem {
       a.decisions -= b.decisions;
       a.backtracks -= b.backtracks;
       a.implications -= b.implications;
+      a.implication_hits -= b.implication_hits;
+      a.dominator_prunes -= b.dominator_prunes;
+      a.cache_tries -= b.cache_tries;
+      a.cache_hits -= b.cache_hits;
       return a;
     }
   };
 
-  explicit Podem(const UnrolledModel& model, Options opts = Options());
+  /// `impl` optionally shares an implication table already built for
+  /// the same model (the deep-retry engine reuses its sibling's); when
+  /// null and heuristics are on, the table is built here.
+  explicit Podem(const UnrolledModel& model, Options opts = Options(),
+                 std::shared_ptr<const ImplicationTable> impl = nullptr);
 
   /// Attempts to detect one compiled fault. The engine may call run()
-  /// repeatedly; internal state resets automatically.
-  Outcome run(const UnrolledFault& fault);
+  /// repeatedly; internal state resets automatically. A non-null `seed`
+  /// (a sibling cube from the per-cone cache, aligned with
+  /// model.var_gates()) is tried first: its care bits are applied in
+  /// one batch and, if they detect, the run returns without searching.
+  Outcome run(const UnrolledFault& fault,
+              const std::vector<V3>* seed = nullptr);
 
   /// Test cube after a kDetected outcome: value per model variable
   /// (aligned with model.var_gates()); X = unassigned (free for fill).
   const std::vector<V3>& assignment() const { return cube_; }
 
   const Stats& stats() const { return stats_; }
+
+  /// The shared implication table (null when heuristics are off); pass
+  /// to sibling engines on the same model to skip the rebuild.
+  const std::shared_ptr<const ImplicationTable>& implications() const {
+    return impl_;
+  }
 
  private:
   struct TrailEntry {
@@ -78,6 +133,10 @@ class Podem {
     bool tried_both;
     size_t trail_mark;
   };
+  struct FoEdge {
+    GateId id;       // fanout gate
+    int32_t level;   // its combinational level (bucket index)
+  };
 
   V3 eval_good(GateId g) const;
   V3 eval_faulty(GateId g) const;
@@ -85,6 +144,7 @@ class Podem {
     return good_[g] != V3::kX && faulty_[g] != V3::kX &&
            good_[g] != faulty_[g];
   }
+  bool in_cone(GateId g) const { return cone_mark_[g] == cone_epoch_; }
 
   void set_value(GateId g, V3 gv, V3 fv);
   void imply();
@@ -102,10 +162,28 @@ class Podem {
   void assign_var(uint32_t var, bool val);
   void undo_to(size_t mark);
 
+  // Heuristics (all no-ops / unused when opts_.heuristics is off).
+  void mark_cone(const UnrolledFault& fault);
+  bool site_blocked_statically(GateId site) const;
+  bool site_dead_under_row(GateId site) const;
+  bool literal_conflicts(uint32_t var, bool val);
+
   const UnrolledModel* model_;
   const Netlist* comb_;
   Options opts_;
   Stats stats_;
+
+  // Flat propagation view of the combinational model (ctor-built):
+  // per-gate type/level plus CSR fanin/fanout edges, all contiguous,
+  // so the implication hot path never chases the pointer-rich Gate
+  // objects. Pure representation change -- values and visit order
+  // match the Gate-based loops exactly, in both modes.
+  std::vector<GateType> type_;
+  std::vector<int32_t> level_;
+  std::vector<uint32_t> fi_off_;  // size()+1 offsets into fi_
+  std::vector<GateId> fi_;        // fanins, pin order preserved
+  std::vector<uint32_t> fo_off_;  // size()+1 offsets into fo_
+  std::vector<FoEdge> fo_;        // fanouts, netlist order preserved
 
   std::vector<V3> good_;
   std::vector<V3> faulty_;
@@ -114,18 +192,47 @@ class Podem {
   std::vector<int32_t> var_of_;   // gate -> var index or -1
   std::vector<bool> controllable_;  // gate depends on >= 1 variable
   std::vector<bool> is_obs_;
+  std::vector<bool> reach_obs_;   // gate reaches >= 1 observation
   // SCOAP-style controllability costs (effort to set a net to 0/1);
-  // guides backtrace input selection.
+  // guides backtrace input selection. co_ (observability) additionally
+  // guides objective selection when heuristics are on.
   std::vector<uint32_t> cc0_;
   std::vector<uint32_t> cc1_;
+  std::vector<uint32_t> co_;
+
+  // Immediate dominator toward the observations over the fanout DAG
+  // (heuristics only): idom_[g] is the first gate every g->observation
+  // path passes through after g, comb_->size() the virtual sink fed by
+  // every observation, -1 unreachable. idepth_ is the chain depth used
+  // for nearest-common-ancestor walks.
+  std::vector<int32_t> idom_;
+  std::vector<uint32_t> idepth_;
+
+  // Static implication table + row-consult scratch (heuristics only).
+  std::shared_ptr<const ImplicationTable> impl_;
+  std::vector<uint32_t> row_stamp_;
+  std::vector<uint8_t> row_val_;
+  uint32_t consult_id_ = 0;
 
   // Fault under test.
   const UnrolledFault* fault_ = nullptr;
   std::vector<int8_t> stem_force_;   // -1 none, else forced value (0/1)
   std::vector<int16_t> branch_pin_;  // -1 none, else forced pin index
 
-  // Implication worklist (level buckets) + trail.
+  // Static fanout cone of the current fault's sites: the only region
+  // where the faulty machine can differ from the good one, so faulty
+  // evaluation is skipped outside it (outcome-identical in both modes).
+  std::vector<uint32_t> cone_mark_;
+  uint32_t cone_epoch_ = 0;
+  std::vector<GateId> cone_stack_;
+
+  // Implication worklist (level buckets) + trail. The dirty-level
+  // bounds let imply() sweep only the touched bucket range instead of
+  // every level (fanout levels are strictly increasing, so the sweep
+  // only ever extends forward).
   std::vector<std::vector<GateId>> buckets_;
+  int32_t bkt_lo_ = INT32_MAX;
+  int32_t bkt_hi_ = -1;
   std::vector<uint32_t> queued_;
   uint32_t epoch_ = 0;
   std::vector<TrailEntry> trail_;
@@ -137,9 +244,11 @@ class Podem {
   std::vector<uint32_t> cand_mark_;  // epoch per run to dedup
   uint32_t run_id_ = 0;
 
-  // Scratch for X-path BFS.
+  // Scratch for X-path BFS and the objective frontier sort.
   mutable std::vector<uint32_t> xpath_mark_;
   mutable uint32_t xpath_epoch_ = 0;
+  mutable std::vector<GateId> xpath_q_;
+  std::vector<GateId> frontier_buf_;
 };
 
 }  // namespace occ

@@ -63,6 +63,10 @@ struct EngineOptions {
   bool sat_backend = false;
   /// Per-solve conflict budget of the SAT backend; 0 = unlimited.
   uint64_t sat_conflict_budget = 100000;
+  /// PODEM search heuristics (atpg/podem.h) + the parallel stage's cube
+  /// cache. Off (`--atpg-heuristics off`) reproduces the pre-heuristic
+  /// search and all its committed counters bit-identically.
+  bool atpg_heuristics = true;
 };
 
 }  // namespace occ

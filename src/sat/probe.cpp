@@ -1,0 +1,52 @@
+#include "sat/probe.h"
+
+#include "sat/lower.h"
+#include "sat/solver.h"
+
+namespace occ {
+namespace sat {
+namespace {
+
+/// Decodes a gate's dual rails from a unit-propagation assignment:
+/// 1 / 0 when the corresponding rail is asserted, -1 when still X.
+int8_t rail_value(const std::vector<int8_t>& assign, GateId g) {
+  if (assign[1 + 2 * g] == 1) return 1;
+  if (assign[2 + 2 * g] == 1) return 0;
+  return -1;
+}
+
+}  // namespace
+
+std::vector<ProbedImplication> probe_direct_implications(
+    const UnrolledModel& um) {
+  CnfLowering lowering(um);
+  const Cnf& cnf = lowering.cnf();
+  const size_t n = um.comb().size();
+  const auto& vars = um.var_gates();
+
+  bool conflict = false;
+  const std::vector<int8_t> base = unit_propagate(cnf, {}, &conflict);
+
+  std::vector<ProbedImplication> out;
+  if (conflict) return out;  // degenerate model; nothing to harvest
+  for (uint32_t vi = 0; vi < vars.size(); ++vi) {
+    const GateId vg = vars[vi];
+    for (int val = 0; val < 2; ++val) {
+      const RailPair rails = lowering.good(vg);
+      const Lit assume = val ? rails.one : rails.zero;
+      const std::vector<int8_t> a =
+          unit_propagate(cnf, {assume}, &conflict);
+      if (conflict) continue;  // phase impossible; leave to the solver
+      for (GateId g = 0; g < n; ++g) {
+        if (g == vg) continue;
+        const int8_t v = rail_value(a, g);
+        if (v < 0 || rail_value(base, g) >= 0) continue;
+        out.push_back({vi, val != 0, g, v != 0});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sat
+}  // namespace occ

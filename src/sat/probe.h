@@ -1,0 +1,40 @@
+// Unit-depth probing of the dual-rail CNF lowering: the clause-harvest
+// hook behind PODEM's static implication learning (atpg/implications.h).
+//
+// For every model-variable literal (var = 0 / var = 1) the probe
+// asserts the corresponding rail of the lowered good machine and runs
+// plain unit propagation; every gate rail that becomes assigned beyond
+// the no-assumption base closure is a direct consequence of that one
+// literal, i.e. a unit-strength "learned clause" (var = v -> gate = c).
+// Because the lowering's gate templates are two-sided, this can reach
+// through encodings (XOR chains, MUX minterms) slightly differently
+// than 3-valued forward simulation; the harvest is still sound by
+// construction -- unit propagation only derives logical consequences
+// of the CNF, and the CNF is exact for the 3-valued semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/unroll.h"
+
+namespace occ {
+namespace sat {
+
+/// One harvested implication: model variable `var` (index into
+/// `model.var_gates()`) at value `val` forces comb gate `gate` to
+/// `implied` in the good machine.
+struct ProbedImplication {
+  uint32_t var;
+  bool val;
+  GateId gate;
+  bool implied;
+};
+
+/// Probes both phases of every model variable. Deterministic: results
+/// are ordered by (var, val, gate).
+std::vector<ProbedImplication> probe_direct_implications(
+    const UnrolledModel& um);
+
+}  // namespace sat
+}  // namespace occ

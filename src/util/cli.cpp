@@ -82,6 +82,22 @@ int parse_engine_flag(const char* flag, const char* value,
     out->sat_conflict_budget = v;
     return 2;
   }
+  if (std::strcmp(flag, "--atpg-heuristics") == 0) {
+    if (value == nullptr) {
+      std::cerr << "--atpg-heuristics requires on|off\n";
+      return -1;
+    }
+    if (std::strcmp(value, "on") == 0) {
+      out->atpg_heuristics = true;
+    } else if (std::strcmp(value, "off") == 0) {
+      out->atpg_heuristics = false;
+    } else {
+      std::cerr << "--atpg-heuristics expects on|off, got '" << value
+                << "'\n";
+      return -1;
+    }
+    return 2;
+  }
   return 0;
 }
 

@@ -2,8 +2,10 @@
 // constraints, clock-sequential initialization, abort behavior.
 #include <gtest/gtest.h>
 
+#include "api/session.h"
 #include "atpg/podem.h"
 #include "core/clock_scheme.h"
+#include "dft/scan.h"
 #include "fsim/fsim.h"
 #include "gen/circuits.h"
 
@@ -232,6 +234,146 @@ TEST(Podem, ClockSequentialInitEnablesShadowTransitionTests) {
     EXPECT_TRUE(any_detected)
         << "a third pulse must make the shadow cone transition-testable";
   }
+}
+
+/// Two identical XOR trees over the same PIs feeding a miter XOR `m`:
+/// m is constant 0 under every assignment, but no gate on the way has a
+/// controlling side value, so neither the dominator prune nor a single
+/// implication can shortcut the proof -- PODEM must exhaust the input
+/// space. A scan flop captures the OR(m, side) output so scan-observing
+/// schemes see the cone too.
+Netlist xor_miter(size_t width) {
+  Netlist nl("miter");
+  std::vector<GateId> pis;
+  for (size_t i = 0; i < width; ++i) {
+    pis.push_back(nl.add_input("p" + std::to_string(i)));
+  }
+  size_t k = 0;
+  auto tree = [&](const std::string& pfx) {
+    std::vector<GateId> lvl = pis;
+    while (lvl.size() > 1) {
+      std::vector<GateId> nxt;
+      for (size_t i = 0; i + 1 < lvl.size(); i += 2) {
+        nxt.push_back(nl.add_gate2(GateType::kXor, lvl[i], lvl[i + 1],
+                                   pfx + std::to_string(k++)));
+      }
+      if (lvl.size() % 2) nxt.push_back(lvl.back());
+      lvl = std::move(nxt);
+    }
+    return lvl[0];
+  };
+  const GateId t1 = tree("t1_");
+  const GateId t2 = tree("t2_");
+  const GateId m = nl.add_gate2(GateType::kXor, t1, t2, "m");
+  const GateId side = nl.add_input("side");
+  const GateId o = nl.add_gate2(GateType::kOr, m, side, "o");
+  nl.add_output(o, "po");
+  const GateId ff = nl.add_dff(kNoGate, 0, "ff0", kFlagScan);
+  nl.connect_dff_d(ff, o);
+  nl.finalize();
+  return nl;
+}
+
+/// The redundant miter fault under the scheme's own fault model: sa0
+/// needs good(m) = 1, STR needs a 0->1 launch on a constant-0 net --
+/// both unsatisfiable, both only provably so by exhausting the search.
+Fault miter_fault(const Netlist& nl, const ClockingScheme& s) {
+  const GateId m = nl.find("m");
+  return {m, kOutputPin,
+          s.model == FaultModel::kStuckAt ? FaultType::kSa0
+                                          : FaultType::kStr};
+}
+
+TEST(Podem, RedundantMiterExhaustsBacktrackLimitOnEveryScheme) {
+  // Satellite regression for the heuristics PR: on every Table-1
+  // clocking scheme, a redundant fault must hit the backtrack limit
+  // (kAborted) rather than be misclassified -- with heuristics on AND
+  // off. A zero limit means the first conflict aborts.
+  const Netlist nl = xor_miter(4);
+  const ClockingScheme schemes[] = {
+      scheme_stuck_at_external(1),      scheme_external_full(1, 3),
+      scheme_cpf_basic(1),              scheme_cpf_enhanced(1, 3),
+      scheme_external_constrained(1, 3),
+  };
+  for (const ClockingScheme& s : schemes) {
+    SCOPED_TRACE(s.name);
+    for (uint32_t nc = 0; nc < s.procedures.size(); ++nc) {
+      const UnrolledModel um(nl, s, nc, kNoGate);
+      const auto targets = um.translate(miter_fault(nl, s));
+      // Heuristics off: the plain search has no way to prove
+      // redundancy without conflicts, so a zero budget always aborts.
+      Podem off(um,
+                PodemOptions{.backtrack_limit = 0, .heuristics = false});
+      for (const auto& t : targets) {
+        EXPECT_EQ(off.run(t), Podem::Outcome::kAborted) << "ncp " << nc;
+      }
+      // Heuristics on: the dominator/implication prunes may prove some
+      // target cycles untestable before the first conflict -- that is
+      // the point of the heuristics -- but never claim a detection.
+      Podem on(um, PodemOptions{.backtrack_limit = 0, .heuristics = true});
+      for (const auto& t : targets) {
+        EXPECT_NE(on.run(t), Podem::Outcome::kDetected) << "ncp " << nc;
+      }
+    }
+  }
+}
+
+TEST(Podem, RedundantMiterProvenUntestableUnderGenerousLimit) {
+  // Same targets with room to exhaust: the complete search must settle
+  // on kUntestable in both modes (never kDetected, never kAborted).
+  const Netlist nl = xor_miter(4);
+  const ClockingScheme schemes[] = {scheme_stuck_at_external(1),
+                                    scheme_cpf_basic(1)};
+  for (const ClockingScheme& s : schemes) {
+    SCOPED_TRACE(s.name);
+    const UnrolledModel um(nl, s, 0, kNoGate);
+    const auto targets = um.translate(miter_fault(nl, s));
+    ASSERT_FALSE(targets.empty());
+    for (const bool heur : {true, false}) {
+      Podem podem(um, PodemOptions{.backtrack_limit = 200000,
+                                   .heuristics = heur});
+      for (const auto& t : targets) {
+        EXPECT_EQ(podem.run(t), Podem::Outcome::kUntestable)
+            << "heuristics " << heur;
+      }
+    }
+  }
+}
+
+TEST(Podem, AbortedFaultsReachSatBackendUnchanged) {
+  // The PODEM stage's aborted faults are handed to the SAT stage
+  // verbatim: faults_targeted equals the podem-stage aborted tally.
+  // The design is sized so the only aborting faults are the redundant
+  // miter faults (testable faults need far fewer than the budgeted
+  // backtracks; the width-6 miter needs far more), hence the SAT stage
+  // emits no patterns and nothing is collaterally re-classified
+  // between the two stages.
+  Netlist nl = xor_miter(6);
+  insert_scan(nl, {.num_chains = 1});
+  SessionConfig cfg;
+  cfg.design_ref(nl)
+      .scheme(scheme_stuck_at_external(1))
+      .sat_backend(true)
+      .fsim_shards(1)
+      .atpg_shards(1);
+  AtpgOptions opts;
+  opts.backtrack_limit = 30;
+  opts.abort_retry_factor = 1;
+  cfg.atpg(opts);
+  const SessionResult r = Session(std::move(cfg)).run();
+
+  const StageDisposition* podem_stage = nullptr;
+  for (const StageDisposition& d : r.atpg.stage_dispositions) {
+    if (d.stage == "podem") podem_stage = &d;
+  }
+  ASSERT_NE(podem_stage, nullptr);
+  EXPECT_GT(podem_stage->aborted, 0u) << "miter fault must abort";
+  EXPECT_EQ(r.atpg.sat.faults_targeted, podem_stage->aborted);
+  // Every aborted fault here is redundant: the SAT stage proves all of
+  // them untestable and detects none.
+  EXPECT_EQ(r.atpg.sat.detected, 0u);
+  EXPECT_EQ(r.atpg.sat.proven_untestable, r.atpg.sat.faults_targeted);
+  EXPECT_EQ(r.atpg.faults.count(FaultStatus::kAborted), 0u);
 }
 
 TEST(Podem, StatsAccumulate) {
