@@ -89,12 +89,15 @@ def cmd_compare(args):
       REGRESSION  beyond the gate (fails the job)
       record-only wall metric while wall gating is off
       new         metric absent from the committed baseline
+      missing     baseline metric absent from the current report
+                  (fails only if the metric would have been gated --
+                  a renamed record-only wall must not break CI)
     """
     base = load(args.baseline)["metrics"]
     cur = load(args.current)["metrics"]
     noise = 0.05
     failures = []
-    improved = regressed = stable = new = 0
+    improved = regressed = stable = new = missing = 0
     print(f"{'metric':<48} {'baseline':>14} {'current':>14} "
           f"{'ratio':>7}  status")
     for key in sorted(set(base) | set(cur)):
@@ -104,7 +107,20 @@ def cmd_compare(args):
             new += 1
             continue
         if key not in cur:
-            failures.append(f"{key}: present in baseline but missing now")
+            b = float(base[key])
+            if is_wall_metric(key):
+                baseline_ms = b * 1e3 if key.endswith(".wall_s") else b
+                gated = bool(args.max_wall_regress) and \
+                    baseline_ms >= args.wall_floor_ms
+            else:
+                gated = True
+            status = "<< MISSING (gated)" if gated else "missing"
+            print(f"{key:<48} {b:>14.6g} {'-':>14} {'-':>7}  {status}")
+            missing += 1
+            if gated:
+                failures.append(
+                    f"{key}: gated metric present in baseline but "
+                    f"missing from the current report")
             continue
         b, c = float(base[key]), float(cur[key])
         ratio = c / b if b > 0 else (1.0 if c == 0 else float("inf"))
@@ -135,8 +151,8 @@ def cmd_compare(args):
             stable += 1
         print(f"{key:<48} {b:>14.6g} {c:>14.6g} {ratio:>6.2f}x  {status}")
     print(f"\nsummary: {improved} improved, {regressed} regressed, "
-          f"{stable} within {noise:.0%} noise, {new} new "
-          f"(lower is better for every metric)")
+          f"{stable} within {noise:.0%} noise, {new} new, "
+          f"{missing} missing (lower is better for every metric)")
     if failures:
         print("\nFAIL: regressions vs", args.baseline, file=sys.stderr)
         for f in failures:

@@ -483,6 +483,8 @@ int write_json_report(const std::string& path) {
     std::vector<double> walls;
     size_t det_patterns = 0;
     size_t speculative = 0, discarded = 0;
+    size_t escalations = 0, sat_probe_wins = 0;
+    SatStats det_sat;
     Podem::Stats det_stats;
     for (size_t r = 0; r < g_repeat; ++r) {
       double det_ms = 0.0;
@@ -493,6 +495,7 @@ int write_json_report(const std::string& path) {
           .fsim_shards(0)  // hardware concurrency
           .atpg_shards(g_engine.atpg_shards)
           .atpg_heuristics(g_engine.atpg_heuristics)
+          .atpg_escalation(g_engine.atpg_escalation)
           .observer([&](const ProgressEvent& ev) {
             if (ev.stage != "source:podem") return;
             if (ev.kind == ProgressEvent::Kind::kStageBegin) {
@@ -511,6 +514,9 @@ int write_json_report(const std::string& path) {
       }
       speculative = res.atpg.speculative_runs;
       discarded = res.atpg.discarded_cubes;
+      escalations = res.atpg.escalations;
+      sat_probe_wins = res.atpg.sat_probe_wins;
+      det_sat = res.atpg.sat;
       det_stats = res.atpg.podem;
     }
     metrics.set("atpg.det.wall_ms", repeat_median(std::move(walls)));
@@ -528,6 +534,14 @@ int write_json_report(const std::string& path) {
     meta.set("atpg.det.shards", det_shards);
     meta.set("atpg.det.speculative_runs", speculative);
     meta.set("atpg.det.discarded_cubes", discarded);
+    // Escalation accounting (0 with --atpg-escalation off): aborted
+    // faults probed by the shared incremental SAT core, and the subset
+    // the probe settled without a deep PODEM retry. The probe's solver
+    // work lands in this session's atpg.sat counters.
+    meta.set("atpg.det.escalations", escalations);
+    meta.set("atpg.det.sat_probe_wins", sat_probe_wins);
+    meta.set("atpg.det.sat_solves", det_sat.solves);
+    meta.set("atpg.det.sat_conflicts", det_sat.conflicts);
   }
 
   // SAT backend workload: a separate session with a deliberately
@@ -547,6 +561,11 @@ int write_json_report(const std::string& path) {
     // --repeat; faults whose redundancy proof needs more search count
     // as still_aborted here (the budget, not the solver, is the limit).
     starved.sat_conflict_budget = 1000;
+    // Escalation (default on) settles most of the starved abort pool
+    // inside the deterministic stage; the SAT stage then only sees the
+    // residue. --atpg-escalation off restores the pre-escalation
+    // workload shape.
+    starved.escalation = g_engine.atpg_escalation;
     std::vector<double> walls;
     SatStats st;
     for (size_t r = 0; r < g_repeat; ++r) {
@@ -584,6 +603,12 @@ int write_json_report(const std::string& path) {
     meta.set("atpg.sat.still_aborted", st.still_aborted);
     meta.set("atpg.sat.solves", st.solves);
     meta.set("atpg.sat.patterns", st.patterns);
+    // Incremental-core health: relowered_faults must stay 0 (each
+    // fault instance is lowered once under an activation literal).
+    meta.set("atpg.sat.relowered_faults", st.relowered_faults);
+    meta.set("atpg.sat.assumption_solves", st.assumption_solves);
+    meta.set("atpg.sat.learned_kept", st.learned_kept);
+    meta.set("atpg.sat.learned_reused", st.learned_reused);
   }
 
   // External-design workload: parse the committed s1423-class corpus

@@ -193,6 +193,7 @@ int main(int argc, char** argv) {
   cfg.atpg.sat_backend = engine.sat_backend;
   cfg.atpg.sat_conflict_budget = engine.sat_conflict_budget;
   cfg.atpg.heuristics = engine.atpg_heuristics;
+  cfg.atpg.escalation = engine.atpg_escalation;
   // 0 follows each experiment Session's fsim shard count (= --shards).
   cfg.atpg.atpg_shards = atpg_shards;
   cfg.design_bench_path = design_path;

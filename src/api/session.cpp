@@ -112,6 +112,7 @@ SessionConfig& SessionConfig::engine(EngineOptions o) {
   sat_backend_override_ = o.sat_backend;
   sat_budget_override_ = o.sat_conflict_budget;
   atpg_heuristics_override_ = o.atpg_heuristics;
+  atpg_escalation_override_ = o.atpg_escalation;
   return *this;
 }
 SessionConfig& SessionConfig::fsim_shards(size_t n) {
@@ -126,6 +127,11 @@ SessionConfig& SessionConfig::atpg_shards(size_t n) {
 SessionConfig& SessionConfig::atpg_heuristics(bool on) {
   engine_.atpg_heuristics = on;
   atpg_heuristics_override_ = on;
+  return *this;
+}
+SessionConfig& SessionConfig::atpg_escalation(bool on) {
+  engine_.atpg_escalation = on;
+  atpg_escalation_override_ = on;
   return *this;
 }
 SessionConfig& SessionConfig::fsim_mode(FsimMode m) {
@@ -251,6 +257,9 @@ SessionResult Session::run() {
   }
   if (cfg_.atpg_heuristics_override_) {
     opts.heuristics = *cfg_.atpg_heuristics_override_;
+  }
+  if (cfg_.atpg_escalation_override_) {
+    opts.escalation = *cfg_.atpg_escalation_override_;
   }
   if (cfg_.edt_) opts.keep_cubes = true;  // encoding works on care bits
   {

@@ -170,6 +170,12 @@ class SessionConfig {
   /// counters bit-identically. Wins over AtpgOptions::heuristics
   /// regardless of call order.
   SessionConfig& atpg_heuristics(bool on);
+  /// Forward of engine(): adaptive PODEM->SAT escalation of the
+  /// deterministic stage (atpg/engine.h AtpgOptions::escalation). Off
+  /// reproduces the cheap-then-deep PODEM schedule and all its
+  /// committed counters bit-identically. Wins over
+  /// AtpgOptions::escalation regardless of call order.
+  SessionConfig& atpg_escalation(bool on);
   /// Deprecated forward of engine(): fault-propagation strategy
   /// (default: word-parallel over the compiled cone replay programs).
   /// Results are bit-identical for every mode; kConeLimited and
@@ -206,6 +212,7 @@ class SessionConfig {
   std::optional<bool> sat_backend_override_;
   std::optional<uint64_t> sat_budget_override_;
   std::optional<bool> atpg_heuristics_override_;
+  std::optional<bool> atpg_escalation_override_;
   std::vector<std::shared_ptr<PatternSource>> sources_;
   std::vector<std::shared_ptr<ResultSink>> sinks_;
   ProgressObserver observer_;

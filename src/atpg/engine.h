@@ -70,9 +70,22 @@ struct AtpgOptions {
   /// stage's per-cone cube cache. Off reproduces the pre-heuristic
   /// search -- and all its committed counters -- bit-identically.
   bool heuristics = true;
-  /// Enrich the implication tables by unit-propagation probing of the
-  /// SAT lowering (sat/probe.h). Only read when `heuristics` is on.
+  /// Enrich the implication tables by solver-based probing of the SAT
+  /// lowering (sat/probe.h): assumption propagation over the persistent
+  /// incremental solver plus a harvest of its retained learned binary
+  /// clauses. Only read when `heuristics` is on.
   bool implication_sat_harvest = false;
+  /// Adaptive PODEM->SAT escalation in the deterministic stage: a fault
+  /// aborting at the cheap backtrack limit first gets a bounded
+  /// incremental-SAT probe (shared clause-learning miter per capture
+  /// procedure); the deep PODEM retry runs only when the probe is
+  /// inconclusive. Probes run at canonical commit order on the leader,
+  /// so results stay bit-identical across `atpg_shards`. Off reproduces
+  /// today's cheap-then-deep schedule -- and all its committed counters
+  /// -- bit-identically.
+  bool escalation = true;
+  /// Per-probe conflict budget of the escalation SAT probe.
+  uint64_t escalation_conflict_budget = 2000;
 };
 
 /// Deterministic work counters of the SAT backend stage.
@@ -86,6 +99,11 @@ struct SatStats {
   uint64_t conflicts = 0;
   uint64_t decisions = 0;
   uint64_t propagations = 0;
+  /// Incremental-core reuse counters (sat/incremental.h).
+  uint64_t relowered_faults = 0;   ///< instances lowered more than once (0)
+  uint64_t assumption_solves = 0;  ///< solves under activation assumptions
+  uint64_t learned_kept = 0;       ///< learned clauses retained at stage end
+  uint64_t learned_reused = 0;     ///< propagations from earlier solves' clauses
 };
 
 /// Fault-status tallies after one pipeline stage, for auditable
@@ -119,7 +137,15 @@ struct AtpgRunResult {
   /// and scheduling, unlike `podem`, which counts committed work only.
   size_t speculative_runs = 0;
   size_t discarded_cubes = 0;
-  /// SAT backend counters (all zero when opts.sat_backend is off).
+  /// Escalation-schedule counters of the deterministic stage (both zero
+  /// with opts.escalation off). Committed in canonical fault order, so
+  /// -- unlike the speculation counters above -- they ARE part of the
+  /// bit-identity contract across shard counts.
+  size_t escalations = 0;    ///< cheap-PODEM aborts handed to the SAT probe
+  size_t sat_probe_wins = 0; ///< probes that settled the fault (SAT or UNSAT)
+  /// SAT solver counters: the SAT backend stage and the deterministic
+  /// stage's escalation probes both accumulate here (all zero when
+  /// opts.sat_backend and opts.escalation are both off).
   SatStats sat;
   /// Fault-status tallies after each pipeline source stage, in run
   /// order (filled by occ::Session).

@@ -97,8 +97,12 @@ ImplicationTable::ImplicationTable(const UnrolledModel& model,
   }
 
   if (sat_harvest) {
+    // Solver-based probe (sat/probe.h): assumption propagation over the
+    // persistent incremental solver, bounded refutation probes, and a
+    // harvest of its retained learned binary clauses -- a superset of
+    // the original unit-depth probe.
     for (const sat::ProbedImplication& imp :
-         sat::probe_direct_implications(model)) {
+         sat::probe_solver_implications(model)) {
       if (baseline[imp.gate] != V3::kX) continue;  // already invariant
       rows[2 * imp.var + (imp.val ? 1 : 0)].push_back(
           pack(imp.gate, imp.implied));

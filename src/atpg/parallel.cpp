@@ -134,6 +134,7 @@ ParallelPodem::ParallelPodem(PipelineContext& ctx, size_t shards,
     sc.podems_deep.resize(num_ncps);
   }
   open_cubes_.resize(num_ncps);
+  miters_.resize(num_ncps);
   if (shards_ > 1) pool_ = std::make_unique<ThreadPool>(shards_);
 }
 
@@ -196,13 +197,26 @@ void ParallelPodem::attempt_fault(ShardScratch& sc, size_t fi,
     const std::vector<V3>* seed_cube =
         seed != nullptr && seed->ncp == nc ? &seed->var_cube : nullptr;
     const std::vector<UnrolledFault> targets = model->translate(f);
-    for (const UnrolledFault& uf : targets) {
+    for (size_t ti = 0; ti < targets.size(); ++ti) {
+      const UnrolledFault& uf = targets[ti];
       Podem* used = podem;
       Podem::Outcome outc = used->run(uf, seed_cube);
-      if (outc == Podem::Outcome::kAborted &&
-          ctx_.opts.abort_retry_factor > 1) {
-        used = deep_podem_for(sc, nc);
-        outc = used->run(uf);
+      if (outc == Podem::Outcome::kAborted) {
+        if (ctx_.opts.escalation) {
+          // Stop here: everything after the first cheap abort (SAT
+          // probe, deep retry, remaining instances) depends on the
+          // history-carrying incremental solver and must run on the
+          // leader at canonical commit order (escalate()).
+          a.pending = true;
+          a.esc_nc = nc;
+          a.esc_target = ti;
+          a.stats = stats_sum(sc) - before;
+          return;
+        }
+        if (ctx_.opts.abort_retry_factor > 1) {
+          used = deep_podem_for(sc, nc);
+          outc = used->run(uf);
+        }
       }
       if (outc == Podem::Outcome::kDetected) {
         a.cube = cube_to_pattern(*model, used->assignment(), ctx_.nl, nc);
@@ -215,6 +229,101 @@ void ParallelPodem::attempt_fault(ShardScratch& sc, size_t fi,
     }
   }
   a.stats = stats_sum(sc) - before;
+}
+
+sat::IncrementalMiter* ParallelPodem::miter_for(uint32_t nc) {
+  if (!miters_[nc]) {
+    // The miter shares scratch_[0]'s unrolled model (building it if no
+    // leader attempt touched this procedure yet).
+    model_for(scratch_[0], nc);
+    miters_[nc] = std::make_unique<sat::IncrementalMiter>(
+        *scratch_[0].models[nc], sat::SolverOptions{});
+  }
+  return miters_[nc].get();
+}
+
+void ParallelPodem::escalate(size_t fi, Attempt* out) {
+  Attempt& a = *out;
+  OCC_DCHECK(a.pending && !a.detected);
+  a.pending = false;
+  ShardScratch& sc = scratch_[0];
+  const Fault& f = ctx_.faults.fault(fi);
+  const DomainMask fsinks = sink_domains_[f.gate];
+  const bool fpo = sink_po_[f.gate];
+  // At commit time the canonical cube-cache entry is exactly the seed
+  // the (possibly leader-re-run) attempt used.
+  const CubeCacheRef seed = seed_for(fi);
+  const Podem::Stats before = stats_sum(sc);
+
+  const auto take_detection = [&](Podem* used, const UnrolledModel* model,
+                                  uint32_t nc) {
+    a.cube = cube_to_pattern(*model, used->assignment(), ctx_.nl, nc);
+    a.var_cube = used->assignment();
+    a.ncp = nc;
+    a.detected = true;
+  };
+
+  const size_t num_ncps = ctx_.scheme.procedures.size();
+  for (uint32_t nc = a.esc_nc; nc < num_ncps && !a.detected; ++nc) {
+    const bool resuming = nc == a.esc_nc;
+    if (!resuming && !(fsinks & capture_mask_[nc]) && !(fpo && po_obs_[nc])) {
+      continue;
+    }
+    auto [model, podem] = model_for(sc, nc);
+    const std::vector<V3>* seed_cube =
+        seed != nullptr && seed->ncp == nc ? &seed->var_cube : nullptr;
+    const std::vector<UnrolledFault> targets = model->translate(f);
+    for (size_t ti = resuming ? a.esc_target : 0; ti < targets.size(); ++ti) {
+      const UnrolledFault& uf = targets[ti];
+      bool cheap_abort = resuming && ti == a.esc_target;  // already ran
+      if (!cheap_abort) {
+        const Podem::Outcome outc = podem->run(uf, seed_cube);
+        if (outc == Podem::Outcome::kDetected) {
+          take_detection(podem, model, nc);
+          break;
+        }
+        cheap_abort = outc == Podem::Outcome::kAborted;
+      }
+      if (!cheap_abort) continue;
+
+      // Bounded incremental-SAT probe of the aborted instance. The key
+      // identifies (fault, instance) within this procedure's miter.
+      ++ctx_.res.escalations;
+      OCC_DCHECK(ti < 256);
+      const uint64_t key = (static_cast<uint64_t>(fi) << 8) | ti;
+      std::vector<V3> cube;
+      const sat::IncrementalMiter::Verdict v = miter_for(nc)->decide(
+          key, uf, ctx_.opts.escalation_conflict_budget, &cube);
+      if (v == sat::IncrementalMiter::Verdict::kSat) {
+        ++ctx_.res.sat_probe_wins;
+        a.cube = cube_to_pattern(*model, cube, ctx_.nl, nc);
+        a.var_cube = std::move(cube);
+        a.ncp = nc;
+        a.detected = true;
+        break;
+      }
+      if (v != sat::IncrementalMiter::Verdict::kUnknown) {
+        // kUnsat/kNoObservation: the instance is proven undetectable,
+        // no deep retry needed.
+        ++ctx_.res.sat_probe_wins;
+        a.sat_settled = true;
+        continue;
+      }
+      // Probe inconclusive: fall back to today's deep PODEM retry.
+      if (ctx_.opts.abort_retry_factor > 1) {
+        Podem* deep = deep_podem_for(sc, nc);
+        const Podem::Outcome outc = deep->run(uf);
+        if (outc == Podem::Outcome::kDetected) {
+          take_detection(deep, model, nc);
+          break;
+        }
+        if (outc == Podem::Outcome::kAborted) a.aborted = true;
+      } else {
+        a.aborted = true;
+      }
+    }
+  }
+  a.stats += stats_sum(sc) - before;
 }
 
 void ParallelPodem::flush(uint32_t nc) {
@@ -247,6 +356,10 @@ void ParallelPodem::commit_fault(size_t fi, Attempt& att) {
     ctx_.res.discarded_cubes += att.detected ? 1 : 0;
     return;
   }
+  // Escalation resume happens here -- after the eligibility re-check,
+  // in canonical fault order -- so the incremental solver sees the same
+  // probe sequence for every shard count.
+  if (att.pending) escalate(fi, &att);
   if (att.detected) {
     // Static merge: extra known bits cannot un-detect a cube's target
     // (3-valued implication is monotone), so compatible cubes share one
@@ -277,6 +390,11 @@ void ParallelPodem::commit_fault(size_t fi, Attempt& att) {
     }
   } else if (att.aborted) {
     fl.set_status(fi, FaultStatus::kAborted);
+  } else if (att.sat_settled) {
+    // No abort and no detection left, and at least one instance was
+    // settled by a SAT refutation: the undetectability is a proof, not
+    // a search exhaustion.
+    fl.set_status(fi, FaultStatus::kProvenUntestable);
   } else {
     // Untestable under every applicable capture procedure (or no
     // procedure can observe it at all).
@@ -377,6 +495,22 @@ void ParallelPodem::run() {
     run_speculative();
   }
   for (uint32_t nc = 0; nc < open_cubes_.size(); ++nc) flush(nc);
+  // Fold the escalation miters' solver work into the session's SAT
+  // counters. Probes run leader-side in canonical fault order, so these
+  // are deterministic across repeats and shard counts.
+  for (const auto& m : miters_) {
+    if (!m) continue;
+    const sat::SolverStats& st = m->solver().stats();
+    SatStats& agg = ctx_.res.sat;
+    agg.solves += st.solves;
+    agg.conflicts += st.conflicts;
+    agg.decisions += st.decisions;
+    agg.propagations += st.propagations;
+    agg.assumption_solves += st.assumption_solves;
+    agg.learned_reused += st.learned_reused;
+    agg.learned_kept += m->solver().learned_kept();
+    agg.relowered_faults += m->relowered_faults();
+  }
   ctx_.progress(stage_, ctx_.faults.size(), ctx_.faults.size());
   if (ctx_.opts.verbose) {
     std::cerr << "[atpg] after deterministic stage: "

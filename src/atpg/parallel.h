@@ -39,6 +39,7 @@
 #include "api/stages.h"
 #include "atpg/podem.h"
 #include "atpg/unroll.h"
+#include "sat/incremental.h"
 #include "util/thread_pool.h"
 
 namespace occ {
@@ -102,6 +103,16 @@ class ParallelPodem {
     TestPattern cube;       ///< the care-bit cube when detected
     std::vector<V3> var_cube;  ///< var-space copy of the detecting cube
     Podem::Stats stats;     ///< PODEM work of this attempt only
+    /// Escalation (opts.escalation): the attempt stopped at its first
+    /// cheap-PODEM abort; the leader resumes it at commit time (SAT
+    /// probe -> deep retry -> remaining instances) so the history-
+    /// dependent incremental solves happen in canonical fault order.
+    bool pending = false;
+    /// Instance proven undetectable by a SAT probe; with no detection
+    /// and no abort left, the fault commits as kProvenUntestable.
+    bool sat_settled = false;
+    uint32_t esc_nc = 0;    ///< resume point: capture procedure
+    size_t esc_target = 0;  ///< resume point: instance index within it
   };
 
   /// Per-shard scratch: lazily built unrolled models and PODEM engines,
@@ -127,8 +138,19 @@ class ParallelPodem {
 
   /// The per-fault PODEM attempt (worker side; touches only `sc`).
   /// `seed`: the cube-cache entry visible for this fault (null = none).
+  /// With escalation on, the attempt stops at its first cheap-PODEM
+  /// abort and records the resume point in `out` (see Attempt::pending).
   void attempt_fault(ShardScratch& sc, size_t fi,
                      const CubeCacheEntry* seed, Attempt* out) const;
+  /// Leader-side escalation resume for a pending attempt, at commit
+  /// time: bounded incremental-SAT probe of the aborted instance, deep
+  /// PODEM retry only if the probe is inconclusive, then the remaining
+  /// instances/procedures under the same schedule. Runs on scratch_[0]
+  /// and the shared per-NCP miters, in canonical fault order, so the
+  /// committed outcome is bit-identical across shard counts.
+  void escalate(size_t fi, Attempt* att);
+  /// The leader's shared incremental miter of capture procedure `nc`.
+  sat::IncrementalMiter* miter_for(uint32_t nc);
   /// Sequential bookkeeping for one attempt (leader side).
   void commit_fault(size_t fi, Attempt& att);
   /// Random-fills and fault-simulates the open cubes of procedure `nc`.
@@ -149,6 +171,11 @@ class ParallelPodem {
 
   std::vector<ShardScratch> scratch_;  // one per shard
   std::unique_ptr<ThreadPool> pool_;   // null when shards_ == 1
+  // Leader-owned incremental SAT miters, one per capture procedure
+  // (lazily built over scratch_[0]'s models; empty with escalation
+  // off). Learned clauses persist across every probed fault of the
+  // procedure; solver work is folded into ctx_.res.sat at stage end.
+  std::vector<std::unique_ptr<sat::IncrementalMiter>> miters_;
   // Open (unfilled) cube windows per NCP for static merging.
   std::vector<std::vector<TestPattern>> open_cubes_;
   // Per-cone cube cache (leader-owned; empty when heuristics are off):

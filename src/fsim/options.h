@@ -67,6 +67,11 @@ struct EngineOptions {
   /// cache. Off (`--atpg-heuristics off`) reproduces the pre-heuristic
   /// search and all its committed counters bit-identically.
   bool atpg_heuristics = true;
+  /// Adaptive PODEM->SAT escalation of the deterministic stage
+  /// (atpg/engine.h AtpgOptions::escalation). Off
+  /// (`--atpg-escalation off`) reproduces the cheap-then-deep PODEM
+  /// schedule and all its committed counters bit-identically.
+  bool atpg_escalation = true;
 };
 
 }  // namespace occ

@@ -58,6 +58,27 @@ void CnfLowering::rollback(const Mark& m) {
   cnf_.clauses.resize(m.num_clauses);
 }
 
+void CnfLowering::emit_clause(std::vector<Lit> c) {
+  if (guard_ != kLitUndef) c.push_back(guard_);
+  cnf_.add_clause(std::move(c));
+}
+
+void CnfLowering::emit_unit(Lit a) {
+  if (guard_ != kLitUndef) {
+    cnf_.add_binary(a, guard_);
+  } else {
+    cnf_.add_unit(a);
+  }
+}
+
+void CnfLowering::emit_binary(Lit a, Lit b) {
+  if (guard_ != kLitUndef) {
+    cnf_.add_ternary(a, b, guard_);
+  } else {
+    cnf_.add_binary(a, b);
+  }
+}
+
 void CnfLowering::add_iff_or_of_ands(
     Lit out, const std::vector<std::vector<Lit>>& terms) {
   // Forward: each fully-true term forces `out`.
@@ -66,7 +87,7 @@ void CnfLowering::add_iff_or_of_ands(
     c.reserve(t.size() + 1);
     c.push_back(out);
     for (Lit l : t) c.push_back(lit_neg(l));
-    cnf_.add_clause(std::move(c));
+    emit_clause(std::move(c));
   }
   // Backward: `out` forces some term; expand the cartesian product that
   // picks one literal per term. Duplicate picks (shared literals across
@@ -80,7 +101,7 @@ void CnfLowering::add_iff_or_of_ands(
     for (size_t i = 0; i < terms.size(); ++i) c.push_back(terms[i][idx[i]]);
     std::sort(c.begin() + 1, c.end());
     c.erase(std::unique(c.begin() + 1, c.end()), c.end());
-    cnf_.add_clause(std::move(c));
+    emit_clause(std::move(c));
     size_t i = 0;
     while (i < terms.size() && ++idx[i] == terms[i].size()) {
       idx[i] = 0;
@@ -114,7 +135,7 @@ void CnfLowering::emit_gate(GateType type, RailPair out,
   // Rail exclusion. Implied by the two-sided templates plus input
   // exclusion, but stating it per gate lets the solver propagate it
   // without a cone-wide derivation.
-  cnf_.add_binary(lit_neg(out.one), lit_neg(out.zero));
+  emit_binary(lit_neg(out.one), lit_neg(out.zero));
   switch (type) {
     case GateType::kBuf:
     case GateType::kOutput:
@@ -153,7 +174,7 @@ void CnfLowering::emit_gate(GateType type, RailPair out,
           nxt = out;
         } else {
           nxt = {mk_lit(cnf_.new_var()), mk_lit(cnf_.new_var())};
-          cnf_.add_binary(lit_neg(nxt.one), lit_neg(nxt.zero));
+          emit_binary(lit_neg(nxt.one), lit_neg(nxt.zero));
         }
         add_iff_or_of_ands(
             nxt.one, {{acc.one, in[i].zero}, {acc.zero, in[i].one}});
@@ -182,6 +203,15 @@ void CnfLowering::emit_gate(GateType type, RailPair out,
 }
 
 bool CnfLowering::add_fault(const UnrolledFault& uf) {
+  return emit_fault(uf, nullptr);
+}
+
+bool CnfLowering::add_fault_gated(const UnrolledFault& uf, Lit* activation) {
+  *activation = kLitUndef;
+  return emit_fault(uf, activation);
+}
+
+bool CnfLowering::emit_fault(const UnrolledFault& uf, Lit* activation) {
   const Netlist& nl = um_->comb();
   const size_t n = nl.size();
 
@@ -212,6 +242,14 @@ bool CnfLowering::add_fault(const UnrolledFault& uf) {
   }
   if (obs.empty()) return false;  // no observation point in the cone
 
+  // Gated form: the activation variable is allocated first (before any
+  // per-instance rail), and its negation rides along on every clause
+  // emitted below.
+  if (activation != nullptr) {
+    *activation = mk_lit(cnf_.new_var());
+    guard_ = lit_neg(*activation);
+  }
+
   const auto stem_forced = [&](GateId g) {
     for (const auto& [site, pin] : uf.sites) {
       if (site == g && pin == kOutputPin) return true;
@@ -239,8 +277,8 @@ bool CnfLowering::add_fault(const UnrolledFault& uf) {
     const RailPair out = frail[g];
     if (stem_forced(g)) {
       // Output stem stuck at the forced value in the faulty machine.
-      cnf_.add_unit(uf.forced_value ? out.one : out.zero);
-      cnf_.add_unit(lit_neg(uf.forced_value ? out.zero : out.one));
+      emit_unit(uf.forced_value ? out.one : out.zero);
+      emit_unit(lit_neg(uf.forced_value ? out.zero : out.one));
       continue;
     }
     const Gate& gate = nl.gate(g);
@@ -254,7 +292,7 @@ bool CnfLowering::add_fault(const UnrolledFault& uf) {
 
   // Launch constraints bind the good machine to a definite value.
   for (const auto& [g, val] : uf.constraints) {
-    cnf_.add_unit(val ? good(g).one : good(g).zero);
+    emit_unit(val ? good(g).one : good(g).zero);
   }
 
   // Detection: some observation differs definitely between the copies.
@@ -267,14 +305,15 @@ bool CnfLowering::add_fault(const UnrolledFault& uf) {
     const RailPair fr = frail[o];
     const Lit sp = mk_lit(cnf_.new_var());
     const Lit sn = mk_lit(cnf_.new_var());
-    cnf_.add_binary(lit_neg(sp), gr.one);
-    cnf_.add_binary(lit_neg(sp), fr.zero);
-    cnf_.add_binary(lit_neg(sn), gr.zero);
-    cnf_.add_binary(lit_neg(sn), fr.one);
+    emit_binary(lit_neg(sp), gr.one);
+    emit_binary(lit_neg(sp), fr.zero);
+    emit_binary(lit_neg(sn), gr.zero);
+    emit_binary(lit_neg(sn), fr.one);
     any.push_back(sp);
     any.push_back(sn);
   }
-  cnf_.add_clause(std::move(any));
+  emit_clause(std::move(any));
+  guard_ = kLitUndef;
   return true;
 }
 

@@ -64,11 +64,33 @@ class CnfLowering {
   /// lies in the fault cone (the instance is trivially undetectable).
   bool add_fault(const UnrolledFault& uf);
 
+  /// The incremental variant of add_fault(): allocates a fresh
+  /// activation variable, emits the same miter with the activation's
+  /// negation appended to every clause (so the instance is vacuous
+  /// unless its activation literal is assumed true), and reports the
+  /// positive activation literal in *activation. The instance is solved
+  /// under {*activation} and retired -- never re-lowered -- by adding
+  /// the permanent unit clause lit_neg(*activation) to the solver once
+  /// a verdict is reached. Returns false, adding nothing, when no
+  /// observation lies in the fault cone.
+  bool add_fault_gated(const UnrolledFault& uf, Lit* activation);
+
   /// Maps a solver model back to a PODEM cube: one V3 per model
   /// variable, aligned with model().var_gates().
   std::vector<V3> extract_cube(const std::vector<uint8_t>& model) const;
 
  private:
+  // Emission helpers: forward to cnf_ unguarded, or append guard_ (the
+  // negated activation literal of the gated fault under construction)
+  // so per-fault clauses are vacuous unless activated. The unguarded
+  // path is byte-identical to direct Cnf appends, preserving the DIMACS
+  // determinism contract of add_fault().
+  void emit_clause(std::vector<Lit> c);
+  void emit_unit(Lit a);
+  void emit_binary(Lit a, Lit b);
+  // Shared body of add_fault()/add_fault_gated(); `activation` selects
+  // the gated form (allocated only once the cone is known observable).
+  bool emit_fault(const UnrolledFault& uf, Lit* activation);
   // out-rail <=> OR over `terms` of the AND of each term's literals.
   void add_iff_or_of_ands(Lit out, const std::vector<std::vector<Lit>>& terms);
   // Emits the two-sided template of `type` computing `out` from `in`.
@@ -83,6 +105,7 @@ class CnfLowering {
   const UnrolledModel* um_;
   Cnf cnf_;
   std::vector<uint8_t> is_model_var_;  // per comb gate
+  Lit guard_ = kLitUndef;  // appended to every clause while set
 };
 
 }  // namespace sat

@@ -1,5 +1,7 @@
 #include "sat/probe.h"
 
+#include <algorithm>
+
 #include "sat/lower.h"
 #include "sat/solver.h"
 
@@ -44,6 +46,122 @@ std::vector<ProbedImplication> probe_direct_implications(
         out.push_back({vi, val != 0, g, v != 0});
       }
     }
+  }
+  return out;
+}
+
+namespace {
+
+/// Refutation-probe knobs: small on purpose -- the probes exist to
+/// seed the learned-clause database, not to decide hard queries.
+constexpr uint64_t kRefutationBudget = 128;   // conflicts per solve
+constexpr size_t kConeCap = 16;               // probed cone gates/literal
+
+/// Decodes a positive rail literal into (gate, value); returns false
+/// for negated literals, the constant anchor and XOR auxiliaries.
+bool decode_rail(Lit l, size_t num_gates, GateId* gate, bool* value) {
+  if (lit_sign(l)) return false;
+  const Var v = lit_var(l);
+  if (v < 1 || v >= 1 + 2 * num_gates) return false;
+  *gate = static_cast<GateId>((v - 1) / 2);
+  *value = ((v - 1) % 2) == 0;  // rail order: "is 1" then "is 0"
+  return true;
+}
+
+}  // namespace
+
+std::vector<ProbedImplication> probe_solver_implications(
+    const UnrolledModel& um) {
+  CnfLowering lowering(um);
+  const Cnf& cnf = lowering.cnf();
+  const Netlist& comb = um.comb();
+  const size_t n = comb.size();
+  const auto& vars = um.var_gates();
+
+  std::vector<uint32_t> var_of(n, 0xFFFFFFFFu);
+  for (uint32_t vi = 0; vi < vars.size(); ++vi) var_of[vars[vi]] = vi;
+
+  bool conflict = false;
+  const std::vector<int8_t> base = unit_propagate(cnf, {}, &conflict);
+  std::vector<ProbedImplication> out;
+  if (conflict) return out;  // degenerate model; nothing to harvest
+
+  SolverOptions sopts;
+  sopts.conflict_budget = kRefutationBudget;
+  CdclSolver solver(cnf, sopts);
+
+  std::vector<int8_t> assigned(n, -1);  // per-literal propagation result
+  std::vector<uint8_t> seen(n, 0);
+  std::vector<GateId> cone;
+  std::vector<Lit> implied;
+  for (uint32_t vi = 0; vi < vars.size(); ++vi) {
+    const GateId vg = vars[vi];
+
+    // Bounded BFS fanout cone of the variable gate (candidate targets
+    // for the refutation probes), in deterministic fanout order.
+    cone.clear();
+    std::fill(seen.begin(), seen.end(), 0);
+    seen[vg] = 1;
+    for (size_t head = 0; head < cone.size() + 1 && cone.size() < kConeCap;
+         ++head) {
+      const GateId g = head == 0 ? vg : cone[head - 1];
+      for (GateId o : comb.gate(g).fanout) {
+        if (seen[o] || cone.size() >= kConeCap) continue;
+        seen[o] = 1;
+        cone.push_back(o);
+      }
+    }
+
+    for (int val = 0; val < 2; ++val) {
+      const RailPair rails = lowering.good(vg);
+      const Lit assume = val ? rails.one : rails.zero;
+
+      // Layer 1: assumption propagation over problem + learned clauses.
+      if (!solver.propagate_under({assume}, &implied)) continue;
+      std::fill(assigned.begin(), assigned.end(), -1);
+      for (const Lit l : implied) {
+        GateId g = 0;
+        bool v = false;
+        if (!decode_rail(l, n, &g, &v)) continue;
+        assigned[g] = v ? 1 : 0;
+        if (g != vg && rail_value(base, g) < 0) {
+          out.push_back({vi, val != 0, g, v});
+        }
+      }
+
+      // Layer 2: refutation probes on cone gates propagation left open.
+      // solve({assume, NOT rail_v}) == UNSAT proves assume -> (g = v);
+      // the conflicts double as learned-clause seeding for layer 3.
+      for (const GateId g : cone) {
+        if (assigned[g] >= 0 || rail_value(base, g) >= 0) continue;
+        const RailPair gr = lowering.good(g);
+        for (int v = 1; v >= 0; --v) {
+          const Lit want = v ? gr.one : gr.zero;
+          if (solver.solve({assume, lit_neg(want)}) == SatResult::kUnsat) {
+            assigned[g] = v;
+            out.push_back({vi, val != 0, g, v != 0});
+            break;  // a gate cannot be forced to both values
+          }
+        }
+      }
+    }
+  }
+
+  // Layer 3: retained learned binaries of implication shape. A binary
+  // (a OR b) reads NOT a -> b; it harvests when NOT a is a positive
+  // rail of a model variable and b a positive rail of some other gate.
+  const auto harvest = [&](Lit a, Lit b) {
+    GateId src = 0, dst = 0;
+    bool sval = false, dval = false;
+    if (!decode_rail(lit_neg(a), n, &src, &sval)) return;
+    if (!decode_rail(b, n, &dst, &dval)) return;
+    if (var_of[src] == 0xFFFFFFFFu || dst == src) return;
+    if (rail_value(base, dst) >= 0) return;
+    out.push_back({var_of[src], sval, dst, dval});
+  };
+  for (const auto& [a, b] : solver.learned_binaries()) {
+    harvest(a, b);
+    harvest(b, a);
   }
   return out;
 }

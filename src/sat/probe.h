@@ -36,5 +36,22 @@ struct ProbedImplication {
 std::vector<ProbedImplication> probe_direct_implications(
     const UnrolledModel& um);
 
+/// Solver-based probe over one persistent multi-shot CdclSolver: the
+/// enriched implication-harvest mode (ImplicationTable sat_harvest).
+/// Three deterministic layers per variable literal:
+///   1. assumption propagation (CdclSolver::propagate_under) -- a
+///      superset of the plain unit probe once conflicts have seeded the
+///      learned-clause database;
+///   2. bounded refutation probes on the literal's structural fanout
+///      cone: solve({lit, NOT rail_v(g)}) returning UNSAT proves
+///      lit -> (g = v) -- these solves drive the clause learning;
+///   3. a final harvest of the solver's retained learned binary clauses
+///      of implication shape (variable rail -> gate rail).
+/// Every reported implication is a logical consequence of the
+/// good-machine CNF, hence sound for the 3-valued semantics. The call
+/// sequence is fixed, so the result is a pure function of the model.
+std::vector<ProbedImplication> probe_solver_implications(
+    const UnrolledModel& um);
+
 }  // namespace sat
 }  // namespace occ

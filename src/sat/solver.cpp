@@ -26,7 +26,8 @@ uint64_t luby(uint64_t i) {
 
 }  // namespace
 
-CdclSolver::CdclSolver(const Cnf& cnf, SolverOptions opts) : opts_(opts) {
+CdclSolver::CdclSolver(const Cnf& cnf, SolverOptions opts)
+    : opts_(opts), learned_ceiling_(opts.learned_limit) {
   const size_t n = cnf.num_vars;
   watches_.assign(2 * n, {});
   assigns_.assign(n, -1);
@@ -40,34 +41,67 @@ CdclSolver::CdclSolver(const Cnf& cnf, SolverOptions opts) : opts_(opts) {
   for (Var v = 0; v < n; ++v) heap_insert(v);
 
   clauses_.reserve(cnf.clauses.size());
-  std::vector<Lit> c;
-  for (const auto& orig : cnf.clauses) {
-    // Normalize: sort, drop duplicate literals, skip tautologies. The
-    // lowering never emits those, but fuzzed inputs may.
-    c = orig;
-    std::sort(c.begin(), c.end());
-    c.erase(std::unique(c.begin(), c.end()), c.end());
-    bool taut = false;
-    for (size_t i = 0; i + 1 < c.size() && !taut; ++i) {
-      taut = lit_var(c[i]) == lit_var(c[i + 1]);
-    }
-    if (taut) continue;
-    if (c.empty()) {
-      trivially_unsat_ = true;
-      continue;
-    }
-    for (Lit l : c) {
-      OCC_CHECK(lit_var(l) < n, "sat: literal references variable ",
-                lit_var(l), " but the CNF declares ", n);
-    }
-    const ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
-    clauses_.push_back(c);
-    if (c.size() >= 2) attach_clause(cr);
+  for (const auto& orig : cnf.clauses) add_clause(orig);
+}
+
+Var CdclSolver::new_var() {
+  const Var v = static_cast<Var>(assigns_.size());
+  watches_.emplace_back();
+  watches_.emplace_back();
+  assigns_.push_back(-1);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  phase_.push_back(0);
+  seen_.push_back(0);
+  heap_index_.push_back(-1);
+  heap_insert(v);
+  return v;
+}
+
+bool CdclSolver::add_clause(std::vector<Lit> c) {
+  OCC_CHECK(trail_lim_.empty(),
+            "sat: add_clause is only legal at decision level 0");
+  if (!ok_) return false;
+  // Normalize: sort, drop duplicate literals, skip tautologies and
+  // literals already false at level 0, skip clauses already true at
+  // level 0. The lowering never emits tautologies, but fuzzed inputs
+  // may. (Level-0 facts enqueued by earlier add_clause calls may still
+  // be unpropagated; they are facts regardless, so filtering against
+  // them is sound.)
+  std::sort(c.begin(), c.end());
+  c.erase(std::unique(c.begin(), c.end()), c.end());
+  for (size_t i = 0; i + 1 < c.size(); ++i) {
+    if (lit_var(c[i]) == lit_var(c[i + 1])) return true;  // tautology
   }
+  size_t j = 0;
+  for (const Lit l : c) {
+    OCC_CHECK(lit_var(l) < assigns_.size(),
+              "sat: literal references variable ", lit_var(l),
+              " but the solver declares ", assigns_.size());
+    if (lit_true(l)) return true;  // satisfied at level 0
+    if (!lit_false(l)) c[j++] = l;
+  }
+  c.resize(j);
+
+  if (c.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (c.size() == 1) {
+    // Level-0 fact; propagation is deferred to the next solve so a
+    // batch of adds behaves like one formula extension.
+    enqueue(c[0], kNoReason);
+    return true;
+  }
+  const ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
+  clauses_.push_back(Clause{std::move(c), 0.0, 0, false});
+  attach_clause(cr);
+  return true;
 }
 
 void CdclSolver::attach_clause(ClauseRef cr) {
-  const auto& c = clauses_[cr];
+  const auto& c = clauses_[cr].lits;
   watches_[c[0]].push_back(cr);
   watches_[c[1]].push_back(cr);
 }
@@ -79,6 +113,10 @@ void CdclSolver::enqueue(Lit l, ClauseRef reason) {
   phase_[v] = assigns_[v] != 0;
   level_[v] = static_cast<uint32_t>(trail_lim_.size());
   reason_[v] = reason;
+  if (reason != kNoReason) {
+    const Clause& rc = clauses_[reason];
+    if (rc.learned && rc.birth != cur_solve_) ++stats_.learned_reused;
+  }
   trail_.push_back(l);
 }
 
@@ -90,7 +128,7 @@ CdclSolver::ClauseRef CdclSolver::propagate() {
     size_t i = 0, j = 0;
     while (i < ws.size()) {
       const ClauseRef cr = ws[i++];
-      auto& c = clauses_[cr];
+      auto& c = clauses_[cr].lits;
       const Lit false_lit = lit_neg(p);
       if (c[0] == false_lit) std::swap(c[0], c[1]);
       OCC_DCHECK(c[1] == false_lit);
@@ -134,7 +172,8 @@ void CdclSolver::analyze(ClauseRef confl, std::vector<Lit>* learnt,
 
   do {
     OCC_DCHECK(confl != kNoReason);
-    const auto& c = clauses_[confl];
+    cla_bump(confl);
+    const auto& c = clauses_[confl].lits;
     // For reason clauses c[0] is the implied literal (== p), skip it.
     for (size_t k = (p == kLitUndef ? 0 : 1); k < c.size(); ++k) {
       const Var v = lit_var(c[k]);
@@ -144,6 +183,11 @@ void CdclSolver::analyze(ClauseRef confl, std::vector<Lit>* learnt,
       if (level_[v] >= cur_level) {
         ++path;
       } else {
+        // Literals on lower decision levels join the learnt tail. An
+        // assumption-level decision literal lands here too (its reason
+        // is kNoReason, but the walk below only dereferences reasons of
+        // current-level literals), which keeps the learnt clause a
+        // consequence of the clause database alone.
         learnt->push_back(c[k]);
       }
     }
@@ -207,6 +251,64 @@ void CdclSolver::var_bump(Var v) {
 
 void CdclSolver::var_decay_all() { var_inc_ /= opts_.var_decay; }
 
+void CdclSolver::cla_bump(ClauseRef cr) {
+  Clause& c = clauses_[cr];
+  if (!c.learned) return;
+  c.act += cla_inc_;
+  if (c.act > 1e20) {
+    for (Clause& cl : clauses_) {
+      if (cl.learned) cl.act *= 1e-20;
+    }
+    cla_inc_ *= 1e-20;
+  }
+}
+
+void CdclSolver::reduce_db() {
+  OCC_DCHECK(trail_lim_.empty());
+  // Level-0 facts are permanent; detach them from their reason clauses
+  // so no retained assignment locks a removable clause.
+  for (const Lit l : trail_) reason_[lit_var(l)] = kNoReason;
+
+  // Candidates: learned non-binary clauses, ordered by (activity
+  // ascending, insertion index descending) so the least useful and, on
+  // ties, the youngest go first. Drop half.
+  std::vector<ClauseRef> cand;
+  cand.reserve(learned_nonbinary_);
+  for (ClauseRef cr = 0; cr < clauses_.size(); ++cr) {
+    if (clauses_[cr].learned && clauses_[cr].lits.size() > 2) {
+      cand.push_back(cr);
+    }
+  }
+  std::sort(cand.begin(), cand.end(), [this](ClauseRef a, ClauseRef b) {
+    if (clauses_[a].act != clauses_[b].act) {
+      return clauses_[a].act < clauses_[b].act;
+    }
+    return a > b;
+  });
+  const size_t drop = cand.size() / 2;
+  if (drop == 0) return;
+  std::vector<uint8_t> remove(clauses_.size(), 0);
+  for (size_t i = 0; i < drop; ++i) remove[cand[i]] = 1;
+
+  // Compact the clause vector and rebuild every watch list; watch-list
+  // order after compaction is a function of clause insertion order
+  // only, so this stays deterministic.
+  std::vector<Clause> kept;
+  kept.reserve(clauses_.size() - drop);
+  for (ClauseRef cr = 0; cr < clauses_.size(); ++cr) {
+    if (!remove[cr]) kept.push_back(std::move(clauses_[cr]));
+  }
+  clauses_ = std::move(kept);
+  for (auto& ws : watches_) ws.clear();
+  for (ClauseRef cr = 0; cr < clauses_.size(); ++cr) attach_clause(cr);
+
+  learned_count_ -= drop;
+  learned_nonbinary_ -= drop;
+  ++stats_.db_reductions;
+  stats_.learned_removed += drop;
+  learned_ceiling_ += learned_ceiling_ / 2;
+}
+
 bool CdclSolver::heap_lt(Var a, Var b) const {
   if (activity_[a] != activity_[b]) return activity_[a] > activity_[b];
   return a < b;  // deterministic tie-break: smaller index first
@@ -259,18 +361,32 @@ Var CdclSolver::heap_pop() {
   return v;
 }
 
-SatResult CdclSolver::solve() {
-  if (trivially_unsat_) return SatResult::kUnsat;
+SatResult CdclSolver::solve(const std::vector<Lit>& assumptions) {
+  ++stats_.solves;
+  cur_solve_ = static_cast<uint32_t>(stats_.solves);
+  if (!assumptions.empty()) ++stats_.assumption_solves;
+  if (!ok_) return SatResult::kUnsat;
+  cancel_until(0);
 
-  // Level-0 units (original unit clauses).
-  for (size_t cr = 0; cr < clauses_.size(); ++cr) {
-    if (clauses_[cr].size() != 1) continue;
-    const Lit l = clauses_[cr][0];
-    if (lit_false(l)) return SatResult::kUnsat;
-    if (lit_unassigned(l)) enqueue(l, kNoReason);
+  // Vars popped by a previous solve's pick_branch but never reinserted
+  // (the SAT exit path leaves the heap drained) go back in ascending
+  // index order.
+  for (Var v = 0; v < assigns_.size(); ++v) {
+    if (assigns_[v] < 0 && heap_index_[v] < 0) heap_insert(v);
   }
-  if (propagate() != kNoReason) return SatResult::kUnsat;
+  for (const Lit a : assumptions) {
+    OCC_CHECK(lit_var(a) < assigns_.size(),
+              "sat: assumption references variable ", lit_var(a),
+              " but the solver declares ", assigns_.size());
+  }
 
+  // Level-0 facts queued by add_clause since the last solve.
+  if (propagate() != kNoReason) {
+    ok_ = false;
+    return SatResult::kUnsat;
+  }
+
+  const uint64_t conflicts_at_entry = stats_.conflicts;
   std::vector<Lit> learnt;
   uint64_t restart_seq = 0;
   uint64_t until_restart = luby(restart_seq) * opts_.restart_base;
@@ -279,7 +395,10 @@ SatResult CdclSolver::solve() {
     const ClauseRef confl = propagate();
     if (confl != kNoReason) {
       ++stats_.conflicts;
-      if (trail_lim_.empty()) return SatResult::kUnsat;
+      if (trail_lim_.empty()) {
+        ok_ = false;
+        return SatResult::kUnsat;
+      }
       uint32_t bt = 0;
       analyze(confl, &learnt, &bt);
       cancel_until(bt);
@@ -287,15 +406,19 @@ SatResult CdclSolver::solve() {
         enqueue(learnt[0], kNoReason);
       } else {
         const ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
-        clauses_.push_back(learnt);
+        clauses_.push_back(Clause{learnt, cla_inc_, cur_solve_, true});
         attach_clause(cr);
         enqueue(learnt[0], cr);
+        ++learned_count_;
+        if (learnt.size() > 2) ++learned_nonbinary_;
       }
       ++stats_.learned_clauses;
       stats_.learned_literals += learnt.size();
       var_decay_all();
+      cla_inc_ /= opts_.clause_decay;
       if (opts_.conflict_budget != 0 &&
-          stats_.conflicts >= opts_.conflict_budget) {
+          stats_.conflicts - conflicts_at_entry >= opts_.conflict_budget) {
+        cancel_until(0);
         return SatResult::kUnknown;
       }
       if (--until_restart == 0) {
@@ -303,21 +426,83 @@ SatResult CdclSolver::solve() {
         ++restart_seq;
         until_restart = luby(restart_seq) * opts_.restart_base;
         cancel_until(0);
+        if (learned_ceiling_ != 0 && learned_nonbinary_ > learned_ceiling_) {
+          reduce_db();
+        }
       }
     } else {
-      const Lit next = pick_branch();
-      if (next == kLitUndef) {
-        model_.assign(assigns_.size(), 0);
-        for (size_t v = 0; v < assigns_.size(); ++v) {
-          model_[v] = assigns_[v] == 1;
+      // All assumptions first, one per decision level (MiniSat-style):
+      // an assumption already true gets an empty level so analyze()'s
+      // level arithmetic stays uniform; one already false means the
+      // formula is UNSAT under these assumptions only.
+      Lit next = kLitUndef;
+      while (trail_lim_.size() < assumptions.size()) {
+        const Lit a = assumptions[trail_lim_.size()];
+        if (lit_true(a)) {
+          trail_lim_.push_back(trail_.size());
+        } else if (lit_false(a)) {
+          cancel_until(0);
+          return SatResult::kUnsat;
+        } else {
+          next = a;
+          break;
         }
-        return SatResult::kSat;
       }
-      ++stats_.decisions;
+      if (next == kLitUndef) {
+        next = pick_branch();
+        if (next == kLitUndef) {
+          model_.assign(assigns_.size(), 0);
+          for (size_t v = 0; v < assigns_.size(); ++v) {
+            model_[v] = assigns_[v] == 1;
+          }
+          cancel_until(0);
+          return SatResult::kSat;
+        }
+        ++stats_.decisions;
+      }
       trail_lim_.push_back(trail_.size());
       enqueue(next, kNoReason);
     }
   }
+}
+
+bool CdclSolver::propagate_under(const std::vector<Lit>& assumptions,
+                                 std::vector<Lit>* implied) {
+  implied->clear();
+  if (!ok_) return false;
+  cancel_until(0);
+  if (propagate() != kNoReason) {
+    ok_ = false;
+    return false;
+  }
+  const size_t base = trail_.size();
+  trail_lim_.push_back(trail_.size());
+  bool conflict = false;
+  for (const Lit a : assumptions) {
+    OCC_CHECK(lit_var(a) < assigns_.size(),
+              "sat: assumption references variable ", lit_var(a),
+              " but the solver declares ", assigns_.size());
+    if (lit_false(a)) {
+      conflict = true;
+      break;
+    }
+    if (lit_unassigned(a)) enqueue(a, kNoReason);
+  }
+  if (!conflict) conflict = propagate() != kNoReason;
+  if (!conflict) {
+    implied->assign(trail_.begin() + static_cast<ptrdiff_t>(base),
+                    trail_.end());
+  }
+  cancel_until(0);
+  return !conflict;
+}
+
+std::vector<std::pair<Lit, Lit>> CdclSolver::learned_binaries() const {
+  std::vector<std::pair<Lit, Lit>> out;
+  for (const Clause& c : clauses_) {
+    if (c.learned && c.lits.size() == 2) out.emplace_back(c.lits[0], c.lits[1]);
+  }
+  return out;
 }
 
 std::vector<int8_t> unit_propagate(const Cnf& cnf,

@@ -5,8 +5,7 @@
 
 #include "atpg/parallel.h"
 #include "fsim/pattern.h"
-#include "sat/lower.h"
-#include "sat/solver.h"
+#include "sat/incremental.h"
 #include "util/check.h"
 
 namespace occ {
@@ -18,10 +17,12 @@ void SatPatternSource::generate(PipelineContext& ctx) {
   const size_t num_ncp = scheme.procedures.size();
   SatStats& st = ctx.res.sat;
 
-  // Unrolled models and their good-machine lowerings, built lazily per
-  // capture procedure and shared across all targets.
+  // One incremental miter per capture procedure, built lazily and
+  // shared across all targets: each fault instance is lowered once
+  // under an activation literal, and everything the solver learns
+  // deciding one fault carries over to every later fault in the model.
   std::vector<std::unique_ptr<UnrolledModel>> models(num_ncp);
-  std::vector<std::unique_ptr<CnfLowering>> lowerings(num_ncp);
+  std::vector<std::unique_ptr<IncrementalMiter>> miters(num_ncp);
 
   // The target list is fixed up front; a flush may still drop a later
   // target (aborted faults stay fault-simulated), hence the re-check.
@@ -41,23 +42,18 @@ void SatPatternSource::generate(PipelineContext& ctx) {
       if (!models[nc]) {
         models[nc] = std::make_unique<UnrolledModel>(ctx.nl, scheme, nc,
                                                      ctx.scan_en);
-        lowerings[nc] = std::make_unique<CnfLowering>(*models[nc]);
+        miters[nc] = std::make_unique<IncrementalMiter>(*models[nc],
+                                                        SolverOptions{});
       }
-      CnfLowering& low = *lowerings[nc];
-      for (const UnrolledFault& uf : models[nc]->translate(fl.fault(fi))) {
-        const CnfLowering::Mark m = low.mark();
-        if (!low.add_fault(uf)) continue;  // no observation in the cone
-        SolverOptions sopts;
-        sopts.conflict_budget = ctx.opts.sat_conflict_budget;
-        CdclSolver solver(low.cnf(), sopts);
-        const SatResult r = solver.solve();
-        ++st.solves;
-        st.conflicts += solver.stats().conflicts;
-        st.decisions += solver.stats().decisions;
-        st.propagations += solver.stats().propagations;
-        if (r == SatResult::kSat) {
-          const std::vector<V3> cube = low.extract_cube(solver.model());
-          low.rollback(m);
+      IncrementalMiter& miter = *miters[nc];
+      const std::vector<UnrolledFault> ufs = models[nc]->translate(fl.fault(fi));
+      for (size_t ti = 0; ti < ufs.size(); ++ti) {
+        OCC_DCHECK(ti < 256);
+        const uint64_t key = (static_cast<uint64_t>(fi) << 8) | ti;
+        std::vector<V3> cube;
+        const IncrementalMiter::Verdict v =
+            miter.decide(key, ufs[ti], ctx.opts.sat_conflict_budget, &cube);
+        if (v == IncrementalMiter::Verdict::kSat) {
           TestPattern p = cube_to_pattern(*models[nc], cube, ctx.nl, nc);
           // The model is a full detecting assignment; the flush below
           // re-derives the detection and drops collateral faults.
@@ -74,8 +70,8 @@ void SatPatternSource::generate(PipelineContext& ctx) {
           found = true;
           break;
         }
-        low.rollback(m);
-        if (r == SatResult::kUnknown) budget_out = true;
+        if (v == IncrementalMiter::Verdict::kUnknown) budget_out = true;
+        // kUnsat / kNoObservation: instance undetectable, keep going.
       }
     }
     if (!found) {
@@ -87,6 +83,22 @@ void SatPatternSource::generate(PipelineContext& ctx) {
       }
     }
     ctx.progress(name(), done, targets.size());
+  }
+
+  // Fold this stage's solver work into the session counters. The stage
+  // is sequential in fault-index order, so everything here is
+  // deterministic across repeats and shard settings.
+  for (const auto& m : miters) {
+    if (!m) continue;
+    const SolverStats& ss = m->solver().stats();
+    st.solves += ss.solves;
+    st.conflicts += ss.conflicts;
+    st.decisions += ss.decisions;
+    st.propagations += ss.propagations;
+    st.assumption_solves += ss.assumption_solves;
+    st.learned_reused += ss.learned_reused;
+    st.learned_kept += m->solver().learned_kept();
+    st.relowered_faults += m->relowered_faults();
   }
 }
 

@@ -1,9 +1,11 @@
 // SatPatternSource: the abort->SAT handoff stage.
 //
 // Runs after the deterministic PODEM stage and targets exactly the
-// faults it left kAborted. Each target is lowered to a good/faulty
-// miter per capture procedure and fault instance (sat/lower.h) and
-// decided by the in-tree CDCL solver (sat/solver.h):
+// faults it left kAborted. Targets are decided by one persistent
+// incremental miter per capture procedure (sat/incremental.h): each
+// fault instance is lowered once under an activation literal and solved
+// under assumptions, with learned clauses shared across all faults of
+// the procedure. Per instance:
 //   * some instance SAT  -> the model becomes a test cube, graded
 //     through the same random-fill + fault-simulation flush as every
 //     other source (work counters stay well-defined), and the fault is

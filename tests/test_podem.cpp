@@ -343,6 +343,9 @@ TEST(Podem, RedundantMiterProvenUntestableUnderGenerousLimit) {
 TEST(Podem, AbortedFaultsReachSatBackendUnchanged) {
   // The PODEM stage's aborted faults are handed to the SAT stage
   // verbatim: faults_targeted equals the podem-stage aborted tally.
+  // Escalation is pinned off: this test is about the legacy
+  // abort->SAT-stage handoff, which the in-stage SAT probe would
+  // otherwise resolve before the SAT stage ever sees an abort.
   // The design is sized so the only aborting faults are the redundant
   // miter faults (testable faults need far fewer than the budgeted
   // backtracks; the width-6 miter needs far more), hence the SAT stage
@@ -354,6 +357,7 @@ TEST(Podem, AbortedFaultsReachSatBackendUnchanged) {
   cfg.design_ref(nl)
       .scheme(scheme_stuck_at_external(1))
       .sat_backend(true)
+      .atpg_escalation(false)
       .fsim_shards(1)
       .atpg_shards(1);
   AtpgOptions opts;

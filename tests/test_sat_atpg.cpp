@@ -30,9 +30,13 @@ Netlist hard_netlist(uint64_t seed) {
 
 AtpgOptions aborting_opts() {
   // A starved PODEM: plenty of aborts for the SAT stage to pick up.
+  // Escalation is pinned off throughout this file -- these tests pin
+  // the abort->SAT-stage handoff contract, and the deterministic
+  // stage's in-line SAT probe would otherwise settle the aborts first.
   AtpgOptions opts;
   opts.backtrack_limit = 1;
   opts.abort_retry_factor = 1;
+  opts.escalation = false;
   return opts;
 }
 

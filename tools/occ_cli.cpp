@@ -263,6 +263,18 @@ int cmd_run(const RunArgs& a) {
     metrics.set("wall_ms.parse", repeat_median(parse_walls));
     metrics.set("wall_ms.session", wall_ms_median);
     metrics.set("wall_s", r.seconds);
+    // Escalation + incremental-SAT accounting. Emitted unconditionally:
+    // the deterministic stage's escalation probes do SAT work (and fold
+    // it into atpg.sat counters) even with the SAT backend stage off.
+    meta.set("atpg.det.escalations", r.atpg.escalations);
+    meta.set("atpg.det.sat_probe_wins", r.atpg.sat_probe_wins);
+    {
+      const SatStats& st = r.atpg.sat;
+      meta.set("atpg.sat.relowered_faults", st.relowered_faults);
+      meta.set("atpg.sat.assumption_solves", st.assumption_solves);
+      meta.set("atpg.sat.learned_kept", st.learned_kept);
+      meta.set("atpg.sat.learned_reused", st.learned_reused);
+    }
     if (a.engine.sat_backend) {
       const SatStats& st = r.atpg.sat;
       meta.set("sat.faults_targeted", st.faults_targeted);
