@@ -74,7 +74,9 @@ def cmd_merge(args):
 
 
 def is_wall_metric(key):
-    return key.endswith(".wall_ms") or key.endswith(".wall_s")
+    # Suffix match without requiring a "." separator so compound names
+    # like cache.cold_wall_ms gate as walls, not as work counters.
+    return key.endswith("wall_ms") or key.endswith("wall_s")
 
 
 def cmd_compare(args):
@@ -109,7 +111,7 @@ def cmd_compare(args):
         if key not in cur:
             b = float(base[key])
             if is_wall_metric(key):
-                baseline_ms = b * 1e3 if key.endswith(".wall_s") else b
+                baseline_ms = b * 1e3 if key.endswith("wall_s") else b
                 gated = bool(args.max_wall_regress) and \
                     baseline_ms >= args.wall_floor_ms
             else:
@@ -129,7 +131,7 @@ def cmd_compare(args):
             # Millisecond-scale walls jitter more than 1.5x across CI
             # runner generations even as repeat medians; only walls
             # above the floor are trustworthy enough to gate.
-            baseline_ms = b * 1e3 if key.endswith(".wall_s") else b
+            baseline_ms = b * 1e3 if key.endswith("wall_s") else b
             gateable = baseline_ms >= args.wall_floor_ms
             limit = args.max_wall_regress if (
                 args.max_wall_regress and gateable) else float("inf")

@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/compiled_design.h"
 #include "api/session.h"
 #include "atpg/parallel.h"
 #include "atpg/podem.h"
@@ -609,6 +610,50 @@ int write_json_report(const std::string& path) {
     meta.set("atpg.sat.assumption_solves", st.assumption_solves);
     meta.set("atpg.sat.learned_kept", st.learned_kept);
     meta.set("atpg.sat.learned_reused", st.learned_reused);
+  }
+
+  // Compiled-design cache workload: the corpus circuit prepared twice
+  // through one DesignCache under the enhanced-CPF scheme (the most
+  // artifact-heavy one: per-NCP frame observability, cone programs and
+  // unrolled models across bursts + inter-domain procedures). The cold
+  // prepare() pays parse + scan insertion + the frozen artifact build;
+  // warm prepares are a base-level hit plus a content-hash lookup and
+  // skip all of it. CI gates cold/warm >= 2x via bench_ci.py
+  // check-ratio (engines.cache.* after the merge step).
+  {
+    const std::string path = g_corpus_dir + "/s1423c.bench";
+    const Netlist parsed = read_bench_file(path);
+    const ClockingScheme es =
+        scheme_cpf_enhanced(parsed.num_domains(), 4);
+    const auto cache = std::make_shared<DesignCache>();
+    const auto prep = [&] {
+      SessionConfig cfg;
+      cfg.design_file(path)
+          .scan({.num_chains = 4})
+          .scheme(es)
+          .design_cache(cache);
+      Session s(std::move(cfg));
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto cd = s.prepare();
+      const double ms = ms_since(t0);
+      OCC_CHECK(cd != nullptr, "cache workload: prepare() returned null");
+      return ms;
+    };
+    const double cold = prep();
+    std::vector<double> warm_walls;
+    for (size_t r = 0; r < g_repeat; ++r) warm_walls.push_back(prep());
+    const DesignCache::Stats cs = cache->stats();
+    OCC_CHECK(cs.base_misses == 1 && cs.misses == 1 &&
+                  cs.hits == g_repeat,
+              "cache workload: expected exactly one cold build, got ",
+              cs.base_misses, " parses / ", cs.misses, " compiled misses / ",
+              cs.hits, " hits");
+    metrics.set("cache.cold_wall_ms", cold);
+    metrics.set("cache.warm_wall_ms", repeat_median(std::move(warm_walls)));
+    meta.set("cache.hits", cs.hits);
+    meta.set("cache.misses", cs.misses);
+    meta.set("cache.evictions", cs.evictions);
+    meta.set("cache.resident_bytes", cs.resident_bytes);
   }
 
   // External-design workload: parse the committed s1423-class corpus

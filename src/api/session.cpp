@@ -1,17 +1,37 @@
 #include "api/session.h"
 
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <sstream>
 #include <utility>
 
+#include "api/compiled_design.h"
 #include "dft/protocol.h"
 #include "fsim/tfsim.h"
 #include "netlist/bench_io.h"
+#include "netlist/hash.h"
 #include "sat/source.h"
 #include "util/check.h"
 
 namespace occ {
 namespace {
+
+/// FNV-1a of a string, for deriving base-cache keys from .bench text.
+uint64_t fnv64(const std::string& s) {
+  uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
 
 /// Stage scope guard: emits paired begin/end events around a stage.
 class StageScope {
@@ -60,6 +80,19 @@ SessionConfig& SessionConfig::design_bench(std::istream& is,
             "'");
   design_text_ = text.str();
   design_text_name_ = std::move(name);
+  return *this;
+}
+SessionConfig& SessionConfig::compiled(
+    std::shared_ptr<const CompiledDesign> cd) {
+  compiled_ = std::move(cd);
+  return *this;
+}
+SessionConfig& SessionConfig::design_cache(std::shared_ptr<DesignCache> cache) {
+  cache_ = std::move(cache);
+  return *this;
+}
+SessionConfig& SessionConfig::design_key(std::string key) {
+  design_key_ = std::move(key);
   return *this;
 }
 SessionConfig& SessionConfig::scan(ScanConfig cfg) {
@@ -174,73 +207,161 @@ std::string SessionResult::summary() const {
 
 // ---- Session -------------------------------------------------------------
 
-SessionResult Session::run() {
-  const auto t0 = std::chrono::steady_clock::now();
-  const ProgressObserver* obs = cfg_.observer_ ? &cfg_.observer_ : nullptr;
-  SessionResult result;
-
-  // -- build: materialize the design -------------------------------------
-  {
-    StageScope scope(obs, "build");
+std::shared_ptr<const CompiledDesign> Session::prepare() {
+  if (prepared_) return prepared_;
+  if (cfg_.compiled_) {
     const int sources_set = (cfg_.owned_design_ ? 1 : 0) +
                             (cfg_.design_builder_ ? 1 : 0) +
                             (cfg_.design_ref_ != nullptr ? 1 : 0) +
                             (!cfg_.design_path_.empty() ? 1 : 0) +
                             (cfg_.design_text_ ? 1 : 0);
-    OCC_CHECK(sources_set == 1,
-              "session: configure exactly one design source (design/"
-              "design_ref/design_file/design_bench), got ", sources_set);
-    if (cfg_.design_builder_) {
-      result.netlist = std::make_shared<Netlist>(cfg_.design_builder_());
-    } else if (!cfg_.design_path_.empty()) {
-      result.netlist =
-          std::make_shared<Netlist>(read_bench_file(cfg_.design_path_));
-    } else if (cfg_.design_text_) {
-      std::istringstream is(*cfg_.design_text_);
-      result.netlist = std::make_shared<Netlist>(
-          read_bench(is, cfg_.design_text_name_));
-    } else if (cfg_.owned_design_) {
-      // Copy so the session stays re-runnable (scan insertion mutates).
-      result.netlist = std::make_shared<Netlist>(*cfg_.owned_design_);
-    } else if (cfg_.scan_) {
-      // Borrowed design + scan insertion: work on a private copy.
-      result.netlist = std::make_shared<Netlist>(*cfg_.design_ref_);
-    } else {
-      result.netlist = std::shared_ptr<const Netlist>(
-          cfg_.design_ref_, [](const Netlist*) {});
-    }
-    OCC_CHECK(result.netlist->size() > 0, "session: netlist is empty");
-    OCC_CHECK(result.netlist->finalized(),
-              "session: netlist is not finalized");
+    OCC_CHECK(sources_set == 0,
+              "session: compiled() excludes every other design source");
+    OCC_CHECK(!cfg_.scheme_.has_value(),
+              "session: compiled() carries its own scheme; do not also"
+              " configure scheme()");
+    prepared_ = cfg_.compiled_;
+    return prepared_;
   }
-
-  // -- scan: insert chains or adopt the caller's -------------------------
-  if (cfg_.scan_) {
-    StageScope scope(obs, "scan");
-    OCC_CHECK(!cfg_.chains_,
-              "session: configure either scan insertion or existing"
-              " chains, not both");
-    auto* mutable_nl =
-        const_cast<Netlist*>(result.netlist.get());  // owned by result
-    result.chains = insert_scan(*mutable_nl, *cfg_.scan_);
-    result.has_scan_chains = true;
-  } else if (cfg_.chains_) {
-    result.chains = *cfg_.chains_;
-    result.has_scan_chains = true;
-  }
-  if (cfg_.scan_en_) {
-    result.scan_en = *cfg_.scan_en_;
-  } else if (result.has_scan_chains) {
-    result.scan_en = result.chains.scan_en;
-  } else {
-    result.scan_en = result.netlist->find("scan_en");
-  }
-
-  // -- validate the clocking scheme ---------------------------------------
+  const ProgressObserver* obs = cfg_.observer_ ? &cfg_.observer_ : nullptr;
   OCC_CHECK(cfg_.scheme_.has_value(), "session: no clocking scheme"
                                       " configured");
-  result.scheme = *cfg_.scheme_;
-  result.scheme.validate();
+
+  // Cold path: materialize the design and its scan structure exactly as
+  // the classic single-phase run() did (same checks, same stage events).
+  const auto build_base = [&]() -> DesignCache::BaseDesign {
+    DesignCache::BaseDesign base;
+    {
+      StageScope scope(obs, "build");
+      const int sources_set = (cfg_.owned_design_ ? 1 : 0) +
+                              (cfg_.design_builder_ ? 1 : 0) +
+                              (cfg_.design_ref_ != nullptr ? 1 : 0) +
+                              (!cfg_.design_path_.empty() ? 1 : 0) +
+                              (cfg_.design_text_ ? 1 : 0);
+      OCC_CHECK(sources_set == 1,
+                "session: configure exactly one design source (design/"
+                "design_ref/design_file/design_bench), got ", sources_set);
+      if (cfg_.design_builder_) {
+        base.netlist = std::make_shared<Netlist>(cfg_.design_builder_());
+      } else if (!cfg_.design_path_.empty()) {
+        base.netlist =
+            std::make_shared<Netlist>(read_bench_file(cfg_.design_path_));
+      } else if (cfg_.design_text_) {
+        std::istringstream is(*cfg_.design_text_);
+        base.netlist = std::make_shared<Netlist>(
+            read_bench(is, cfg_.design_text_name_));
+      } else if (cfg_.owned_design_) {
+        // Copy so the session stays re-runnable (scan insertion mutates).
+        base.netlist = std::make_shared<Netlist>(*cfg_.owned_design_);
+      } else if (cfg_.scan_ || cfg_.cache_) {
+        // Borrowed design + scan insertion (or a cache that must own its
+        // entries): work on a private copy.
+        base.netlist = std::make_shared<Netlist>(*cfg_.design_ref_);
+      } else {
+        base.netlist = std::shared_ptr<const Netlist>(
+            cfg_.design_ref_, [](const Netlist*) {});
+      }
+      OCC_CHECK(base.netlist->size() > 0, "session: netlist is empty");
+      OCC_CHECK(base.netlist->finalized(),
+                "session: netlist is not finalized");
+    }
+    if (cfg_.scan_) {
+      StageScope scope(obs, "scan");
+      OCC_CHECK(!cfg_.chains_,
+                "session: configure either scan insertion or existing"
+                " chains, not both");
+      auto* mutable_nl =
+          const_cast<Netlist*>(base.netlist.get());  // owned by base
+      base.chains = insert_scan(*mutable_nl, *cfg_.scan_);
+      base.has_scan_chains = true;
+    } else if (cfg_.chains_) {
+      base.chains = *cfg_.chains_;
+      base.has_scan_chains = true;
+    }
+    if (cfg_.scan_en_) {
+      base.scan_en = *cfg_.scan_en_;
+    } else if (base.has_scan_chains) {
+      base.scan_en = base.chains.scan_en;
+    } else {
+      base.scan_en = base.netlist->find("scan_en");
+    }
+    base.design_hash = netlist_content_hash(*base.netlist);
+    return base;
+  };
+
+  // Base identity: who the design *source* is, before parsing. Explicit
+  // design_key() wins; file/text sources derive one; in-memory sources
+  // without a key skip the base level (the compiled level below still
+  // caches -- it keys on the built netlist's content).
+  std::string base_key;
+  if (!cfg_.design_key_.empty()) {
+    base_key = "key:" + cfg_.design_key_;
+  } else if (!cfg_.design_path_.empty()) {
+    base_key = "file:" + cfg_.design_path_;
+  } else if (cfg_.design_text_) {
+    base_key = "text:" + hex64(fnv64(*cfg_.design_text_)) + ":" +
+               cfg_.design_text_name_;
+  }
+  if (!base_key.empty()) {
+    if (cfg_.scan_) {
+      base_key += "|scan:" + std::to_string(cfg_.scan_->num_chains) + ":" +
+                  cfg_.scan_->scan_en_name;
+    } else if (cfg_.chains_) {
+      base_key += "|chains:" + hex64(chains_fingerprint(*cfg_.chains_));
+    }
+    if (cfg_.scan_en_) base_key += "|en:" + std::to_string(*cfg_.scan_en_);
+  }
+
+  DesignCache::BaseDesign base;
+  if (cfg_.cache_ && !base_key.empty()) {
+    base = *cfg_.cache_->base_get_or_build(base_key, build_base);
+  } else {
+    base = build_base();
+  }
+
+  ClockingScheme scheme = *cfg_.scheme_;
+  scheme.validate();
+
+  if (cfg_.cache_ == nullptr) {
+    // No cache: the artifact is private to this session and its slots
+    // stay lazy, so a plain run pays exactly the builds it always did.
+    prepared_ = CompiledDesign::build(base.netlist, base.chains,
+                                      base.has_scan_chains, base.scan_en,
+                                      std::move(scheme));
+    return prepared_;
+  }
+  const std::string key = compiled_design_key(
+      base.design_hash,
+      base.has_scan_chains ? chains_fingerprint(base.chains) : 0,
+      base.scan_en, scheme_fingerprint(scheme));
+  prepared_ = cfg_.cache_->get_or_build(key, [&] {
+    StageScope scope(obs, "compile");
+    auto cd = CompiledDesign::build(base.netlist, base.chains,
+                                    base.has_scan_chains, base.scan_en,
+                                    std::move(scheme));
+    // Freeze before publishing: a warm prepare() must find everything
+    // built, and the LRU accounts the artifact's full footprint.
+    cd->freeze();
+    return std::shared_ptr<const CompiledDesign>(std::move(cd));
+  });
+  return prepared_;
+}
+
+SessionResult Session::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return execute(prepare(), t0);
+}
+
+SessionResult Session::execute(
+    const std::shared_ptr<const CompiledDesign>& cd,
+    std::chrono::steady_clock::time_point t0) {
+  const ProgressObserver* obs = cfg_.observer_ ? &cfg_.observer_ : nullptr;
+  SessionResult result;
+  result.netlist = cd->netlist_ptr();
+  result.chains = cd->chains();
+  result.has_scan_chains = cd->has_scan_chains();
+  result.scan_en = cd->scan_en();
+  result.scheme = cd->scheme();
 
   // -- ATPG: pattern sources over the sharded fault simulator -------------
   const Netlist& nl = *result.netlist;
@@ -274,10 +395,10 @@ SessionResult Session::run() {
     }
     Rng rng(opts.seed);
     ShardedFaultSim fsim(nl, result.scheme, result.scan_en,
-                         cfg_.engine_.fsim);
+                         cfg_.engine_.fsim, cd);
     PipelineContext ctx{nl,         result.scheme, result.scan_en, opts,
                         res.faults, fsim,          rng,            res,
-                        obs};
+                        obs,        cd.get()};
 
     std::vector<std::shared_ptr<PatternSource>> sources = cfg_.sources_;
     if (sources.empty()) {

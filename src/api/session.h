@@ -26,6 +26,7 @@
 /// \endcode
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <iosfwd>
 #include <memory>
@@ -39,6 +40,9 @@
 #include "fsim/options.h"
 
 namespace occ {
+
+class CompiledDesign;
+class DesignCache;
 
 /// EDT encode statistics for the session's deterministic cubes.
 struct CompressionStats {
@@ -108,6 +112,24 @@ class SessionConfig {
   /// outlive the call) and parses it during run(). `name` becomes the
   /// netlist name reported in summaries and errors.
   SessionConfig& design_bench(std::istream& is, std::string name = "bench");
+  /// Injects a prebuilt compiled-design artifact (api/compiled_design.h):
+  /// the session skips the build/scan/compile stages entirely and
+  /// executes over the artifact's netlist, chains and scheme. No other
+  /// design source (or scheme) may be configured alongside; results are
+  /// bit-identical to a fresh build of the same configuration.
+  SessionConfig& compiled(std::shared_ptr<const CompiledDesign> cd);
+  /// Attaches a shared DesignCache: prepare() serves the parsed base
+  /// design and the frozen compiled artifact from the cache when
+  /// present, and publishes cold builds into it. Any number of
+  /// concurrent sessions may share one cache; cached and fresh runs are
+  /// bit-identical.
+  SessionConfig& design_cache(std::shared_ptr<DesignCache> cache);
+  /// Explicit source-identity key for the DesignCache's base (parse +
+  /// scan) level. File/text sources derive a key automatically;
+  /// design()/design_ref() sources are only base-cached when the caller
+  /// asserts their identity with this (the compiled level always works
+  /// -- it keys on the built netlist's content hash).
+  SessionConfig& design_key(std::string key);
 
   // ---- DFT ---------------------------------------------------------------
   /// Insert scan during run(); with design_ref() the session copies the
@@ -202,6 +224,9 @@ class SessionConfig {
   std::string design_path_;                 // .bench file, parsed in run()
   std::optional<std::string> design_text_;  // slurped .bench stream
   std::string design_text_name_;
+  std::shared_ptr<const CompiledDesign> compiled_;  // prebuilt artifact
+  std::shared_ptr<DesignCache> cache_;              // shared, may be null
+  std::string design_key_;  // explicit base-cache identity
 
   std::optional<ScanConfig> scan_;
   std::optional<ScanChains> chains_;
@@ -226,25 +251,46 @@ class SessionConfig {
   bool on_chip_clocking_ = false;
 };
 
-/// Executes one configured pipeline. Construction is cheap; all work
-/// (including design construction) happens in run(). A Session may be
-/// run multiple times; every run is independent and deterministic in
-/// the configured seed.
+/// Executes one configured pipeline, split into two phases:
+///
+///   prepare() -- materialize the immutable compiled-design artifact
+///     (parse/build, scan insertion, per-NCP model + cone compilation),
+///     through the configured DesignCache when one is attached;
+///   run() -- prepare() if not already done, then execute the pattern
+///     pipeline over the frozen artifact.
+///
+/// Construction is cheap; all work happens in prepare()/run(). A Session
+/// may be run multiple times; every run is independent and deterministic
+/// in the configured seed, and the prepared artifact is reused across
+/// runs of the same session (it is immutable, so this cannot change any
+/// result bit).
 class Session {
  public:
-  /// Captures the configuration; no work happens until run().
+  /// Captures the configuration; no work happens until prepare()/run().
   explicit Session(SessionConfig cfg) : cfg_(std::move(cfg)) {}
 
   /// The configuration this session executes.
   const SessionConfig& config() const { return cfg_; }
 
-  /// Runs the full pipeline. Throws CheckError on configuration errors
-  /// (no design, empty netlist, invalid scheme, compression without
-  /// chains).
+  /// Materializes (or fetches from the configured DesignCache) the
+  /// compiled design this session executes over, without running any
+  /// patterns. Idempotent: later calls (and run()) reuse the artifact.
+  /// On a cache hit this skips parse, scan insertion, unrolling and
+  /// cone compilation entirely. Throws CheckError on configuration
+  /// errors (no design, empty netlist, invalid scheme).
+  std::shared_ptr<const CompiledDesign> prepare();
+
+  /// Runs the full pipeline (prepare() + execute). Throws CheckError on
+  /// configuration errors (no design, empty netlist, invalid scheme,
+  /// compression without chains).
   SessionResult run();
 
  private:
+  SessionResult execute(const std::shared_ptr<const CompiledDesign>& cd,
+                        std::chrono::steady_clock::time_point t0);
+
   SessionConfig cfg_;
+  std::shared_ptr<const CompiledDesign> prepared_;
 };
 
 }  // namespace occ

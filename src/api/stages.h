@@ -28,6 +28,7 @@
 namespace occ {
 
 struct SessionResult;
+class CompiledDesign;
 
 /// One progress notification. Stage begin/end events always nest and a
 /// session emits them in deterministic order; kProgress events carry a
@@ -61,6 +62,12 @@ struct PipelineContext {
   Rng& rng;                      ///< session random stream
   AtpgRunResult& res;  ///< pattern/cube accumulators and counters
   const ProgressObserver* observer;  ///< may be null
+  /// The session's frozen compiled-design artifact (api/compiled_design.h):
+  /// shared per-NCP unrolled models and CNF bases the deterministic and
+  /// SAT stages consume instead of building private copies. Never null
+  /// for sources run by Session; defaulted for hand-built contexts
+  /// (sources must fall back to private builds).
+  const CompiledDesign* compiled = nullptr;
 
   /// Forwards one event to the observer, if any.
   void emit(ProgressEvent::Kind kind, const std::string& stage,

@@ -4,6 +4,7 @@
 #include <iostream>
 #include <utility>
 
+#include "api/compiled_design.h"
 #include "api/session.h"
 #include "util/check.h"
 
@@ -129,7 +130,8 @@ ParallelPodem::ParallelPodem(PipelineContext& ctx, size_t shards,
 
   scratch_.resize(shards_);
   for (ShardScratch& sc : scratch_) {
-    sc.models.resize(num_ncps);
+    sc.models.resize(num_ncps, nullptr);
+    sc.owned_models.resize(num_ncps);
     sc.podems.resize(num_ncps);
     sc.podems_deep.resize(num_ncps);
   }
@@ -140,18 +142,27 @@ ParallelPodem::ParallelPodem(PipelineContext& ctx, size_t shards,
 
 ParallelPodem::~ParallelPodem() = default;
 
-std::pair<UnrolledModel*, Podem*> ParallelPodem::model_for(
+std::pair<const UnrolledModel*, Podem*> ParallelPodem::model_for(
     ShardScratch& sc, uint32_t nc) const {
   if (!sc.models[nc]) {
-    sc.models[nc] = std::make_unique<UnrolledModel>(ctx_.nl, ctx_.scheme,
-                                                    nc, ctx_.scan_en);
+    if (ctx_.compiled != nullptr) {
+      // The session's frozen model: read-only during the search, so all
+      // shards share one copy (the first caller builds it under the
+      // artifact's call_once; the model bytes are identical to a private
+      // build, so results cannot differ).
+      sc.models[nc] = &ctx_.compiled->unrolled(nc);
+    } else {
+      sc.owned_models[nc] = std::make_unique<UnrolledModel>(
+          ctx_.nl, ctx_.scheme, nc, ctx_.scan_en);
+      sc.models[nc] = sc.owned_models[nc].get();
+    }
     sc.podems[nc] = std::make_unique<Podem>(
         *sc.models[nc],
         Podem::Options{.backtrack_limit = ctx_.opts.backtrack_limit,
                        .heuristics = ctx_.opts.heuristics,
                        .sat_harvest = ctx_.opts.implication_sat_harvest});
   }
-  return {sc.models[nc].get(), sc.podems[nc].get()};
+  return {sc.models[nc], sc.podems[nc].get()};
 }
 
 Podem* ParallelPodem::deep_podem_for(ShardScratch& sc, uint32_t nc) const {
@@ -233,11 +244,20 @@ void ParallelPodem::attempt_fault(ShardScratch& sc, size_t fi,
 
 sat::IncrementalMiter* ParallelPodem::miter_for(uint32_t nc) {
   if (!miters_[nc]) {
-    // The miter shares scratch_[0]'s unrolled model (building it if no
-    // leader attempt touched this procedure yet).
-    model_for(scratch_[0], nc);
-    miters_[nc] = std::make_unique<sat::IncrementalMiter>(
-        *scratch_[0].models[nc], sat::SolverOptions{});
+    if (ctx_.compiled != nullptr) {
+      // Seed from the artifact's frozen good-machine lowering: the
+      // clause stream is byte-identical to lowering here, so verdicts
+      // and solver counters match bit for bit; only the lowering
+      // traversal is skipped (and shared across runs).
+      miters_[nc] = std::make_unique<sat::IncrementalMiter>(
+          ctx_.compiled->cnf_base(nc), sat::SolverOptions{});
+    } else {
+      // The miter shares scratch_[0]'s unrolled model (building it if no
+      // leader attempt touched this procedure yet).
+      model_for(scratch_[0], nc);
+      miters_[nc] = std::make_unique<sat::IncrementalMiter>(
+          *scratch_[0].models[nc], sat::SolverOptions{});
+    }
   }
   return miters_[nc].get();
 }

@@ -115,10 +115,15 @@ class ParallelPodem {
     size_t esc_target = 0;  ///< resume point: instance index within it
   };
 
-  /// Per-shard scratch: lazily built unrolled models and PODEM engines,
-  /// one pair (plus the deep-retry engine) per capture procedure.
+  /// Per-shard scratch: per-capture-procedure model views plus the PODEM
+  /// engines (and the deep-retry engine) running over them. The models
+  /// are the session's shared frozen ones (ctx.compiled) when available
+  /// -- they are read-only during the search, so every shard may share
+  /// one copy -- and lazily-built private fallbacks otherwise; PODEM
+  /// search state is mutable and never shared across shards.
   struct ShardScratch {
-    std::vector<std::unique_ptr<UnrolledModel>> models;
+    std::vector<const UnrolledModel*> models;
+    std::vector<std::unique_ptr<UnrolledModel>> owned_models;  // fallback
     std::vector<std::unique_ptr<Podem>> podems;
     std::vector<std::unique_ptr<Podem>> podems_deep;
   };
@@ -131,8 +136,8 @@ class ParallelPodem {
   /// Canonical cube-cache entry for fault `fi` right now (null = none).
   CubeCacheRef seed_for(size_t fi) const;
 
-  std::pair<UnrolledModel*, Podem*> model_for(ShardScratch& sc,
-                                              uint32_t nc) const;
+  std::pair<const UnrolledModel*, Podem*> model_for(ShardScratch& sc,
+                                                    uint32_t nc) const;
   Podem* deep_podem_for(ShardScratch& sc, uint32_t nc) const;
   Podem::Stats stats_sum(const ShardScratch& sc) const;
 

@@ -37,6 +37,26 @@ ScanChains::Slot ScanChains::slot_of(GateId ff) const {
   return it->second;
 }
 
+uint64_t chains_fingerprint(const ScanChains& sc) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(sc.scan_en);
+  mix(sc.chains.size());
+  for (const ScanChain& c : sc.chains) {
+    mix(c.domain);
+    mix(c.scan_in);
+    mix(c.scan_out);
+    mix(c.cells.size());
+    for (const GateId cell : c.cells) mix(cell);
+  }
+  return h;
+}
+
 ScanChains insert_scan(Netlist& nl, const ScanConfig& cfg) {
   OCC_CHECK(cfg.num_chains >= 1, "need at least one chain");
   ScanChains sc;

@@ -52,4 +52,11 @@ struct ScanChains {
 /// kFlagNoScan are skipped. Returns the chain description.
 ScanChains insert_scan(Netlist& nl, const ScanConfig& cfg = {});
 
+/// Stable 64-bit fingerprint of a chain description (scan_en plus every
+/// chain's domain, pins and cell order). Two netlists with equal
+/// content hashes can still carry differently stitched chains when the
+/// caller adopted external ones, so compiled-design cache keys combine
+/// the netlist content hash with this fingerprint.
+uint64_t chains_fingerprint(const ScanChains& sc);
+
 }  // namespace occ

@@ -3,6 +3,7 @@
 // respective clocking schemes.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,9 @@
 #include "gen/socgen.h"
 
 namespace occ {
+
+class DesignCache;
+
 namespace flow {
 
 struct Table1Config {
@@ -27,6 +31,12 @@ struct Table1Config {
   /// Fault-simulation engine (mode + shards) forwarded to each
   /// experiment's Session; results are identical for every setting.
   FsimOptions fsim;
+  /// Optional shared design cache (api/compiled_design.h). With one
+  /// attached, the harness builds + scan-inserts the design exactly once
+  /// per configuration (base cache level) and every experiment/repeat
+  /// reuses the frozen per-scheme compiled artifacts; results are
+  /// bit-identical with or without it.
+  std::shared_ptr<DesignCache> cache;
 };
 
 struct ExperimentRow {

@@ -46,11 +46,13 @@ std::vector<uint8_t> scan_observable_flags(const Netlist& nl) {
 }  // namespace
 
 NcpFaultSim::NcpFaultSim(const Netlist& nl, const ClockingScheme& scheme,
-                         GateId scan_en_pi, FsimMode mode)
+                         GateId scan_en_pi, FsimMode mode,
+                         std::shared_ptr<const ConeArtifactSource> shared)
     : nl_(&nl),
       scheme_(&scheme),
       scan_en_pi_(scan_en_pi),
       mode_(mode),
+      shared_(std::move(shared)),
       sim_(nl),
       cone_(nl, scan_observable_flags(nl)) {
   faulty_.assign(nl.size(), Val64{});
@@ -78,6 +80,7 @@ NcpFaultSim::NcpFaultSim(const Netlist& nl, const ClockingScheme& scheme,
 
 const ConeProgram& NcpFaultSim::cone_program(size_t ncp_index) {
   OCC_CHECK(ncp_index < scheme_->procedures.size(), "NCP out of range");
+  if (shared_) return shared_->shared_cone_program(ncp_index);
   if (ncp_index >= progs_.size()) {
     progs_.resize(ncp_index + 1);
     prog_built_.resize(ncp_index + 1, 0);
@@ -96,7 +99,7 @@ void NcpFaultSim::simulate_good(const PatternBatch& batch) {
             "batch NCP out of range");
   cur_ncp_ = &scheme_->procedures[batch.ncp_index];
   cur_obs_ = mode_ != FsimMode::kExhaustive
-                 ? &cone_.frame_obs(batch.ncp_index, *cur_ncp_)
+                 ? &frame_obs_for(batch.ncp_index, *cur_ncp_)
                  : nullptr;
   const size_t frames = cur_ncp_->cycles.size();
   const auto& dffs = nl_->dffs();

@@ -66,6 +66,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -78,6 +79,25 @@
 #include "sim/cycle_sim.h"
 
 namespace occ {
+
+/// Provider of frozen per-NCP cone artifacts shared across engines.
+///
+/// The observability masks (FrameObs) and compiled replay programs
+/// (ConeProgram) of one (netlist, scheme) pair are pure read-only data
+/// during simulation; only the per-engine scratch (event queue, overlay
+/// arenas) is mutable. An implementation -- occ::CompiledDesign -- owns
+/// one immutable copy per capture procedure, so N fault-sim shards stop
+/// rebuilding N private copies. Accessors must be thread-safe and must
+/// return artifacts identical to what a private build would produce
+/// (the engines' bit-identity contract relies on it).
+class ConeArtifactSource {
+ public:
+  virtual ~ConeArtifactSource() = default;
+  /// Frozen observability masks of capture procedure `ncp_index`.
+  virtual const FrameObs& shared_frame_obs(size_t ncp_index) const = 0;
+  /// Frozen compiled replay program of capture procedure `ncp_index`.
+  virtual const ConeProgram& shared_cone_program(size_t ncp_index) const = 0;
+};
 
 /// Fault-free multi-frame simulation of one batch.
 struct GoodFrames {
@@ -157,9 +177,14 @@ class NcpFaultSim {
   /// `scan_en_pi` (optional): the scan-enable input; when the scheme
   /// freezes scan_en, that PI is forced to 0 in every capture frame
   /// regardless of pattern contents.
+  /// `shared` (optional): frozen per-NCP observability masks and replay
+  /// programs to consume instead of building private copies; must match
+  /// (nl, scheme). Results are bit-identical either way -- the shared
+  /// artifacts only skip redundant builds.
   NcpFaultSim(const Netlist& nl, const ClockingScheme& scheme,
               GateId scan_en_pi = kNoGate,
-              FsimMode mode = FsimMode::kWordParallel);
+              FsimMode mode = FsimMode::kWordParallel,
+              std::shared_ptr<const ConeArtifactSource> shared = nullptr);
 
   const Netlist& netlist() const { return *nl_; }
   const ClockingScheme& scheme() const { return *scheme_; }
@@ -351,10 +376,19 @@ class NcpFaultSim {
   Val64 off_cone_value(GateId g,
                        const std::vector<StateDiff>& in_state) const;
 
+  /// Observability masks for `ncp_index` (shared artifact when present,
+  /// else this engine's private lazily-built copy).
+  const FrameObs& frame_obs_for(size_t ncp_index,
+                                const NamedCaptureProcedure& ncp) {
+    return shared_ ? shared_->shared_frame_obs(ncp_index)
+                   : cone_.frame_obs(ncp_index, ncp);
+  }
+
   const Netlist* nl_;
   const ClockingScheme* scheme_;
   GateId scan_en_pi_;
   FsimMode mode_;
+  std::shared_ptr<const ConeArtifactSource> shared_;  // may be null
   CycleSim sim_;
   ConeSim cone_;
   GoodFrames good_;

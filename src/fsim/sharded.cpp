@@ -16,15 +16,15 @@ size_t ShardedFaultSim::resolve_shards(size_t shards) {
   return shards;
 }
 
-ShardedFaultSim::ShardedFaultSim(const Netlist& nl,
-                                 const ClockingScheme& scheme,
-                                 GateId scan_en_pi, size_t shards,
-                                 FsimMode mode) {
+ShardedFaultSim::ShardedFaultSim(
+    const Netlist& nl, const ClockingScheme& scheme, GateId scan_en_pi,
+    size_t shards, FsimMode mode,
+    std::shared_ptr<const ConeArtifactSource> shared) {
   const size_t n = resolve_shards(shards);
   sims_.reserve(n);
   for (size_t s = 0; s < n; ++s) {
     sims_.push_back(
-        std::make_unique<NcpFaultSim>(nl, scheme, scan_en_pi, mode));
+        std::make_unique<NcpFaultSim>(nl, scheme, scan_en_pi, mode, shared));
   }
   if (n > 1) pool_ = std::make_unique<ThreadPool>(n);
 }

@@ -28,14 +28,20 @@ class ShardedFaultSim {
  public:
   /// `shards` = number of concurrent fault partitions (1 = sequential,
   /// no pool, exact NcpFaultSim code path; 0 = hardware concurrency).
+  /// `shared` (optional): frozen per-NCP cone artifacts every shard
+  /// consumes instead of rebuilding privately (see ConeArtifactSource);
+  /// results are bit-identical with or without it.
   ShardedFaultSim(const Netlist& nl, const ClockingScheme& scheme,
                   GateId scan_en_pi, size_t shards = 1,
-                  FsimMode mode = FsimMode::kWordParallel);
+                  FsimMode mode = FsimMode::kWordParallel,
+                  std::shared_ptr<const ConeArtifactSource> shared = nullptr);
 
   /// FsimOptions form of the same constructor (the drivers' path).
   ShardedFaultSim(const Netlist& nl, const ClockingScheme& scheme,
-                  GateId scan_en_pi, const FsimOptions& opts)
-      : ShardedFaultSim(nl, scheme, scan_en_pi, opts.shards, opts.mode) {}
+                  GateId scan_en_pi, const FsimOptions& opts,
+                  std::shared_ptr<const ConeArtifactSource> shared = nullptr)
+      : ShardedFaultSim(nl, scheme, scan_en_pi, opts.shards, opts.mode,
+                        std::move(shared)) {}
 
   size_t shards() const { return sims_.size(); }
   const Netlist& netlist() const { return sims_[0]->netlist(); }

@@ -1,0 +1,53 @@
+#include "netlist/hash.h"
+
+#include "util/check.h"
+
+namespace occ {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+struct Fnv {
+  uint64_t h = kFnvOffset;
+
+  void mix(uint64_t v) {
+    // Hash all eight bytes so ids differing only in high bytes separate.
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= kFnvPrime;
+    }
+  }
+  void mix(const std::string& s) {
+    mix(s.size());
+    for (const char c : s) {
+      h ^= static_cast<uint8_t>(c);
+      h *= kFnvPrime;
+    }
+  }
+};
+
+}  // namespace
+
+uint64_t netlist_content_hash(const Netlist& nl) {
+  OCC_CHECK(nl.finalized(), "netlist_content_hash: netlist not finalized");
+  Fnv f;
+  f.mix(nl.size());
+  for (GateId g = 0; g < nl.size(); ++g) {
+    const Gate& gate = nl.gate(g);
+    f.mix(static_cast<uint64_t>(gate.type));
+    f.mix(gate.domain);
+    f.mix(gate.flags);
+    f.mix(gate.fanin.size());
+    for (const GateId in : gate.fanin) f.mix(in);
+    f.mix(gate.name);
+  }
+  // Creation-order sequences: engines index PIs, POs and flop state by
+  // position, so the orderings are part of the content.
+  for (const GateId g : nl.inputs()) f.mix(g);
+  for (const GateId g : nl.outputs()) f.mix(g);
+  for (const GateId g : nl.seqs()) f.mix(g);
+  return f.h;
+}
+
+}  // namespace occ

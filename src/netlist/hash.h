@@ -1,0 +1,25 @@
+/// \file
+/// Stable content hashing of a finalized netlist.
+///
+/// The hash covers exactly the inputs the downstream artifact builders
+/// read -- gate types, domains, flags, fanin connectivity, gate names
+/// (engines resolve nets like "scan_en" by name) and the PI/PO/flop
+/// orderings -- and none of the derived state (fanout lists, levels,
+/// topological order), which finalize() recomputes from the former.
+/// Two netlists with equal hashes therefore produce byte-identical
+/// unrolled models, cone programs and CNF lowerings, which is what
+/// makes the hash a sound cache key for occ::CompiledDesign.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace occ {
+
+/// FNV-1a (64-bit) over the defining content of `nl` (see file
+/// comment). Requires a finalized netlist; deterministic across
+/// processes and platforms for the same construction sequence.
+uint64_t netlist_content_hash(const Netlist& nl);
+
+}  // namespace occ

@@ -11,6 +11,12 @@ IncrementalMiter::IncrementalMiter(const UnrolledModel& um, SolverOptions opts)
   next_clause_ = lowering_.cnf().clauses.size();
 }
 
+IncrementalMiter::IncrementalMiter(const CnfLowering& base, SolverOptions opts)
+    : lowering_(base), solver_(lowering_.cnf(), opts) {
+  next_var_ = lowering_.cnf().num_vars;
+  next_clause_ = lowering_.cnf().clauses.size();
+}
+
 void IncrementalMiter::sync() {
   const Cnf& cnf = lowering_.cnf();
   while (next_var_ < cnf.num_vars) {

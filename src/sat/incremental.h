@@ -35,6 +35,14 @@ class IncrementalMiter {
   /// Lowers the good machine of `um` and seeds the persistent solver.
   explicit IncrementalMiter(const UnrolledModel& um, SolverOptions opts = {});
 
+  /// Seeds the persistent solver from a prebuilt good-machine lowering
+  /// (copied; `base` must carry no per-fault extensions). The clause
+  /// stream fed to the solver is byte-identical to the constructor
+  /// above, so every later decide() verdict and solver counter matches
+  /// bit for bit -- only the good-machine lowering traversal is skipped
+  /// (the path occ::CompiledDesign reuses across runs).
+  explicit IncrementalMiter(const CnfLowering& base, SolverOptions opts = {});
+
   enum class Verdict : uint8_t {
     kSat,            ///< *cube holds a detecting PODEM cube
     kUnsat,          ///< instance proven undetectable

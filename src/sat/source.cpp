@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/compiled_design.h"
 #include "atpg/parallel.h"
 #include "fsim/pattern.h"
 #include "sat/incremental.h"
@@ -21,7 +22,12 @@ void SatPatternSource::generate(PipelineContext& ctx) {
   // shared across all targets: each fault instance is lowered once
   // under an activation literal, and everything the solver learns
   // deciding one fault carries over to every later fault in the model.
-  std::vector<std::unique_ptr<UnrolledModel>> models(num_ncp);
+  // With a compiled design the models (and the good-machine CNF the
+  // miter seeds from) are the session's frozen shared artifacts; the
+  // clause stream is byte-identical either way, so verdicts and solver
+  // counters match bit for bit. Solver state stays per-run.
+  std::vector<const UnrolledModel*> models(num_ncp, nullptr);
+  std::vector<std::unique_ptr<UnrolledModel>> owned_models(num_ncp);
   std::vector<std::unique_ptr<IncrementalMiter>> miters(num_ncp);
 
   // The target list is fixed up front; a flush may still drop a later
@@ -40,10 +46,17 @@ void SatPatternSource::generate(PipelineContext& ctx) {
     bool found = false;
     for (uint32_t nc = 0; nc < num_ncp && !found; ++nc) {
       if (!models[nc]) {
-        models[nc] = std::make_unique<UnrolledModel>(ctx.nl, scheme, nc,
-                                                     ctx.scan_en);
-        miters[nc] = std::make_unique<IncrementalMiter>(*models[nc],
-                                                        SolverOptions{});
+        if (ctx.compiled != nullptr) {
+          models[nc] = &ctx.compiled->unrolled(nc);
+          miters[nc] = std::make_unique<IncrementalMiter>(
+              ctx.compiled->cnf_base(nc), SolverOptions{});
+        } else {
+          owned_models[nc] = std::make_unique<UnrolledModel>(ctx.nl, scheme,
+                                                             nc, ctx.scan_en);
+          models[nc] = owned_models[nc].get();
+          miters[nc] = std::make_unique<IncrementalMiter>(*models[nc],
+                                                          SolverOptions{});
+        }
       }
       IncrementalMiter& miter = *miters[nc];
       const std::vector<UnrolledFault> ufs = models[nc]->translate(fl.fault(fi));

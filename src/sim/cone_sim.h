@@ -49,6 +49,14 @@ class ConeSim {
   const FrameObs& frame_obs(size_t ncp_index,
                             const NamedCaptureProcedure& ncp);
 
+  /// Builds `ncp`'s observability masks without touching the per-index
+  /// cache. Const and side-effect free, so concurrent callers may share
+  /// one ConeSim while freezing artifacts (occ::CompiledDesign builds
+  /// its per-NCP FrameObs through this).
+  FrameObs build_obs(const NamedCaptureProcedure& ncp) const {
+    return build_frame_obs(ncp);
+  }
+
   // ---- levelized event queue ---------------------------------------------
   // Epoch-stamped dedup: push() ignores gates already queued since the
   // last begin_frame(). drain() visits gates in non-decreasing level
